@@ -1,0 +1,468 @@
+// Package repro's root benchmarks regenerate the paper's tables and
+// figures under `go test -bench`, one benchmark family per artefact:
+//
+//	BenchmarkT1_*   Section III.E overhead table cells
+//	BenchmarkF1_*   Fig. 1 pipeline log: conversion and rendering
+//	BenchmarkF3_*   Fig. 3 lab2 run
+//	BenchmarkF4_*   Fig. 4 fixed vs instance A
+//	BenchmarkF5_*   Fig. 5 instance B
+//	BenchmarkA1_*   arrow-spread ablation
+//	BenchmarkA2_*   frame-size ablation
+//	Benchmark micro-costs: per-event logging, channel round trips, codec,
+//	CSV parsing
+//
+// cmd/pilot-bench prints the full tables with shape checks against the
+// paper; these benchmarks give the same workloads testing.B treatment.
+package repro_test
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/collisions"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/jpeglite"
+	"repro/internal/lab2"
+	"repro/internal/mpe"
+	"repro/internal/mpi"
+	"repro/internal/slog2"
+	"repro/internal/thumbnail"
+	"repro/vis"
+)
+
+// benchThumb runs one overhead-table cell per iteration.
+func benchThumb(b *testing.B, workProcs int, services string) {
+	b.Helper()
+	dir := b.TempDir()
+	for i := 0; i < b.N; i++ {
+		cfg := thumbnail.Config{
+			Workers:    workProcs - 1,
+			NumImages:  24,
+			ImageW:     96,
+			ImageH:     64,
+			Seed:       int64(i),
+			StageDelay: 2 * time.Millisecond,
+			Core: core.Config{
+				Services:     services,
+				CheckLevel:   3,
+				JumpshotPath: filepath.Join(dir, "bench.clog2"),
+				NativePath:   filepath.Join(dir, "bench.log"),
+			},
+		}
+		if services == "c" {
+			cfg.Workers = workProcs - 2 // service rank displaces a worker
+		}
+		res, err := thumbnail.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Thumbnails != cfg.NumImages {
+			b.Fatalf("%d thumbnails", res.Thumbnails)
+		}
+	}
+}
+
+func BenchmarkT1_NoLog_5(b *testing.B)   { benchThumb(b, 5, "") }
+func BenchmarkT1_MPE_5(b *testing.B)     { benchThumb(b, 5, "j") }
+func BenchmarkT1_Native_5(b *testing.B)  { benchThumb(b, 5, "c") }
+func BenchmarkT1_NoLog_10(b *testing.B)  { benchThumb(b, 10, "") }
+func BenchmarkT1_MPE_10(b *testing.B)    { benchThumb(b, 10, "j") }
+func BenchmarkT1_Native_10(b *testing.B) { benchThumb(b, 10, "c") }
+
+// fig1CLOG produces one Fig. 1-style log for the conversion benchmarks.
+func fig1CLOG(b *testing.B) string {
+	b.Helper()
+	dir := b.TempDir()
+	clog := filepath.Join(dir, "fig1.clog2")
+	cfg := thumbnail.Config{
+		Workers:   9,
+		NumImages: 60,
+		ImageW:    96,
+		ImageH:    64,
+		Core: core.Config{
+			Services:     "j",
+			CheckLevel:   3,
+			JumpshotPath: clog,
+		},
+	}
+	if _, err := thumbnail.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	return clog
+}
+
+func BenchmarkF1_ConvertCLOGToSLOG(b *testing.B) {
+	clog := fig1CLOG(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, rep, err := vis.ConvertFile(clog, vis.ConvertOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.NestingErrors != 0 {
+			b.Fatal("conversion errors")
+		}
+	}
+}
+
+func BenchmarkF1_RenderSVG(b *testing.B) {
+	clog := fig1CLOG(b)
+	f, _, err := vis.ConvertFile(clog, vis.ConvertOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := vis.RenderSVG(f, vis.View{}); len(out) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+func BenchmarkF2_RenderZoomed(b *testing.B) {
+	clog := fig1CLOG(b)
+	f, _, err := vis.ConvertFile(clog, vis.ConvertOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	span := f.End - f.Start
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vis.RenderSVG(f, vis.View{From: f.Start + span*0.45, To: f.Start + span*0.55})
+	}
+}
+
+func BenchmarkF3_Lab2(b *testing.B) {
+	dir := b.TempDir()
+	for i := 0; i < b.N; i++ {
+		cfg := lab2.Config{W: 5, NUM: 10000, Seed: int64(i)}
+		cfg.Core.Services = "j"
+		cfg.Core.JumpshotPath = filepath.Join(dir, "lab2.clog2")
+		if _, err := lab2.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchCollisions(b *testing.B, run func(collisions.Config) (*collisions.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cfg := collisions.Config{
+			Workers: 4, Rows: 8000, Seed: 7,
+			QueryCost: 10, QuerySleepPerRow: 2 * time.Microsecond,
+			ReadSleepPerRow: time.Microsecond,
+		}
+		res, err := run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Answers) == 0 {
+			b.Fatal("no answers")
+		}
+	}
+}
+
+func BenchmarkF4_Fixed(b *testing.B)     { benchCollisions(b, collisions.RunFixed) }
+func BenchmarkF4_InstanceA(b *testing.B) { benchCollisions(b, collisions.RunInstanceA) }
+func BenchmarkF5_InstanceB(b *testing.B) { benchCollisions(b, collisions.RunInstanceB) }
+
+func BenchmarkA1_ArrowSpread(b *testing.B) {
+	// A broadcast/gather round over 4 workers: the collective fan-out the
+	// spread delay actually applies to. "off" vs "1ms" quantifies the
+	// workaround's cost (paper: "the injected delay hardly impacts the
+	// program's execution" against compute-bound work).
+	for _, spread := range []struct {
+		name  string
+		value time.Duration
+	}{{"off", -1}, {"1ms", time.Millisecond}} {
+		b.Run(spread.name, func(b *testing.B) {
+			dir := b.TempDir()
+			for i := 0; i < b.N; i++ {
+				const W = 4
+				cfg := core.Config{
+					NumProcs:     W + 1,
+					Services:     "j",
+					ArrowSpread:  spread.value,
+					JumpshotPath: filepath.Join(dir, "a1.clog2"),
+				}
+				r, err := core.NewRuntime(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				to := make([]*core.Channel, W)
+				from := make([]*core.Channel, W)
+				worker := func(self *core.Self, index int, arg any) int {
+					var v int
+					if err := to[index].Read("%d", &v); err != nil {
+						return 1
+					}
+					if err := from[index].Write("%*d", 1, []int{v * 2}); err != nil {
+						return 1
+					}
+					return 0
+				}
+				for j := 0; j < W; j++ {
+					p, err := r.CreateProcess(worker, j, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if to[j], err = r.CreateChannel(r.MainProc(), p); err != nil {
+						b.Fatal(err)
+					}
+					if from[j], err = r.CreateChannel(p, r.MainProc()); err != nil {
+						b.Fatal(err)
+					}
+				}
+				bc, err := r.CreateBundle(core.UsageBroadcast, to...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ga, err := r.CreateBundle(core.UsageGather, from...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := r.StartAll(); err != nil {
+					b.Fatal(err)
+				}
+				if err := bc.Broadcast("%d", i); err != nil {
+					b.Fatal(err)
+				}
+				buf := make([]int, W)
+				if err := ga.Gather("%*d", W, buf); err != nil {
+					b.Fatal(err)
+				}
+				if err := r.StopMain(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkA2_FrameSize(b *testing.B) {
+	clog := fig1CLOG(b)
+	for _, capacity := range []int{16, 64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("capacity=%d", capacity), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f, _, err := vis.ConvertFile(clog, vis.ConvertOptions{FrameCapacity: capacity})
+				if err != nil {
+					b.Fatal(err)
+				}
+				span := f.End - f.Start
+				f.Query(f.Start+span*0.45, f.Start+span*0.55)
+			}
+		})
+	}
+}
+
+// ---- micro-benchmarks: the costs the overhead table aggregates ----
+
+func BenchmarkMPE_StateStartEnd(b *testing.B) {
+	w := mpi.NewWorld(1, mpi.Options{})
+	g := mpe.NewGroup(w, true)
+	sid := g.DescribeState("PI_Write", "green")
+	l := g.Logger(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.StateStart(sid, "line: x.go:1")
+		l.StateEnd(sid, "")
+	}
+}
+
+func BenchmarkMPE_Disabled(b *testing.B) {
+	w := mpi.NewWorld(1, mpi.Options{})
+	g := mpe.NewGroup(w, false)
+	sid := g.DescribeState("PI_Write", "green")
+	l := g.Logger(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.StateStart(sid, "line: x.go:1")
+		l.StateEnd(sid, "")
+	}
+}
+
+func BenchmarkChannelRoundTrip(b *testing.B) {
+	for _, logged := range []string{"", "j"} {
+		name := "nolog"
+		if logged == "j" {
+			name = "mpe"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.Config{NumProcs: 2, Services: logged,
+				JumpshotPath: filepath.Join(b.TempDir(), "x.clog2")}
+			r, err := core.NewRuntime(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var toW, fromW *core.Channel
+			p, _ := r.CreateProcess(func(self *core.Self, index int, arg any) int {
+				var v int
+				for {
+					if err := toW.Read("%d", &v); err != nil {
+						return 1
+					}
+					if v < 0 {
+						return 0
+					}
+					if err := fromW.Write("%d", v+1); err != nil {
+						return 1
+					}
+				}
+			}, 0, nil)
+			toW, _ = r.CreateChannel(r.MainProc(), p)
+			fromW, _ = r.CreateChannel(p, r.MainProc())
+			if _, err := r.StartAll(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var v int
+				if err := toW.Write("%d", i); err != nil {
+					b.Fatal(err)
+				}
+				if err := fromW.Read("%d", &v); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			toW.Write("%d", -1)
+			r.StopMain(0)
+		})
+	}
+}
+
+func BenchmarkJpegliteEncode(b *testing.B) {
+	im := jpeglite.Synthetic(192, 128, 1)
+	b.SetBytes(int64(len(im.Pix)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jpeglite.Encode(im, 75)
+	}
+}
+
+func BenchmarkJpegliteDecode(b *testing.B) {
+	data := jpeglite.Encode(jpeglite.Synthetic(192, 128, 1), 75)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := jpeglite.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCollisionsParse(b *testing.B) {
+	data := collisions.GenerateCSV(10000, 1)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := collisions.ParseSegment(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSLOG2WriteRead(b *testing.B) {
+	clog := fig1CLOG(b)
+	f, _, err := vis.ConvertFile(clog, vis.ConvertOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := slog2.Write(&buf, f); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := slog2.Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestExperimentsSmall runs the full experiment suite at a reduced scale:
+// the regression test that every table and figure still regenerates.
+func TestExperimentsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	opt := experiments.Options{
+		OutDir:     t.TempDir(),
+		Runs:       2,
+		Images:     30,
+		Rows:       10000,
+		StageDelay: 2 * time.Millisecond,
+	}
+	rows, err := experiments.RunT1(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("T1 rows = %d", len(rows))
+	}
+	f1, err := experiments.RunF1(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.ConversionErrors != 0 {
+		t.Errorf("F1 conversion errors: %d", f1.ConversionErrors)
+	}
+	if f1.Ranks != 11 {
+		t.Errorf("F1 ranks = %d, want 11", f1.Ranks)
+	}
+	f2, err := experiments.RunF2(opt, f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.ComputeFraction < 0.3 {
+		t.Errorf("F2 compute fraction %.2f", f2.ComputeFraction)
+	}
+	f3, err := experiments.RunF3(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3.Arrows != 15 || f3.Timelines != 6 || !f3.SequencesOK {
+		t.Errorf("F3 %+v", f3)
+	}
+	f4, err := experiments.RunF4(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f4.OverlapA >= f4.OverlapFixed {
+		t.Errorf("F4 overlap A=%.3f fixed=%.3f", f4.OverlapA, f4.OverlapFixed)
+	}
+	f5, err := experiments.RunF5(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f5.ReadShare < 0.5 {
+		t.Errorf("F5 read share %.2f", f5.ReadShare)
+	}
+	a1, err := experiments.RunA1(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.EqualDrawablesNoSpread == 0 || a1.EqualDrawablesSpread != 0 {
+		t.Errorf("A1 %+v", a1)
+	}
+	a2, err := experiments.RunA2(opt, f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a2) != 5 || a2[0].TreeDepth < a2[len(a2)-1].TreeDepth {
+		t.Errorf("A2 %+v", a2)
+	}
+	a3, err := experiments.RunA3(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3.MPELogExists || !a3.NativeLogExists {
+		t.Errorf("A3 %+v", a3)
+	}
+}

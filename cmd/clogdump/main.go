@@ -1,0 +1,91 @@
+// Command clogdump prints the raw records of a CLOG-2 file — the
+// diagnostic use the paper gives for keeping the two-step conversion
+// pipeline: "the conversion step can be useful for diagnosing problems
+// with the log contents, say, due to improper use of MPE's API".
+//
+// Usage:
+//
+//	clogdump [-rank N] [-type NAME] [-defs] in.clog2
+//
+// Works on spill fragments from aborted runs too (lenient parsing).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/clog2"
+)
+
+func main() {
+	rank := flag.Int("rank", -1, "only records from this rank")
+	typ := flag.String("type", "", "only records of this type (StateDef, CargoEvt, MsgEvt, ...)")
+	defsOnly := flag.Bool("defs", false, "only definition records")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: clogdump [-rank N] [-type NAME] [-defs] in.clog2")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	log, complete, err := clog2.ReadLenient(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if !complete {
+		fmt.Fprintln(os.Stderr, "warning: file is torn (no end-log marker); showing complete blocks only")
+	}
+	fmt.Printf("ranks: %d, blocks: %d\n", log.NumRanks, len(log.Blocks))
+	n := 0
+	for _, b := range log.Blocks {
+		for _, rec := range b.Records {
+			if *rank >= 0 && int(rec.Rank) != *rank {
+				continue
+			}
+			if *typ != "" && !strings.EqualFold(rec.Type.String(), *typ) {
+				continue
+			}
+			isDef := rec.Type == clog2.RecStateDef || rec.Type == clog2.RecEventDef || rec.Type == clog2.RecConstDef
+			if *defsOnly && !isDef {
+				continue
+			}
+			fmt.Println(formatRecord(rec))
+			n++
+		}
+	}
+	fmt.Printf("%d record(s)\n", n)
+}
+
+func formatRecord(r clog2.Record) string {
+	base := fmt.Sprintf("[%14.6f] r%-3d %-9s", r.Time, r.Rank, r.Type)
+	switch r.Type {
+	case clog2.RecStateDef:
+		return fmt.Sprintf("%s id=%d start=%d end=%d color=%s name=%q", base, r.ID, r.Aux1, r.Aux2, r.Color, r.Name)
+	case clog2.RecEventDef:
+		return fmt.Sprintf("%s etype=%d color=%s name=%q", base, r.ID, r.Color, r.Name)
+	case clog2.RecConstDef:
+		return fmt.Sprintf("%s etype=%d value=%d name=%q", base, r.ID, r.Aux1, r.Name)
+	case clog2.RecBareEvt:
+		return fmt.Sprintf("%s etype=%d", base, r.ID)
+	case clog2.RecCargoEvt:
+		return fmt.Sprintf("%s etype=%d cargo=%q", base, r.ID, r.Text)
+	case clog2.RecMsgEvt:
+		dir := "send"
+		if r.Dir == clog2.DirRecv {
+			dir = "recv"
+		}
+		return fmt.Sprintf("%s %s peer=%d tag=%d size=%d", base, dir, r.Aux1, r.Aux2, r.Aux3)
+	case clog2.RecTimeShift:
+		return fmt.Sprintf("%s shift=%+.9f", base, r.Shift)
+	case clog2.RecSrcLoc:
+		return fmt.Sprintf("%s line=%d file=%q", base, r.Aux1, r.Text)
+	}
+	return base
+}

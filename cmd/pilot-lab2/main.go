@@ -1,0 +1,58 @@
+// Command pilot-lab2 runs the paper's Fig. 3 hands-on exercise: W workers
+// sum portions of an array and report subtotals to PI_MAIN. With
+// -pisvc=j it writes the CLOG-2 visual log; pipe it through clog2slog and
+// jumpshot to regenerate Fig. 3.
+//
+// Usage:
+//
+//	pilot-lab2 [-pisvc=cdj] [-picheck=N] [-w 5] [-num 10000] [-caret] [-clog lab2.clog2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/lab2"
+)
+
+func main() {
+	cfg := lab2.Config{}
+	rest, err := core.ParseArgs(&cfg.Core, os.Args[1:])
+	if err != nil {
+		fatal(err)
+	}
+	fs := flag.NewFlagSet("pilot-lab2", flag.ExitOnError)
+	fs.IntVar(&cfg.W, "w", 5, "number of workers")
+	fs.IntVar(&cfg.NUM, "num", 10000, "data array size")
+	fs.Int64Var(&cfg.Seed, "seed", 1, "random seed")
+	fs.BoolVar(&cfg.UseCaret, "caret", false, "use the V2.1 %^d single-call form (footnote 3)")
+	fs.StringVar(&cfg.Core.JumpshotPath, "clog", "lab2.clog2", "CLOG-2 output path (with -pisvc=j)")
+	fs.StringVar(&cfg.Core.NativePath, "log", "lab2.log", "native log path (with -pisvc=c)")
+	if err := fs.Parse(rest); err != nil {
+		fatal(err)
+	}
+	if cfg.Core.CheckLevel == 0 {
+		cfg.Core.CheckLevel = 3
+	}
+
+	res, err := lab2.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for i, s := range res.Subtotals {
+		fmt.Printf("Worker #%d reports sum = %d\n", i, s)
+	}
+	fmt.Printf("Grand total = %d\n", res.Total)
+	fmt.Printf("elapsed %v", res.Elapsed)
+	if res.Runtime.WrapUpTime() > 0 {
+		fmt.Printf(", log wrap-up %v -> %s", res.Runtime.WrapUpTime(), cfg.Core.JumpshotPath)
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// Command pilot-salvage merges the spill fragments left by an aborted
+// RobustLog run into a complete CLOG-2 file — the manual form of the
+// automatic salvage PI_StopMain performs, for the cases where the whole
+// process died before StopMain (panic, kill, power loss).
+//
+// Usage:
+//
+//	pilot-salvage [-o out.clog2] [-keep] PREFIX
+//
+// PREFIX is the JumpshotPath of the dead run; the tool reads
+// PREFIX.defs.spill and PREFIX.rank<N>.spill.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mpe"
+)
+
+func main() {
+	out := flag.String("o", "", "output CLOG-2 path (default: PREFIX itself)")
+	keep := flag.Bool("keep", false, "keep the spill fragments after salvaging")
+	ranks := flag.Int("ranks", 256, "maximum rank number to look for when cleaning up")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pilot-salvage [-o out.clog2] [-keep] PREFIX")
+		os.Exit(2)
+	}
+	prefix := flag.Arg(0)
+	dst := *out
+	if dst == "" {
+		dst = prefix
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	n, err := mpe.Salvage(prefix, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(dst)
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("salvaged %d rank fragment(s) -> %s\n", n, dst)
+	if !*keep {
+		mpe.RemoveSpills(prefix, *ranks)
+	}
+}

@@ -1,0 +1,63 @@
+// Command pilot-thumbnail runs the paper's demonstration application
+// (Section III.D): a PI_MAIN → decompressors → compressor → PI_MAIN
+// pipeline producing thumbnails for a batch of synthetic JPEG-like
+// images. This is the workload behind Figs. 1–2 and the Section III.E
+// overhead table.
+//
+// Usage:
+//
+//	pilot-thumbnail [-pisvc=cdj] [-picheck=N] [-w 9] [-n 1058] [-out DIR] [-clog thumb.clog2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/thumbnail"
+)
+
+func main() {
+	cfg := thumbnail.Config{}
+	rest, err := core.ParseArgs(&cfg.Core, os.Args[1:])
+	if err != nil {
+		fatal(err)
+	}
+	fs := flag.NewFlagSet("pilot-thumbnail", flag.ExitOnError)
+	fs.IntVar(&cfg.Workers, "w", 9, "number of decompressor processes (the paper's Fig. 1 uses 9)")
+	fs.IntVar(&cfg.NumImages, "n", 1058, "number of input images (the paper used 1058)")
+	fs.IntVar(&cfg.ImageW, "iw", 192, "source image width")
+	fs.IntVar(&cfg.ImageH, "ih", 128, "source image height")
+	fs.IntVar(&cfg.Quality, "q", 75, "codec quality 1-100")
+	fs.Int64Var(&cfg.Seed, "seed", 42, "image generator seed")
+	fs.StringVar(&cfg.OutDir, "out", "", "directory for thumbnail files (empty = in-memory)")
+	fs.StringVar(&cfg.Core.JumpshotPath, "clog", "thumb.clog2", "CLOG-2 output path (with -pisvc=j)")
+	fs.StringVar(&cfg.Core.NativePath, "log", "thumb.log", "native log path (with -pisvc=c)")
+	if err := fs.Parse(rest); err != nil {
+		fatal(err)
+	}
+	if cfg.Core.CheckLevel == 0 {
+		cfg.Core.CheckLevel = 3
+	}
+
+	res, err := thumbnail.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("thumbnails: %d  input: %d B  output: %d B (%.1fx smaller)\n",
+		res.Thumbnails, res.InputBytes, res.OutputBytes,
+		float64(res.InputBytes)/float64(res.OutputBytes))
+	traffic := res.Runtime.Traffic()
+	fmt.Printf("messages: %d (%d B on the wire)\n", traffic.Sent, traffic.SentBytes)
+	fmt.Printf("elapsed %v", res.Elapsed)
+	if res.WrapUp > 0 {
+		fmt.Printf(", log wrap-up %v -> %s", res.WrapUp, cfg.Core.JumpshotPath)
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

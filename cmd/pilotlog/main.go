@@ -1,0 +1,58 @@
+// Command pilotlog analyses Pilot's native text log (the -pisvc=c
+// facility): it separates the conglomerated stream per process, counts
+// calls, greps, and scores how interleaved the raw log is — a working
+// illustration of why the paper replaced eyeballing this file with
+// Jumpshot.
+//
+// Usage:
+//
+//	pilotlog [-proc NAME] [-grep PATTERN] [-summary] pilot.log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/nativelog"
+)
+
+func main() {
+	proc := flag.String("proc", "", "only entries from this process name")
+	pattern := flag.String("grep", "", "only entries matching this pattern")
+	summary := flag.Bool("summary", false, "print per-process call counts instead of entries")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pilotlog [-proc NAME] [-grep PATTERN] [-summary] pilot.log")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	entries, err := nativelog.Parse(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *summary {
+		fmt.Print(nativelog.FormatSummary(entries))
+		fmt.Printf("entries: %d, interleaving: %.0f%% of adjacent lines switch process\n",
+			len(entries), nativelog.Interleaving(entries)*100)
+		return
+	}
+	sel := entries
+	if *pattern != "" {
+		sel = nativelog.Grep(sel, *pattern)
+	}
+	if *proc != "" {
+		sel = nativelog.ByProc(sel)[*proc]
+	}
+	for _, e := range sel {
+		fmt.Printf("[%12.6f] %-10s %-18s %s\n", e.ArrivalTime, e.Proc, e.Op, e.Detail)
+	}
+	fmt.Printf("%d entr(ies)\n", len(sel))
+}

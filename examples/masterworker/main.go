@@ -1,0 +1,114 @@
+// Master/worker: the paper's Fig. 3 teaching exercise ("lab 2") written
+// against the public API — PI_MAIN splits an array across W workers, each
+// worker sums its share and reports back. Run with the visual log and
+// compare the timeline to Fig. 3 of the paper:
+//
+//	go run ./examples/masterworker -w 5 -pisvc=j
+//	go run ./cmd/jumpshot -ascii -legend lab2.clog2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/pilot"
+)
+
+func main() {
+	cfg := pilot.Config{CheckLevel: 3, JumpshotPath: "lab2.clog2"}
+	rest, err := pilot.ParseArgs(&cfg, os.Args[1:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs := flag.NewFlagSet("masterworker", flag.ExitOnError)
+	w := fs.Int("w", 5, "number of workers")
+	num := fs.Int("num", 10000, "array size")
+	if err := fs.Parse(rest); err != nil {
+		log.Fatal(err)
+	}
+	if cfg.NumProcs == 0 {
+		cfg.NumProcs = *w + 1
+	}
+
+	pi, err := pilot.Configure(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	toWorker := make([]*pilot.Channel, *w)
+	result := make([]*pilot.Channel, *w)
+
+	// The work function from the paper's Fig. 3: read the share size, read
+	// the data, sum, report.
+	workerFunc := func(self *pilot.Self, index int, arg any) int {
+		var myshare int
+		if err := toWorker[index].Read("%d", &myshare); err != nil {
+			return 1
+		}
+		buff := make([]int, myshare)
+		if err := toWorker[index].Read("%*d", myshare, buff); err != nil {
+			return 1
+		}
+		sum := 0
+		for _, v := range buff {
+			sum += v
+		}
+		if err := result[index].Write("%d", sum); err != nil {
+			return 1
+		}
+		return 0
+	}
+
+	for i := 0; i < *w; i++ {
+		p, err := pi.CreateProcess(workerFunc, i, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if toWorker[i], err = pi.CreateChannel(pi.MainProc(), p); err != nil {
+			log.Fatal(err)
+		}
+		if result[i], err = pi.CreateChannel(p, pi.MainProc()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := pi.StartAll(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Fill the numbers array with random values.
+	rng := rand.New(rand.NewSource(1))
+	numbers := make([]int, *num)
+	for i := range numbers {
+		numbers[i] = rng.Intn(1000)
+	}
+
+	for i := 0; i < *w; i++ {
+		portion := *num / *w
+		if i == *w-1 {
+			portion += *num % *w
+		}
+		if err := toWorker[i].Write("%d", portion); err != nil {
+			log.Fatal(err)
+		}
+		if err := toWorker[i].Write("%*d", portion, numbers[i*(*num / *w):]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	total := 0
+	for i := 0; i < *w; i++ {
+		var sum int
+		if err := result[i].Read("%d", &sum); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Worker #%d reports sum = %d\n", i, sum)
+		total += sum
+	}
+	if err := pi.StopMain(0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Grand total = %d\n", total)
+}

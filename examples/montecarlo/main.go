@@ -1,0 +1,101 @@
+// Monte Carlo π: a reduce-flavoured Pilot program. PI_MAIN broadcasts the
+// sample count, every worker throws darts at the unit square, and a
+// PI_Reduce bundle sums the hit counts — the one-call collective answer to
+// "merge the results".
+//
+//	go run ./examples/montecarlo -w 4 -n 200000 -pisvc=j
+//	go run ./cmd/jumpshot -ascii -legend pi.clog2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/pilot"
+)
+
+func main() {
+	cfg := pilot.Config{CheckLevel: 3, JumpshotPath: "pi.clog2"}
+	rest, err := pilot.ParseArgs(&cfg, os.Args[1:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs := flag.NewFlagSet("montecarlo", flag.ExitOnError)
+	w := fs.Int("w", 4, "number of workers")
+	n := fs.Int("n", 200000, "samples per worker")
+	if err := fs.Parse(rest); err != nil {
+		log.Fatal(err)
+	}
+	if cfg.NumProcs == 0 {
+		cfg.NumProcs = *w + 1
+		if cfg.HasService(pilot.SvcNativeLog) || cfg.HasService(pilot.SvcDeadlock) {
+			cfg.NumProcs++
+		}
+	}
+	pi, err := pilot.Configure(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	samplesCh := make([]*pilot.Channel, *w)
+	hitsCh := make([]*pilot.Channel, *w)
+	worker := func(self *pilot.Self, index int, arg any) int {
+		var samples int
+		if err := samplesCh[index].Read("%d", &samples); err != nil {
+			return 1
+		}
+		rng := rand.New(rand.NewSource(int64(index) + 1))
+		hits := 0
+		for i := 0; i < samples; i++ {
+			x, y := rng.Float64(), rng.Float64()
+			if x*x+y*y <= 1 {
+				hits++
+			}
+		}
+		// The reduce endpoint combines these with PI_SUM.
+		if err := hitsCh[index].Write("%d %d", hits, samples); err != nil {
+			return 1
+		}
+		return 0
+	}
+
+	for i := 0; i < *w; i++ {
+		p, err := pi.CreateProcess(worker, i, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if samplesCh[i], err = pi.CreateChannel(pi.MainProc(), p); err != nil {
+			log.Fatal(err)
+		}
+		if hitsCh[i], err = pi.CreateChannel(p, pi.MainProc()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	bcast, err := pi.CreateBundle(pilot.Broadcast, samplesCh...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, err := pi.CreateBundle(pilot.Reduce, hitsCh...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if _, err := pi.StartAll(); err != nil {
+		log.Fatal(err)
+	}
+	if err := bcast.Broadcast("%d", *n); err != nil {
+		log.Fatal(err)
+	}
+	var hits, samples int
+	if err := sum.Reduce(pilot.Sum, "%d %d", &hits, &samples); err != nil {
+		log.Fatal(err)
+	}
+	if err := pi.StopMain(0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pi ~= %.6f from %d samples across %d workers\n",
+		4*float64(hits)/float64(samples), samples, *w)
+}

@@ -1,0 +1,153 @@
+// Pipeline: a three-stage flow using collectives and PI_Select — the
+// shape of the paper's thumbnail application in miniature. PI_MAIN
+// broadcasts a scale factor, scatters an array across stage-1 workers,
+// each worker transforms its portion and writes to a shared stage-2
+// combiner that uses PI_Select to take results as they become ready, and
+// the combiner reduces everything back to PI_MAIN.
+//
+//	go run ./examples/pipeline -pisvc=j
+//	go run ./cmd/jumpshot -ascii pipeline.clog2
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/pilot"
+)
+
+const (
+	workers = 4
+	perW    = 8 // elements per worker
+)
+
+func main() {
+	cfg := pilot.Config{CheckLevel: 3, JumpshotPath: "pipeline.clog2"}
+	rest, err := pilot.ParseArgs(&cfg, os.Args[1:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = rest
+	if cfg.NumProcs == 0 {
+		cfg.NumProcs = workers + 2 // main + workers + combiner
+		if cfg.HasService(pilot.SvcNativeLog) || cfg.HasService(pilot.SvcDeadlock) {
+			cfg.NumProcs++
+		}
+	}
+	pi, err := pilot.Configure(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var (
+		factorCh   = make([]*pilot.Channel, workers) // main -> worker: broadcast factor
+		dataCh     = make([]*pilot.Channel, workers) // main -> worker: scattered data
+		toComb     = make([]*pilot.Channel, workers) // worker -> combiner
+		combToMain *pilot.Channel
+	)
+
+	workerFunc := func(self *pilot.Self, index int, arg any) int {
+		var factor int
+		if err := factorCh[index].Read("%d", &factor); err != nil {
+			return 1
+		}
+		part := make([]float64, perW)
+		if err := dataCh[index].Read("%*lf", perW, part); err != nil {
+			return 1
+		}
+		for i := range part {
+			part[i] *= float64(factor)
+		}
+		if err := toComb[index].Write("%*lf", perW, part); err != nil {
+			return 1
+		}
+		return 0
+	}
+
+	combinerFunc := func(self *pilot.Self, index int, arg any) int {
+		self.SetName("Combiner")
+		sel := arg.(*pilot.Bundle)
+		total := 0.0
+		for done := 0; done < workers; done++ {
+			// Take results in arrival order, not channel order.
+			idx, err := sel.Select()
+			if err != nil {
+				return 1
+			}
+			part := make([]float64, perW)
+			if err := toComb[idx].Read("%*lf", perW, part); err != nil {
+				return 1
+			}
+			for _, v := range part {
+				total += v
+			}
+			self.Log(fmt.Sprintf("combined worker %d", idx))
+		}
+		if err := combToMain.Write("%lf", total); err != nil {
+			return 1
+		}
+		return 0
+	}
+
+	comb, err := pi.CreateProcess(combinerFunc, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < workers; i++ {
+		p, err := pi.CreateProcess(workerFunc, i, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if factorCh[i], err = pi.CreateChannel(pi.MainProc(), p); err != nil {
+			log.Fatal(err)
+		}
+		if dataCh[i], err = pi.CreateChannel(pi.MainProc(), p); err != nil {
+			log.Fatal(err)
+		}
+		if toComb[i], err = pi.CreateChannel(p, comb); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if combToMain, err = pi.CreateChannel(comb, pi.MainProc()); err != nil {
+		log.Fatal(err)
+	}
+	bcast, err := pi.CreateBundle(pilot.Broadcast, factorCh...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scatter, err := pi.CreateBundle(pilot.Scatter, dataCh...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel, err := pi.CreateBundle(pilot.Select, toComb...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comb.SetArg(sel)
+
+	if _, err := pi.StartAll(); err != nil {
+		log.Fatal(err)
+	}
+
+	data := make([]float64, workers*perW)
+	want := 0.0
+	for i := range data {
+		data[i] = float64(i)
+		want += 3 * data[i]
+	}
+	if err := bcast.Broadcast("%d", 3); err != nil {
+		log.Fatal(err)
+	}
+	if err := scatter.Scatter("%*lf", len(data), data); err != nil {
+		log.Fatal(err)
+	}
+	var total float64
+	if err := combToMain.Read("%lf", &total); err != nil {
+		log.Fatal(err)
+	}
+	if err := pi.StopMain(0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("combined total = %.1f (want %.1f)\n", total, want)
+}

@@ -1,0 +1,72 @@
+// Quickstart: the smallest possible Pilot program — one worker, one
+// channel each way, a greeting exchanged, and a visual log written so you
+// can see the exchange in Jumpshot form:
+//
+//	go run ./examples/quickstart
+//	go run ./cmd/jumpshot -ascii -legend quickstart.clog2
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/pilot"
+)
+
+func main() {
+	// PI_Configure: 2 processes (PI_MAIN + 1 worker), Jumpshot logging on.
+	cfg := pilot.Config{
+		NumProcs:     2,
+		Services:     "j",
+		CheckLevel:   3,
+		JumpshotPath: "quickstart.clog2",
+	}
+	pi, err := pilot.Configure(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Configuration phase: one worker and a channel in each direction.
+	var toWorker, fromWorker *pilot.Channel
+	worker, err := pi.CreateProcess(func(self *pilot.Self, index int, arg any) int {
+		var name string
+		if err := toWorker.Read("%s", &name); err != nil {
+			return 1
+		}
+		if err := fromWorker.Write("%s", "hello, "+name+"!"); err != nil {
+			return 1
+		}
+		return 0
+	}, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if toWorker, err = pi.CreateChannel(pi.MainProc(), worker); err != nil {
+		log.Fatal(err)
+	}
+	if fromWorker, err = pi.CreateChannel(worker, pi.MainProc()); err != nil {
+		log.Fatal(err)
+	}
+
+	// Execution phase: the worker runs; this goroutine continues as
+	// PI_MAIN.
+	if _, err := pi.StartAll(); err != nil {
+		log.Fatal(err)
+	}
+	if err := toWorker.Write("%s", "Pilot"); err != nil {
+		log.Fatal(err)
+	}
+	var reply string
+	if err := fromWorker.Read("%s", &reply); err != nil {
+		log.Fatal(err)
+	}
+	if err := pi.StopMain(0); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(reply)
+	fmt.Println("visual log written to quickstart.clog2 — view it with:")
+	fmt.Println("  go run ./cmd/jumpshot -ascii -legend quickstart.clog2")
+	os.Exit(0)
+}

@@ -1,0 +1,125 @@
+// Package clog2 implements a CLOG-2-style logfile format: the raw,
+// per-rank, append-only event log that MPE produces and that is later
+// converted to SLOG-2 for display ("the literature calls the conversion
+// approach preferred").
+//
+// A file is a header followed by per-rank blocks of time-stamped records —
+// state and event definitions, bare events, cargo events (with the MPE
+// 40-byte text limit), point-to-point message events, and timeshift
+// records from clock synchronisation — terminated by an end-log marker.
+// Like real CLOG-2, the file is unmerged and unsorted across ranks: sorting
+// and pairing are the converter's job, and diagnosing problems by reading
+// the raw records is exactly the use case the paper quotes for keeping the
+// two-step pipeline.
+package clog2
+
+// RecType identifies a record's body layout.
+type RecType uint8
+
+// Record types.
+const (
+	RecEndLog    RecType = iota // end of file
+	RecEndBlock                 // end of one rank's block
+	RecStateDef                 // define a state: id, colour, name
+	RecEventDef                 // define a solo event: id, colour, name
+	RecConstDef                 // named integer constant
+	RecBareEvt                  // event with no payload
+	RecCargoEvt                 // event with ≤40 bytes of text cargo
+	RecMsgEvt                   // message send or receive half
+	RecTimeShift                // clock-synchronisation offset applied to this rank
+	RecSrcLoc                   // source-location annotation
+	numRecTypes
+)
+
+// String implements fmt.Stringer.
+func (t RecType) String() string {
+	names := [...]string{"EndLog", "EndBlock", "StateDef", "EventDef",
+		"ConstDef", "BareEvt", "CargoEvt", "MsgEvt", "TimeShift", "SrcLoc"}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return "RecType(?)"
+}
+
+// MaxCargo is the cargo-text byte limit, matching MPE's 40-byte field (the
+// paper: "optional text (limited to 40 bytes)").
+const MaxCargo = 40
+
+// Message-event directions.
+const (
+	DirSend uint8 = 1
+	DirRecv uint8 = 2
+)
+
+// Record is one logged record. Which fields are meaningful depends on
+// Type; unused fields are zero. A flat struct rather than an interface
+// keeps the per-event logging cost at one append with no allocation.
+type Record struct {
+	Time float64
+	Rank int32
+	Type RecType
+
+	// StateDef: ID=state id, Aux1=start etype, Aux2=end etype.
+	// EventDef: ID=etype. ConstDef: ID=etype, Aux1=value.
+	// BareEvt/CargoEvt: ID=etype.
+	// MsgEvt: Dir, Aux1=peer rank, Aux2=tag, Aux3=size.
+	ID   int32
+	Aux1 int32
+	Aux2 int32
+	Aux3 int32
+	Dir  uint8
+
+	// Color and Name are used by definitions; Text carries event cargo
+	// (truncated to MaxCargo on write) and the filename for SrcLoc.
+	Color string
+	Name  string
+	Text  string
+
+	// Shift is the timeshift value for RecTimeShift records.
+	Shift float64
+}
+
+// File is a parsed CLOG-2 file.
+type File struct {
+	NumRanks int
+	// Blocks holds each rank's records in the order blocks appear in the
+	// file; one rank may own several blocks.
+	Blocks []Block
+}
+
+// Block is one rank's contiguous run of records.
+type Block struct {
+	Rank    int32
+	Records []Record
+}
+
+// Records returns every record from every block, in file order.
+func (f *File) Records() []Record {
+	var out []Record
+	for _, b := range f.Blocks {
+		out = append(out, b.Records...)
+	}
+	return out
+}
+
+// StateDefs returns the state definitions in file order.
+func (f *File) StateDefs() []Record {
+	var out []Record
+	for _, r := range f.Records() {
+		if r.Type == RecStateDef {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// EventDefs returns the solo-event definitions in file order.
+func (f *File) EventDefs() []Record {
+	var out []Record
+	for _, r := range f.Records() {
+		if r.Type == RecEventDef {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,388 @@
+package clog2
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Magic begins every file; the trailing digits are this format's version.
+const Magic = "CLOG-R0260"
+
+// Writer emits a CLOG-2 file incrementally: a header, then blocks of
+// records, then Close writes the end-log marker.
+type Writer struct {
+	w      *bufio.Writer
+	closed bool
+	err    error
+}
+
+// NewWriter writes the file header for numRanks ranks onto w.
+func NewWriter(w io.Writer, numRanks int) (*Writer, error) {
+	if numRanks < 1 {
+		return nil, fmt.Errorf("clog2: writer with %d ranks", numRanks)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int32(numRanks)); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// WriteBlock appends one rank's block of records.
+func (w *Writer) WriteBlock(rank int32, recs []Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return fmt.Errorf("clog2: write after Close")
+	}
+	if rank < 0 {
+		return fmt.Errorf("clog2: block with negative rank %d", rank)
+	}
+	// Ranks are shifted by +1 on the wire so a block header's first byte
+	// can never equal the RecEndLog marker (see decoder.peekType).
+	w.put32(rank + 1)
+	w.put32(int32(len(recs)))
+	for i := range recs {
+		w.writeRecord(&recs[i])
+	}
+	w.putType(RecEndBlock)
+	return w.err
+}
+
+// Flush pushes buffered bytes to the underlying writer without closing
+// the log: the write-through mode used by the abort-surviving spill files.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Close writes the end-log marker and flushes. The underlying writer is
+// not closed.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.putType(RecEndLog)
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+func (w *Writer) writeRecord(r *Record) {
+	w.putType(r.Type)
+	w.putF64(r.Time)
+	w.put32(r.Rank)
+	switch r.Type {
+	case RecStateDef:
+		w.put32(r.ID)
+		w.put32(r.Aux1)
+		w.put32(r.Aux2)
+		w.putStr(r.Color)
+		w.putStr(r.Name)
+	case RecEventDef:
+		w.put32(r.ID)
+		w.putStr(r.Color)
+		w.putStr(r.Name)
+	case RecConstDef:
+		w.put32(r.ID)
+		w.put32(r.Aux1)
+		w.putStr(r.Name)
+	case RecBareEvt:
+		w.put32(r.ID)
+	case RecCargoEvt:
+		w.put32(r.ID)
+		w.putStr(truncCargo(r.Text))
+	case RecMsgEvt:
+		w.putByte(r.Dir)
+		w.put32(r.Aux1)
+		w.put32(r.Aux2)
+		w.put32(r.Aux3)
+	case RecTimeShift:
+		w.putF64(r.Shift)
+	case RecSrcLoc:
+		w.put32(r.Aux1)
+		w.putStr(r.Text)
+	default:
+		w.fail(fmt.Errorf("clog2: cannot write record type %v", r.Type))
+	}
+}
+
+func truncCargo(s string) string {
+	if len(s) > MaxCargo {
+		return s[:MaxCargo]
+	}
+	return s
+}
+
+func (w *Writer) fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+func (w *Writer) putType(t RecType) { w.putByte(uint8(t)) }
+
+func (w *Writer) putByte(b uint8) {
+	if w.err != nil {
+		return
+	}
+	w.fail(w.w.WriteByte(b))
+}
+
+func (w *Writer) put32(v int32) {
+	if w.err != nil {
+		return
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(v))
+	_, err := w.w.Write(buf[:])
+	w.fail(err)
+}
+
+func (w *Writer) putF64(v float64) {
+	if w.err != nil {
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	_, err := w.w.Write(buf[:])
+	w.fail(err)
+}
+
+func (w *Writer) putStr(s string) {
+	if w.err != nil {
+		return
+	}
+	if len(s) > math.MaxUint16 {
+		w.fail(fmt.Errorf("clog2: string of %d bytes exceeds format limit", len(s)))
+		return
+	}
+	var buf [2]byte
+	binary.LittleEndian.PutUint16(buf[:], uint16(len(s)))
+	if _, err := w.w.Write(buf[:]); err != nil {
+		w.fail(err)
+		return
+	}
+	_, err := w.w.WriteString(s)
+	w.fail(err)
+}
+
+// ReadLenient parses as much of a CLOG-2 stream as possible: complete
+// blocks are returned even when the end-log marker is missing or the tail
+// is torn mid-block, as happens to spill files from an aborted program.
+// The second result reports whether the file was complete.
+func ReadLenient(r io.Reader) (*File, bool, error) {
+	f, err := Read(r)
+	if err == nil {
+		return f, true, nil
+	}
+	pf, ok := err.(*partialError)
+	if !ok {
+		return nil, false, err
+	}
+	return pf.file, false, nil
+}
+
+// Read parses a complete CLOG-2 file.
+func Read(r io.Reader) (*File, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("clog2: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("clog2: bad magic %q (not a CLOG-2 file?)", magic)
+	}
+	var nranks int32
+	if err := binary.Read(br, binary.LittleEndian, &nranks); err != nil {
+		return nil, fmt.Errorf("clog2: reading rank count: %w", err)
+	}
+	if nranks < 1 || nranks > 1<<20 {
+		return nil, fmt.Errorf("clog2: implausible rank count %d", nranks)
+	}
+	f := &File{NumRanks: int(nranks)}
+	d := &decoder{r: br}
+	partial := func(err error) (*File, error) {
+		return nil, &partialError{file: f, err: err}
+	}
+	for {
+		// Either a block header (rank, nrec) or the end-log marker.
+		t, err := d.peekType()
+		if err != nil {
+			return partial(err)
+		}
+		if t == RecEndLog {
+			d.getByte()
+			if d.err != nil {
+				return partial(d.err)
+			}
+			return f, nil
+		}
+		rank := d.get32() - 1 // undo the +1 wire shift
+		n := d.get32()
+		if d.err != nil {
+			return partial(d.err)
+		}
+		if n < 0 || n > 1<<28 {
+			return partial(fmt.Errorf("clog2: implausible record count %d", n))
+		}
+		b := Block{Rank: rank, Records: make([]Record, 0, n)}
+		for i := int32(0); i < n; i++ {
+			rec, err := d.readRecord()
+			if err != nil {
+				return partial(err)
+			}
+			b.Records = append(b.Records, rec)
+		}
+		if tt := RecType(d.getByte()); d.err == nil && tt != RecEndBlock {
+			return partial(fmt.Errorf("clog2: block for rank %d not terminated (got %v)", rank, tt))
+		}
+		if d.err != nil {
+			return partial(d.err)
+		}
+		f.Blocks = append(f.Blocks, b)
+	}
+}
+
+// partialError carries the complete blocks parsed before a failure, so
+// ReadLenient can salvage torn spill files.
+type partialError struct {
+	file *File
+	err  error
+}
+
+func (e *partialError) Error() string { return e.err.Error() }
+func (e *partialError) Unwrap() error { return e.err }
+
+type decoder struct {
+	r   *bufio.Reader
+	err error
+}
+
+// peekType distinguishes an end-log byte from a block header. A block
+// header begins with a rank int32 whose first byte could collide with
+// RecEndLog (0); disambiguate by peeking 1 byte and treating exactly the
+// single-byte RecEndLog value followed by EOF-or-anything as end only when
+// the next 8 bytes cannot form a header. To avoid that ambiguity entirely,
+// block ranks are written shifted by +1 on the wire.
+func (d *decoder) peekType() (RecType, error) {
+	b, err := d.r.Peek(1)
+	if err != nil {
+		return 0, fmt.Errorf("clog2: truncated file: %w", err)
+	}
+	if b[0] == uint8(RecEndLog) {
+		return RecEndLog, nil
+	}
+	return RecEndBlock, nil // "not end-log"; caller reads the header
+}
+
+func (d *decoder) readRecord() (Record, error) {
+	var r Record
+	r.Type = RecType(d.getByte())
+	r.Time = d.getF64()
+	r.Rank = d.get32()
+	switch r.Type {
+	case RecStateDef:
+		r.ID = d.get32()
+		r.Aux1 = d.get32()
+		r.Aux2 = d.get32()
+		r.Color = d.getStr()
+		r.Name = d.getStr()
+	case RecEventDef:
+		r.ID = d.get32()
+		r.Color = d.getStr()
+		r.Name = d.getStr()
+	case RecConstDef:
+		r.ID = d.get32()
+		r.Aux1 = d.get32()
+		r.Name = d.getStr()
+	case RecBareEvt:
+		r.ID = d.get32()
+	case RecCargoEvt:
+		r.ID = d.get32()
+		r.Text = d.getStr()
+	case RecMsgEvt:
+		r.Dir = d.getByte()
+		r.Aux1 = d.get32()
+		r.Aux2 = d.get32()
+		r.Aux3 = d.get32()
+	case RecTimeShift:
+		r.Shift = d.getF64()
+	case RecSrcLoc:
+		r.Aux1 = d.get32()
+		r.Text = d.getStr()
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("clog2: unknown record type %d", r.Type)
+		}
+	}
+	return r, d.err
+}
+
+func (d *decoder) getByte() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	b, err := d.r.ReadByte()
+	if err != nil {
+		d.err = fmt.Errorf("clog2: truncated file: %w", err)
+		return 0
+	}
+	return b
+}
+
+func (d *decoder) get32() int32 {
+	if d.err != nil {
+		return 0
+	}
+	var buf [4]byte
+	if _, err := io.ReadFull(d.r, buf[:]); err != nil {
+		d.err = fmt.Errorf("clog2: truncated file: %w", err)
+		return 0
+	}
+	return int32(binary.LittleEndian.Uint32(buf[:]))
+}
+
+func (d *decoder) getF64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(d.r, buf[:]); err != nil {
+		d.err = fmt.Errorf("clog2: truncated file: %w", err)
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+}
+
+func (d *decoder) getStr() string {
+	if d.err != nil {
+		return ""
+	}
+	var buf [2]byte
+	if _, err := io.ReadFull(d.r, buf[:]); err != nil {
+		d.err = fmt.Errorf("clog2: truncated file: %w", err)
+		return ""
+	}
+	n := binary.LittleEndian.Uint16(buf[:])
+	s := make([]byte, n)
+	if _, err := io.ReadFull(d.r, s); err != nil {
+		d.err = fmt.Errorf("clog2: truncated file: %w", err)
+		return ""
+	}
+	return string(s)
+}

@@ -1,0 +1,280 @@
+// Package collisions reproduces the paper's second course assignment
+// (Section IV.B): read a large CSV of automotive-collision records in
+// parallel, "with different worker processes starting from different file
+// offsets, and then carry out a series of queries in parallel, merging
+// the results". The paper used a 316 MB Canadian collision dataset; this
+// package generates a synthetic equivalent whose parsing cost plays the
+// same role.
+//
+// Three program variants are provided:
+//
+//   - RunFixed — the intended solution: workers parse their own file
+//     segment concurrently, and each query round issues all PI_Writes
+//     before any PI_Read.
+//   - RunInstanceA — the first student bug (Fig. 4): file segments are
+//     shipped to workers one at a time (partially overlapping I/O), and
+//     query processing interleaves a PI_Write/PI_Read pair per worker,
+//     inadvertently serializing the calculations.
+//   - RunInstanceB — the second student bug (Fig. 5): PI_MAIN parses the
+//     whole file itself during a long initialisation while the workers
+//     sit idle, so the total run time barely changes with worker count.
+//
+// All three produce identical query answers — "these were not bugs in the
+// sense of causing incorrect results, but they were bugs in
+// parallelization".
+package collisions
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Record is one collision row.
+type Record struct {
+	ID         int
+	Year       int
+	Severity   int // 1..5
+	Vehicles   int
+	Fatalities int
+	Region     int // 0..12
+}
+
+// Years covered by the synthetic dataset.
+const (
+	MinYear = 1999
+	MaxYear = 2014
+)
+
+// GenerateCSV produces n deterministic collision rows as CSV bytes with a
+// header line, standing in for the paper's 316 MB dataset.
+func GenerateCSV(n int, seed int64) []byte {
+	var b bytes.Buffer
+	b.Grow(n * 32)
+	b.WriteString("id,year,severity,vehicles,fatalities,region\n")
+	s := uint64(seed)*0x9e3779b97f4a7c15 + 1
+	next := func(mod uint64) uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s % mod
+	}
+	for i := 0; i < n; i++ {
+		year := MinYear + int(next(MaxYear-MinYear+1))
+		sev := 1 + int(next(5))
+		veh := 1 + int(next(4))
+		fat := 0
+		if sev >= 4 {
+			fat = int(next(3))
+		}
+		region := int(next(13))
+		fmt.Fprintf(&b, "%d,%d,%d,%d,%d,%d\n", i, year, sev, veh, fat, region)
+	}
+	return b.Bytes()
+}
+
+// ParseSegment parses the CSV rows fully contained in data (which must
+// begin at a line boundary). This is the workers' "file reading" compute.
+func ParseSegment(data []byte) ([]Record, error) {
+	var out []Record
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		var line []byte
+		if nl < 0 {
+			line, data = data, nil
+		} else {
+			line, data = data[:nl], data[nl+1:]
+		}
+		if len(line) == 0 || line[0] == 'i' { // header or blank
+			continue
+		}
+		rec, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func parseLine(line []byte) (Record, error) {
+	var fields [6]int
+	fi := 0
+	start := 0
+	for i := 0; i <= len(line); i++ {
+		if i == len(line) || line[i] == ',' {
+			if fi >= 6 {
+				return Record{}, fmt.Errorf("collisions: too many fields in %q", line)
+			}
+			v, err := strconv.Atoi(string(line[start:i]))
+			if err != nil {
+				return Record{}, fmt.Errorf("collisions: bad field %d in %q: %v", fi, line, err)
+			}
+			fields[fi] = v
+			fi++
+			start = i + 1
+		}
+	}
+	if fi != 6 {
+		return Record{}, fmt.Errorf("collisions: %d fields in %q, want 6", fi, line)
+	}
+	return Record{ID: fields[0], Year: fields[1], Severity: fields[2],
+		Vehicles: fields[3], Fatalities: fields[4], Region: fields[5]}, nil
+}
+
+// SegmentOffsets splits data into n segments aligned to line boundaries,
+// skipping the header: the "different file offsets" the assignment calls
+// for. It returns n [start, end) pairs covering all rows.
+func SegmentOffsets(data []byte, n int) [][2]int {
+	header := bytes.IndexByte(data, '\n') + 1
+	body := data[header:]
+	out := make([][2]int, 0, n)
+	prev := header
+	for i := 1; i <= n; i++ {
+		target := header + len(body)*i/n
+		if i == n {
+			target = len(data)
+		} else {
+			// Advance to the next line boundary.
+			for target < len(data) && data[target-1] != '\n' {
+				target++
+			}
+		}
+		if target < prev {
+			target = prev
+		}
+		out = append(out, [2]int{prev, target})
+		prev = target
+	}
+	return out
+}
+
+// Query is one analysis over the dataset. The paper's assignment ran "a
+// series of queries in parallel, merging the results".
+type Query struct {
+	// Severity filters rows (0 = all).
+	Severity int
+	// YearFrom/YearTo bound the year range inclusive.
+	YearFrom, YearTo int
+	// Cost adds per-matching-row floating-point work so query time is
+	// measurable (the knob that makes instance A's serialization visible).
+	Cost int
+	// SleepPerRow adds per-matching-row think time. Floating-point burn
+	// cannot show wall-clock parallelism on a machine with fewer cores
+	// than workers; think time can, so the scaling experiments use it.
+	SleepPerRow time.Duration
+}
+
+// QueryResult is a partial or merged query answer.
+type QueryResult struct {
+	Rows       int
+	Fatalities int
+	Vehicles   int
+	// Checksum accumulates the artificial per-row work so it cannot be
+	// optimised away.
+	Checksum float64
+}
+
+// Merge combines partial results.
+func (q *QueryResult) Merge(o QueryResult) {
+	q.Rows += o.Rows
+	q.Fatalities += o.Fatalities
+	q.Vehicles += o.Vehicles
+	q.Checksum += o.Checksum
+}
+
+// RunQuery evaluates one query over a record slice.
+func RunQuery(recs []Record, q Query) QueryResult {
+	var res QueryResult
+	for _, r := range recs {
+		if q.Severity != 0 && r.Severity != q.Severity {
+			continue
+		}
+		if r.Year < q.YearFrom || r.Year > q.YearTo {
+			continue
+		}
+		res.Rows++
+		res.Fatalities += r.Fatalities
+		res.Vehicles += r.Vehicles
+		x := float64(r.ID%97) + 1
+		for k := 0; k < q.Cost; k++ {
+			x = math.Sqrt(x*1.7 + float64(k))
+		}
+		res.Checksum += x
+	}
+	if q.SleepPerRow > 0 && res.Rows > 0 {
+		time.Sleep(time.Duration(res.Rows) * q.SleepPerRow)
+	}
+	return res
+}
+
+// StandardQueries returns the assignment's query series.
+func StandardQueries(cost int) []Query {
+	qs := make([]Query, 0, 6)
+	for sev := 1; sev <= 5; sev++ {
+		qs = append(qs, Query{Severity: sev, YearFrom: MinYear, YearTo: MaxYear, Cost: cost})
+	}
+	qs = append(qs, Query{YearFrom: 2005, YearTo: 2010, Cost: cost})
+	return qs
+}
+
+// Config sizes one run.
+type Config struct {
+	// Workers is the number of query processes.
+	Workers int
+	// Rows is the dataset size (the paper's file scaled down).
+	Rows int
+	// Seed varies the dataset.
+	Seed int64
+	// QueryCost is per-row artificial work (default 40).
+	QueryCost int
+	// QuerySleepPerRow is per-matching-row think time during queries; see
+	// Query.SleepPerRow.
+	QuerySleepPerRow time.Duration
+	// ReadSleepPerRow adds per-row think time to segment parsing,
+	// modelling the I/O cost of the paper's 316 MB file on top of the
+	// real strconv work.
+	ReadSleepPerRow time.Duration
+	// Core carries Pilot options; NumProcs is computed.
+	Core core.Config
+}
+
+// Result reports one run.
+type Result struct {
+	// Elapsed excludes the MPE wrap-up, as in the paper's tables.
+	Elapsed time.Duration
+	// ReadPhase and QueryPhase split the run the way Fig. 4's caption
+	// does ("file reading runs from 0 to 1.1 seconds, then query
+	// processing continues on to 2 seconds").
+	ReadPhase  time.Duration
+	QueryPhase time.Duration
+	// Answers are the merged query results, identical across variants.
+	Answers []QueryResult
+	// Runtime exposes the finished Pilot runtime.
+	Runtime *core.Runtime
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.Rows < c.Workers {
+		c.Rows = c.Workers
+	}
+	if c.QueryCost == 0 {
+		c.QueryCost = 40
+	}
+	return c
+}
+
+func (c Config) numProcs() int {
+	n := 1 + c.Workers
+	if c.Core.HasService(core.SvcNativeLog) || c.Core.HasService(core.SvcDeadlock) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,392 @@
+package collisions
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// harness wires W workers with one channel in each direction and runs the
+// common lifecycle around a variant's main body.
+type harness struct {
+	r     *core.Runtime
+	toW   []*core.Channel
+	fromW []*core.Channel
+}
+
+func newHarness(cfg Config, fn core.WorkFunc) (*harness, error) {
+	cc := cfg.Core
+	cc.NumProcs = cfg.numProcs()
+	r, err := core.NewRuntime(cc)
+	if err != nil {
+		return nil, err
+	}
+	h := &harness{r: r,
+		toW:   make([]*core.Channel, cfg.Workers),
+		fromW: make([]*core.Channel, cfg.Workers)}
+	for i := 0; i < cfg.Workers; i++ {
+		p, err := r.CreateProcess(fn, i, nil)
+		if err != nil {
+			return nil, err
+		}
+		p.SetName(fmt.Sprintf("W%d", i+1))
+		if h.toW[i], err = r.CreateChannel(r.MainProc(), p); err != nil {
+			return nil, err
+		}
+		if h.fromW[i], err = r.CreateChannel(p, r.MainProc()); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// workerQueryLoop answers nq queries on the given record slice; shared by
+// every variant (the bugs are all on PI_MAIN's side).
+func workerQueryLoop(toW, fromW *core.Channel, recs []Record) error {
+	var nq int
+	if err := toW.Read("%d", &nq); err != nil {
+		return err
+	}
+	for q := 0; q < nq; q++ {
+		var sev, yFrom, yTo, cost int
+		var sleepNS int64
+		if err := toW.Read("%d %d %d %d %ld", &sev, &yFrom, &yTo, &cost, &sleepNS); err != nil {
+			return err
+		}
+		res := RunQuery(recs, Query{Severity: sev, YearFrom: yFrom, YearTo: yTo,
+			Cost: cost, SleepPerRow: time.Duration(sleepNS)})
+		if err := fromW.Write("%d %d %d %lf", res.Rows, res.Fatalities, res.Vehicles, res.Checksum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sendQuery(toW *core.Channel, q Query) error {
+	return toW.Write("%d %d %d %d %ld", q.Severity, q.YearFrom, q.YearTo, q.Cost, int64(q.SleepPerRow))
+}
+
+func recvPartial(fromW *core.Channel) (QueryResult, error) {
+	var res QueryResult
+	err := fromW.Read("%d %d %d %lf", &res.Rows, &res.Fatalities, &res.Vehicles, &res.Checksum)
+	return res, err
+}
+
+// RunFixed is the intended solution: workers parse their file segments
+// concurrently (each starting from its own offset), and every query round
+// issues all the PI_Writes before any PI_Read, so the workers compute in
+// parallel.
+func RunFixed(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	data := GenerateCSV(cfg.Rows, cfg.Seed)
+	offsets := SegmentOffsets(data, cfg.Workers)
+	queries := StandardQueries(cfg.QueryCost)
+	for i := range queries {
+		queries[i].SleepPerRow = cfg.QuerySleepPerRow
+	}
+
+	var h *harness
+	worker := func(self *core.Self, index int, arg any) int {
+		var start, end int
+		if err := h.toW[index].Read("%d %d", &start, &end); err != nil {
+			return 1
+		}
+		// "Different worker processes starting from different file
+		// offsets": the shared byte slice stands in for the file on disk.
+		recs, err := ParseSegment(data[start:end])
+		if err != nil {
+			self.Abort(3, err.Error())
+			return 1
+		}
+		readSleep(cfg, len(recs))
+		if err := h.fromW[index].Write("%d", len(recs)); err != nil {
+			return 1
+		}
+		if err := workerQueryLoop(h.toW[index], h.fromW[index], recs); err != nil {
+			return 1
+		}
+		return 0
+	}
+	var err error
+	if h, err = newHarness(cfg, worker); err != nil {
+		return nil, err
+	}
+	if _, err := h.r.StartAll(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	// Read phase: all offsets out, then all acknowledgements in.
+	for i := 0; i < cfg.Workers; i++ {
+		if err := h.toW[i].Write("%d %d", offsets[i][0], offsets[i][1]); err != nil {
+			return nil, err
+		}
+	}
+	totalRows := 0
+	for i := 0; i < cfg.Workers; i++ {
+		var rows int
+		if err := h.fromW[i].Read("%d", &rows); err != nil {
+			return nil, err
+		}
+		totalRows += rows
+	}
+	readPhase := time.Since(start)
+	if totalRows != cfg.Rows {
+		return nil, fmt.Errorf("collisions: workers parsed %d rows, dataset has %d", totalRows, cfg.Rows)
+	}
+
+	// Query phase: all writes before all reads, per round.
+	qStart := time.Now()
+	answers, err := runQueriesParallel(h, cfg.Workers, queries)
+	if err != nil {
+		return nil, err
+	}
+	queryPhase := time.Since(qStart)
+
+	if err := h.r.StopMain(0); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Elapsed:    time.Since(start) - h.r.WrapUpTime(),
+		ReadPhase:  readPhase,
+		QueryPhase: queryPhase,
+		Answers:    answers,
+		Runtime:    h.r,
+	}, nil
+}
+
+func runQueriesParallel(h *harness, workers int, queries []Query) ([]QueryResult, error) {
+	for i := 0; i < workers; i++ {
+		if err := h.toW[i].Write("%d", len(queries)); err != nil {
+			return nil, err
+		}
+	}
+	answers := make([]QueryResult, len(queries))
+	for qi, q := range queries {
+		for i := 0; i < workers; i++ {
+			if err := sendQuery(h.toW[i], q); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < workers; i++ {
+			part, err := recvPartial(h.fromW[i])
+			if err != nil {
+				return nil, err
+			}
+			answers[qi].Merge(part)
+		}
+	}
+	return answers, nil
+}
+
+// RunInstanceA is the first student submission (Fig. 4): PI_MAIN ships
+// each worker's file segment over its channel one worker at a time, so
+// the read phase only partially overlaps; and during query processing it
+// calls a PI_Write/PI_Read pair per worker in a loop "instead of all the
+// PI_Writes followed by all the PI_Reads. Thus, the program inadvertently
+// serialized the calculations and the workers never did query processing
+// in parallel at all."
+func RunInstanceA(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	data := GenerateCSV(cfg.Rows, cfg.Seed)
+	offsets := SegmentOffsets(data, cfg.Workers)
+	queries := StandardQueries(cfg.QueryCost)
+	for i := range queries {
+		queries[i].SleepPerRow = cfg.QuerySleepPerRow
+	}
+
+	var h *harness
+	worker := func(self *core.Self, index int, arg any) int {
+		var seg []byte
+		if err := h.toW[index].Read("%^c", &seg); err != nil {
+			return 1
+		}
+		recs, err := ParseSegment(seg)
+		if err != nil {
+			self.Abort(3, err.Error())
+			return 1
+		}
+		readSleep(cfg, len(recs))
+		if err := h.fromW[index].Write("%d", len(recs)); err != nil {
+			return 1
+		}
+		if err := workerQueryLoop(h.toW[index], h.fromW[index], recs); err != nil {
+			return 1
+		}
+		return 0
+	}
+	var err error
+	if h, err = newHarness(cfg, worker); err != nil {
+		return nil, err
+	}
+	if _, err := h.r.StartAll(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	// Read phase, the I/O bug: big rendezvous transfers one at a time, so
+	// worker i+1 cannot start receiving before worker i has its data.
+	totalRows := 0
+	for i := 0; i < cfg.Workers; i++ {
+		seg := data[offsets[i][0]:offsets[i][1]]
+		if err := h.toW[i].Write("%^c", seg); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		var rows int
+		if err := h.fromW[i].Read("%d", &rows); err != nil {
+			return nil, err
+		}
+		totalRows += rows
+	}
+	readPhase := time.Since(start)
+	if totalRows != cfg.Rows {
+		return nil, fmt.Errorf("collisions: workers parsed %d rows, dataset has %d", totalRows, cfg.Rows)
+	}
+
+	// Query phase, the serialization bug: write/read pairs per worker.
+	qStart := time.Now()
+	for i := 0; i < cfg.Workers; i++ {
+		if err := h.toW[i].Write("%d", len(queries)); err != nil {
+			return nil, err
+		}
+	}
+	answers := make([]QueryResult, len(queries))
+	for qi, q := range queries {
+		for i := 0; i < cfg.Workers; i++ {
+			if err := sendQuery(h.toW[i], q); err != nil {
+				return nil, err
+			}
+			part, err := recvPartial(h.fromW[i]) // <- the bug: immediate read
+			if err != nil {
+				return nil, err
+			}
+			answers[qi].Merge(part)
+		}
+	}
+	queryPhase := time.Since(qStart)
+
+	if err := h.r.StopMain(0); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Elapsed:    time.Since(start) - h.r.WrapUpTime(),
+		ReadPhase:  readPhase,
+		QueryPhase: queryPhase,
+		Answers:    answers,
+		Runtime:    h.r,
+	}, nil
+}
+
+// RunInstanceB is the second student submission (Fig. 5): "the workers
+// were kept waiting till PI_MAIN did 11 seconds of initialization" — main
+// parses the entire file itself, then distributes the parsed records, so
+// "the total run time always stayed nearly the same (since the
+// calculations were fast)".
+func RunInstanceB(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	data := GenerateCSV(cfg.Rows, cfg.Seed)
+	queries := StandardQueries(cfg.QueryCost)
+	for i := range queries {
+		queries[i].SleepPerRow = cfg.QuerySleepPerRow
+	}
+
+	var h *harness
+	worker := func(self *core.Self, index int, arg any) int {
+		var flat []int
+		if err := h.toW[index].Read("%^d", &flat); err != nil {
+			return 1
+		}
+		recs := unflattenRecords(flat)
+		if err := h.fromW[index].Write("%d", len(recs)); err != nil {
+			return 1
+		}
+		if err := workerQueryLoop(h.toW[index], h.fromW[index], recs); err != nil {
+			return 1
+		}
+		return 0
+	}
+	var err error
+	if h, err = newHarness(cfg, worker); err != nil {
+		return nil, err
+	}
+	if _, err := h.r.StartAll(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	// The bug: PI_MAIN does all the reading itself while workers idle.
+	recs, err := ParseSegment(data)
+	if err != nil {
+		return nil, err
+	}
+	readSleep(cfg, len(recs))
+	totalRows := 0
+	per := len(recs) / cfg.Workers
+	for i := 0; i < cfg.Workers; i++ {
+		lo := i * per
+		hi := lo + per
+		if i == cfg.Workers-1 {
+			hi = len(recs)
+		}
+		if err := h.toW[i].Write("%^d", flattenRecords(recs[lo:hi])); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		var rows int
+		if err := h.fromW[i].Read("%d", &rows); err != nil {
+			return nil, err
+		}
+		totalRows += rows
+	}
+	readPhase := time.Since(start)
+	if totalRows != cfg.Rows {
+		return nil, fmt.Errorf("collisions: workers got %d rows, dataset has %d", totalRows, cfg.Rows)
+	}
+
+	qStart := time.Now()
+	answers, err := runQueriesParallel(h, cfg.Workers, queries)
+	if err != nil {
+		return nil, err
+	}
+	queryPhase := time.Since(qStart)
+
+	if err := h.r.StopMain(0); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Elapsed:    time.Since(start) - h.r.WrapUpTime(),
+		ReadPhase:  readPhase,
+		QueryPhase: queryPhase,
+		Answers:    answers,
+		Runtime:    h.r,
+	}, nil
+}
+
+func flattenRecords(recs []Record) []int {
+	out := make([]int, 0, len(recs)*6)
+	for _, r := range recs {
+		out = append(out, r.ID, r.Year, r.Severity, r.Vehicles, r.Fatalities, r.Region)
+	}
+	return out
+}
+
+func unflattenRecords(flat []int) []Record {
+	out := make([]Record, 0, len(flat)/6)
+	for i := 0; i+5 < len(flat); i += 6 {
+		out = append(out, Record{ID: flat[i], Year: flat[i+1], Severity: flat[i+2],
+			Vehicles: flat[i+3], Fatalities: flat[i+4], Region: flat[i+5]})
+	}
+	return out
+}
+
+// readSleep models the file-I/O share of segment reading: think time
+// proportional to rows parsed (see Config.ReadSleepPerRow).
+func readSleep(cfg Config, rows int) {
+	if cfg.ReadSleepPerRow > 0 && rows > 0 {
+		time.Sleep(time.Duration(rows) * cfg.ReadSleepPerRow)
+	}
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fmtspec"
+	"repro/internal/mpi"
+)
+
+// Channel is a one-way, typed, point-to-point conduit between two Pilot
+// processes (PI_CHANNEL*). Channels are created during the configuration
+// phase; the process at the `to` end calls Read, the `from` end calls
+// Write. Every conversion spec in a format travels as its own wire
+// message, exactly like Pilot over MPI ("a single PI_Read may involve
+// multiple messages").
+type Channel struct {
+	r        *Runtime
+	id       int // wire tag; 1-based
+	from, to *Process
+
+	nameMu sync.Mutex
+	name   string
+
+	bundle *Bundle // non-nil once claimed by a bundle
+}
+
+// ID returns the channel's identifier (also its MPI tag).
+func (c *Channel) ID() int { return c.id }
+
+// From returns the writing-end process.
+func (c *Channel) From() *Process { return c.from }
+
+// To returns the reading-end process.
+func (c *Channel) To() *Process { return c.to }
+
+// Name returns the display name (default "C<id>").
+func (c *Channel) Name() string {
+	c.nameMu.Lock()
+	defer c.nameMu.Unlock()
+	return c.name
+}
+
+// SetName assigns a meaningful display name (PI_SetName on a channel).
+func (c *Channel) SetName(name string) {
+	c.nameMu.Lock()
+	c.name = name
+	c.nameMu.Unlock()
+}
+
+// CreateChannel is PI_CreateChannel: a channel from `from` to `to`. Only
+// legal in the configuration phase.
+func (r *Runtime) CreateChannel(from, to *Process) (*Channel, error) {
+	loc := callerLoc(1)
+	if err := r.requirePhase("PI_CreateChannel", loc, phaseConfig); err != nil {
+		return nil, err
+	}
+	if from == nil || to == nil {
+		return nil, errorf("PI_CreateChannel", loc, "nil process endpoint")
+	}
+	if from.r != r || to.r != r {
+		return nil, errorf("PI_CreateChannel", loc, "process belongs to a different Pilot runtime")
+	}
+	if from == to {
+		return nil, errorf("PI_CreateChannel", loc, "channel endpoints must differ (%s to itself)", from.Name())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := &Channel{r: r, id: len(r.channels) + 1, from: from, to: to}
+	c.name = fmt.Sprintf("C%d", c.id)
+	r.channels = append(r.channels, c)
+	return c, nil
+}
+
+// parseFormat parses with a per-runtime cache; formats are tiny but parsed
+// on every call otherwise.
+func (r *Runtime) parseFormat(op, loc, format string) ([]fmtspec.Spec, error) {
+	if v, ok := r.formatCache.Load(format); ok {
+		return v.([]fmtspec.Spec), nil
+	}
+	specs, err := fmtspec.Parse(format)
+	if err != nil {
+		return nil, errorf(op, loc, "%v", err)
+	}
+	r.formatCache.Store(format, specs)
+	return specs, nil
+}
+
+// frameMessage prepends the canonical conversion spec to a payload. The
+// header lets error-check level 2 verify "that reader and writer format
+// strings match" without a separate exchange.
+func frameMessage(spec string, payload []byte) []byte {
+	msg := make([]byte, 2+len(spec)+len(payload))
+	binary.LittleEndian.PutUint16(msg, uint16(len(spec)))
+	copy(msg[2:], spec)
+	copy(msg[2+len(spec):], payload)
+	return msg
+}
+
+func parseFrame(b []byte) (spec string, payload []byte, err error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("short message frame (%d bytes)", len(b))
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	if len(b) < 2+n {
+		return "", nil, fmt.Errorf("message frame truncated")
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}
+
+// Write is PI_Write: encode each conversion of format from args and send
+// it down the channel. Writing has "an interprocess synchronization effect
+// — signalling to wake up a waiting reader — as well as a communication
+// effect"; large payloads additionally rendezvous with the reader.
+func (c *Channel) Write(format string, args ...any) error {
+	return c.write("PI_Write", callerLoc(1), format, args)
+}
+
+func (c *Channel) write(op, loc, format string, args []any) error {
+	r := c.r
+	if err := r.requirePhase(op, loc, phaseRunning); err != nil {
+		return err
+	}
+	specs, err := r.parseFormat(op, loc, format)
+	if err != nil {
+		return err
+	}
+	if r.cfg.CheckLevel >= 3 {
+		if err := validateWriteArgs(specs, args); err != nil {
+			return errorf(op, loc, "%v", err)
+		}
+	}
+	log := r.logger(c.from.rank)
+	if log.Enabled() {
+		log.StateStart(r.states[op], truncTo(fmt.Sprintf(
+			"line: %s proc: %s idx: %d", loc, c.from.Name(), c.from.index), 40))
+		defer log.StateEnd(r.states[op], "")
+	}
+	r.nativeLog(c.from.rank, fmt.Sprintf("%s %s chan %s fmt %q %s",
+		c.from.Name(), op, c.Name(), format, loc))
+
+	i := 0
+	for _, spec := range specs {
+		payload, consumed, err := fmtspec.Encode(spec, args[i:])
+		if err != nil {
+			return errorf(op, loc, "%v", err)
+		}
+		i += consumed
+		if err := c.sendOne(op, loc, spec, payload, log.Enabled()); err != nil {
+			return err
+		}
+	}
+	if i != len(args) {
+		return errorf(op, loc, "format %q consumed %d arguments, %d supplied", format, i, len(args))
+	}
+	return nil
+}
+
+// sendOne ships one conversion's payload, with deadlock-detector
+// notifications around the potentially blocking send and the MPE message
+// record and output-side bubble ("the data length and the value of the
+// first element are also shown").
+func (c *Channel) sendOne(op, loc string, spec fmtspec.Spec, payload []byte, logOn bool) error {
+	r := c.r
+	msg := frameMessage(spec.String(), payload)
+	log := r.logger(c.from.rank)
+	if logOn {
+		log.LogSend(c.to.rank, c.id, len(msg))
+		log.Event(r.events["MsgDeparture"], truncTo(
+			fmt.Sprintf("chan: %s %s", c.Name(), fmtspec.Describe(spec, payload)), 40))
+	}
+	r.svcWait(c.from.rank, op, []int{c.to.rank}, false, loc)
+	err := r.world.Rank(c.from.rank).Send(c.to.rank, c.id, msg)
+	r.svcDone(c.from.rank)
+	if err != nil {
+		return errorf(op, loc, "send on %s: %v", c.Name(), err)
+	}
+	return nil
+}
+
+// Read is PI_Read: block until each conversion's message arrives and
+// decode it into args. "Reading always blocks in Pilot"; the arrival of
+// each wire message drops a bubble into the visual log marking the moment
+// the message arrived, with the channel name in its popup.
+func (c *Channel) Read(format string, args ...any) error {
+	return c.read("PI_Read", callerLoc(1), format, args)
+}
+
+func (c *Channel) read(op, loc, format string, args []any) error {
+	r := c.r
+	if err := r.requirePhase(op, loc, phaseRunning); err != nil {
+		return err
+	}
+	specs, err := r.parseFormat(op, loc, format)
+	if err != nil {
+		return err
+	}
+	if r.cfg.CheckLevel >= 3 {
+		if err := validateReadArgs(specs, args); err != nil {
+			return errorf(op, loc, "%v", err)
+		}
+	}
+	log := r.logger(c.to.rank)
+	if log.Enabled() {
+		log.StateStart(r.states[op], truncTo(fmt.Sprintf(
+			"line: %s proc: %s idx: %d", loc, c.to.Name(), c.to.index), 40))
+		defer log.StateEnd(r.states[op], "")
+	}
+	r.nativeLog(c.to.rank, fmt.Sprintf("%s %s chan %s fmt %q %s",
+		c.to.Name(), op, c.Name(), format, loc))
+
+	i := 0
+	for si, spec := range specs {
+		m, err := c.recvOne(op, loc)
+		if err != nil {
+			return err
+		}
+		wireFmt, payload, err := parseFrame(m.Data)
+		if err != nil {
+			return errorf(op, loc, "on %s: %v", c.Name(), err)
+		}
+		if log.Enabled() {
+			log.LogRecv(c.from.rank, c.id, len(m.Data))
+			log.Event(r.events["MsgArrival"], truncTo(
+				fmt.Sprintf("chan: %s msg: %d/%d", c.Name(), si+1, len(specs)), 40))
+		}
+		if r.cfg.CheckLevel >= 2 {
+			if err := checkWireFormat(wireFmt, spec); err != nil {
+				return errorf(op, loc, "on %s: %v", c.Name(), err)
+			}
+		}
+		consumed, err := fmtspec.Decode(spec, payload, args[i:])
+		if err != nil {
+			return errorf(op, loc, "on %s: %v", c.Name(), err)
+		}
+		i += consumed
+	}
+	if i != len(args) {
+		return errorf(op, loc, "format %q consumed %d arguments, %d supplied", format, i, len(args))
+	}
+	return nil
+}
+
+// recvOne receives one wire message, announcing the wait to the deadlock
+// detector only when no data is already queued (so buffered traffic from
+// an exited writer never looks like a deadlock).
+func (c *Channel) recvOne(op, loc string) (mpi.Message, error) {
+	r := c.r
+	rank := r.world.Rank(c.to.rank)
+	if r.detectorOn() {
+		if _, ok, _ := rank.Iprobe(c.from.rank, c.id); !ok {
+			r.svcWait(c.to.rank, op, []int{c.from.rank}, false, loc)
+			m, err := rank.Recv(c.from.rank, c.id)
+			r.svcDone(c.to.rank)
+			if err != nil {
+				return m, errorf(op, loc, "receive on %s: %v", c.Name(), err)
+			}
+			return m, nil
+		}
+	}
+	m, err := rank.Recv(c.from.rank, c.id)
+	if err != nil {
+		return m, errorf(op, loc, "receive on %s: %v", c.Name(), err)
+	}
+	return m, nil
+}
+
+// checkWireFormat implements error-check level 2: the reader's spec must
+// be compatible with what the writer actually sent.
+func checkWireFormat(wireFmt string, readerSpec fmtspec.Spec) error {
+	wspecs, err := fmtspec.Parse(wireFmt)
+	if err != nil {
+		return fmt.Errorf("undecodable wire format %q: %v", wireFmt, err)
+	}
+	return fmtspec.Compatible(wspecs, []fmtspec.Spec{readerSpec})
+}
+
+// HasData is PI_ChannelHasData: a non-blocking check whether a Read would
+// find at least one message waiting. Logged as a bubble with the result in
+// the popup.
+func (c *Channel) HasData() (bool, error) {
+	loc := callerLoc(1)
+	r := c.r
+	if err := r.requirePhase("PI_ChannelHasData", loc, phaseRunning); err != nil {
+		return false, err
+	}
+	_, ok, err := r.world.Rank(c.to.rank).Iprobe(c.from.rank, c.id)
+	if err != nil {
+		return false, errorf("PI_ChannelHasData", loc, "%v", err)
+	}
+	r.logger(c.to.rank).Event(r.events["PI_ChannelHasData"], truncTo(
+		fmt.Sprintf("chan: %s has: %v line: %s", c.Name(), ok, loc), 40))
+	r.nativeLog(c.to.rank, fmt.Sprintf("%s PI_ChannelHasData chan %s -> %v %s",
+		c.to.Name(), c.Name(), ok, loc))
+	return ok, nil
+}
+
+// validateWriteArgs is error-check level 3 for the write side: every
+// argument present and of the right type, verified before any message is
+// sent so a bad call transmits nothing.
+func validateWriteArgs(specs []fmtspec.Spec, args []any) error {
+	i := 0
+	for _, spec := range specs {
+		if _, consumed, err := fmtspec.Encode(spec, args[i:]); err != nil {
+			return err
+		} else {
+			i += consumed
+		}
+	}
+	if i != len(args) {
+		return fmt.Errorf("format consumed %d arguments, %d supplied", i, len(args))
+	}
+	return nil
+}
+
+// validateReadArgs is error-check level 3 for the read side: destinations
+// must be pointers (or count+slice pairs) of the right types. Verified by
+// decoding zero payloads where possible; the real decode still re-checks.
+func validateReadArgs(specs []fmtspec.Spec, args []any) error {
+	i := 0
+	for _, spec := range specs {
+		need := spec.ArgsRead()
+		if len(args[i:]) < need {
+			return fmt.Errorf("%s needs %d argument(s), %d left", spec, need, len(args[i:]))
+		}
+		i += need
+	}
+	if i != len(args) {
+		return fmt.Errorf("format consumed %d arguments, %d supplied", i, len(args))
+	}
+	return nil
+}
+
+// arrowSpread sleeps between collective fan-out arrows — the paper's 1 ms
+// usleep workaround for superimposed drawables. Applied only when the
+// visual log is being recorded, since its sole purpose is drawable
+// separation.
+func (r *Runtime) arrowSpread() {
+	if r.jlog && r.cfg.ArrowSpread > 0 {
+		time.Sleep(r.cfg.ArrowSpread)
+	}
+}

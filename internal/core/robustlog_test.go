@@ -1,0 +1,163 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/slog2"
+	"repro/vis"
+)
+
+// The paper's future work, end to end: with RobustLog on, a PI_Abort no
+// longer loses the visual log — the spill fragments are salvaged into a
+// CLOG-2 that converts and renders.
+func TestRobustLogSurvivesAbort(t *testing.T) {
+	cfg, errBuf := testConfig(t, 3, "j")
+	cfg.RobustLog = true
+	r := mustRuntime(t, cfg)
+	var ch *Channel
+	p, err := r.CreateProcess(func(self *Self, index int, arg any) int {
+		var v int
+		if err := ch.Read("%d", &v); err != nil {
+			return 1
+		}
+		self.Abort(9, "fatal problem detected")
+		return 1
+	}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch, err = r.CreateChannel(r.MainProc(), p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Write("%d", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.StopMain(0); err == nil {
+		t.Fatal("aborted run finished cleanly")
+	}
+
+	// The log exists despite the abort...
+	f, rep, err := vis.ConvertFile(cfg.JumpshotPath, vis.ConvertOptions{})
+	if err != nil {
+		t.Fatalf("salvaged log unusable: %v", err)
+	}
+	// ...and contains the pre-abort activity: the write on main, the read
+	// on the worker, and the message arrow between them.
+	states, arrows, _ := f.All()
+	haveWrite, haveRead := false, false
+	for _, s := range states {
+		switch f.Categories[s.Cat].Name {
+		case "PI_Write":
+			haveWrite = true
+		case "PI_Read":
+			haveRead = true
+		}
+	}
+	if !haveWrite || !haveRead {
+		t.Errorf("salvaged log missing states: write=%v read=%v", haveWrite, haveRead)
+	}
+	if len(arrows) != 1 {
+		t.Errorf("salvaged arrows = %d, want 1", len(arrows))
+	}
+	_ = rep
+	if !strings.Contains(errBuf.String(), "salvaged") {
+		t.Errorf("no salvage notice: %q", errBuf.String())
+	}
+	// Open states at abort time are tolerated by the converter as nesting
+	// warnings, not errors; the file itself passes invariants.
+	if err := checkSlogInvariants(f); err != nil {
+		t.Fatal(err)
+	}
+	// Spill fragments are cleaned up after a successful salvage.
+	if _, err := os.Stat(cfg.JumpshotPath + ".rank0.spill"); !os.IsNotExist(err) {
+		t.Error("spill fragment left behind after salvage")
+	}
+}
+
+func checkSlogInvariants(f *vis.File) error {
+	return (*slog2.File)(f).CheckInvariants()
+}
+
+// A clean RobustLog run behaves exactly like a normal run: merged log
+// written, no spill files left.
+func TestRobustLogCleanRun(t *testing.T) {
+	cfg, _ := testConfig(t, 2, "j")
+	cfg.RobustLog = true
+	r := mustRuntime(t, cfg)
+	done := make(chan struct{})
+	if _, err := r.CreateProcess(func(self *Self, index int, arg any) int {
+		defer close(done)
+		self.Log("worker ran")
+		return 0
+	}, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if err := r.StopMain(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := vis.ConvertFile(cfg.JumpshotPath, vis.ConvertOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Dir(cfg.JumpshotPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".spill") {
+			t.Errorf("spill file %s left after clean run", e.Name())
+		}
+	}
+}
+
+// Spilling costs a disk write per record; make sure it does not distort
+// the in-memory log (same record counts with and without).
+func TestRobustLogSameContent(t *testing.T) {
+	run := func(robust bool) (states int) {
+		cfg, _ := testConfig(t, 2, "j")
+		cfg.RobustLog = robust
+		r := mustRuntime(t, cfg)
+		var ch *Channel
+		p, _ := r.CreateProcess(func(self *Self, index int, arg any) int {
+			var v int
+			for i := 0; i < 5; i++ {
+				if err := ch.Read("%d", &v); err != nil {
+					return 1
+				}
+			}
+			return 0
+		}, 0, nil)
+		ch, _ = r.CreateChannel(r.MainProc(), p)
+		if _, err := r.StartAll(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if err := ch.Write("%d", i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := r.StopMain(0); err != nil {
+			t.Fatal(err)
+		}
+		f, _, err := vis.ConvertFile(cfg.JumpshotPath, vis.ConvertOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _, _ := f.All()
+		return len(s)
+	}
+	plain := run(false)
+	robust := run(true)
+	if plain != robust {
+		t.Fatalf("state counts differ: plain=%d robust=%d", plain, robust)
+	}
+}

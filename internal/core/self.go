@@ -1,0 +1,78 @@
+package core
+
+import "fmt"
+
+// Self is the process-context handle passed to every work function (and
+// returned for PI_MAIN by StartAll). It carries the operations whose
+// meaning depends on which process is calling: PI_Log, PI_StartTime,
+// PI_EndTime, PI_Abort, PI_IsLogging and naming.
+type Self struct {
+	r    *Runtime
+	proc *Process
+}
+
+// Rank returns the caller's MPI rank.
+func (s *Self) Rank() int { return s.proc.rank }
+
+// Process returns the caller's process handle.
+func (s *Self) Process() *Process { return s.proc }
+
+// Name returns the caller's display name.
+func (s *Self) Name() string { return s.proc.Name() }
+
+// SetName assigns the caller's display name (PI_SetName).
+func (s *Self) SetName(name string) { s.proc.SetName(name) }
+
+// IsLogging reports whether the given service is active (PI_IsLogging):
+// pass SvcJumpshot, SvcNativeLog or SvcDeadlock.
+func (s *Self) IsLogging(service rune) bool {
+	if service == SvcJumpshot {
+		return s.r.jlog
+	}
+	return s.r.cfg.HasService(service)
+}
+
+// Log is PI_Log: an arbitrary text entry in whichever logs are active —
+// a bubble in the visual log, a line in the native log.
+func (s *Self) Log(text string) error {
+	loc := callerLoc(1)
+	s.r.logger(s.proc.rank).Event(s.r.events["PI_Log"], truncTo(fmt.Sprintf("line: %s %s", loc, text), 40))
+	s.r.nativeLog(s.proc.rank, fmt.Sprintf("%s PI_Log %q %s", s.proc.Name(), text, loc))
+	return nil
+}
+
+// StartTime is PI_StartTime: it returns the caller's wallclock in seconds
+// and drops a bubble in the visual log.
+func (s *Self) StartTime() float64 {
+	loc := callerLoc(1)
+	t := s.r.world.Rank(s.proc.rank).Wtime()
+	s.r.logger(s.proc.rank).Event(s.r.events["PI_StartTime"], truncTo(fmt.Sprintf("t: %.6f line: %s", t, loc), 40))
+	return t
+}
+
+// EndTime is PI_EndTime: identical to StartTime but logged distinctly so
+// the pair brackets a user-timed region in the display.
+func (s *Self) EndTime() float64 {
+	loc := callerLoc(1)
+	t := s.r.world.Rank(s.proc.rank).Wtime()
+	s.r.logger(s.proc.rank).Event(s.r.events["PI_EndTime"], truncTo(fmt.Sprintf("t: %.6f line: %s", t, loc), 40))
+	return t
+}
+
+// Abort is PI_Abort: print a diagnostic pinpointing the call site and
+// bring down every rank via MPI_Abort. As the paper documents, this loses
+// any MPE log, while the native log survives because it streams to disk.
+func (s *Self) Abort(code int, msg string) {
+	loc := callerLoc(1)
+	s.r.warnf("pilot: PI_Abort at %s by %s (rank %d), code %d: %s",
+		loc, s.proc.Name(), s.proc.rank, code, msg)
+	s.r.nativeLog(s.proc.rank, fmt.Sprintf("%s PI_Abort code=%d %q %s", s.proc.Name(), code, msg, loc))
+	s.r.world.Rank(s.proc.rank).Abort(code)
+}
+
+func truncTo(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/deadlock"
+	"repro/internal/mpi"
+)
+
+// Service-process message kinds (first byte of every CtxSvc payload).
+// Pilot runs native logging and the deadlock detector in one dedicated
+// process fed by a pipeline of API events; these messages are that
+// pipeline.
+const (
+	svcMsgLog    = 'L' // native log line follows
+	svcMsgWait   = 'W' // process announces a blocking operation
+	svcMsgDone   = 'D' // process's blocking operation completed
+	svcMsgExited = 'X' // process's work function returned
+	svcMsgQuit   = 'Q' // main asks the service process to shut down
+)
+
+const svcTag = 0
+
+// svcSend ships one service message from rank `from` to the service rank.
+// A no-op without a service process; errors are only possible after abort.
+func (r *Runtime) svcSend(kind byte, from int, body []byte) error {
+	if r.svcRank < 0 {
+		return nil
+	}
+	msg := make([]byte, 0, 1+len(body))
+	msg = append(msg, kind)
+	msg = append(msg, body...)
+	return r.world.Rank(from).SendCtx(mpi.CtxSvc, r.svcRank, svcTag, msg)
+}
+
+// nativeLog sends one native-log line on behalf of rank. The service
+// process stamps it with the *arrival* time — reproducing shortcoming (1)
+// of Pilot's original log: "the timestamps were not accurate, since they
+// recorded the moment of arrival of API events at a central logging
+// process".
+func (r *Runtime) nativeLog(rank int, text string) {
+	if r.svcRank < 0 || !r.cfg.HasService(SvcNativeLog) {
+		return
+	}
+	_ = r.svcSend(svcMsgLog, rank, []byte(text))
+}
+
+func (r *Runtime) detectorOn() bool {
+	return r.svcRank >= 0 && r.cfg.HasService(SvcDeadlock)
+}
+
+// svcWait announces that rank is about to block in op on the given peers.
+func (r *Runtime) svcWait(rank int, op string, peers []int, anyOf bool, loc string) {
+	if !r.detectorOn() {
+		return
+	}
+	body := make([]byte, 0, 16+len(op)+len(loc)+4*len(peers))
+	body = append(body, byte(boolToInt(anyOf)))
+	body = appendStr(body, op)
+	body = appendStr(body, loc)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(peers)))
+	body = append(body, n[:]...)
+	for _, p := range peers {
+		binary.LittleEndian.PutUint32(n[:], uint32(p))
+		body = append(body, n[:]...)
+	}
+	_ = r.svcSend(svcMsgWait, rank, body)
+}
+
+func (r *Runtime) svcDone(rank int) {
+	if !r.detectorOn() {
+		return
+	}
+	_ = r.svcSend(svcMsgDone, rank, nil)
+}
+
+func (r *Runtime) svcExited(rank int) {
+	if r.svcRank < 0 {
+		return
+	}
+	_ = r.svcSend(svcMsgExited, rank, nil)
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func appendStr(b []byte, s string) []byte {
+	var n [2]byte
+	binary.LittleEndian.PutUint16(n[:], uint16(len(s)))
+	b = append(b, n[:]...)
+	return append(b, s...)
+}
+
+func readStr(b []byte) (string, []byte) {
+	if len(b) < 2 {
+		return "", nil
+	}
+	n := binary.LittleEndian.Uint16(b)
+	b = b[2:]
+	if len(b) < int(n) {
+		return "", nil
+	}
+	return string(b[:n]), b[n:]
+}
+
+// svcServer is the state of the dedicated service process: Pilot's
+// combined native-log writer and deadlock detector, occupying the last
+// rank.
+type svcServer struct {
+	r     *Runtime
+	rank  *mpi.Rank
+	graph *deadlock.Graph
+	logw  *bufio.Writer
+	logf  *os.File
+	quit  bool
+	// confirming suppresses nested deadlock confirmation while draining
+	// in-flight events during the grace period.
+	confirming bool
+}
+
+// svcMain runs the service process goroutine.
+func (r *Runtime) svcMain() {
+	defer r.wgAll.Done()
+	s := &svcServer{r: r, rank: r.world.Rank(r.svcRank), graph: deadlock.New()}
+	if r.cfg.HasService(SvcNativeLog) {
+		f, err := os.Create(r.cfg.NativePath)
+		if err != nil {
+			r.warnf("pilot: cannot open native log %s: %v", r.cfg.NativePath, err)
+		} else {
+			s.logf = f
+			s.logw = bufio.NewWriter(f)
+		}
+	}
+
+	for !s.quit {
+		m, err := s.rank.RecvCtx(mpi.CtxSvc, mpi.AnySource, svcTag)
+		if err != nil {
+			break // world aborted
+		}
+		s.handle(m)
+	}
+	if s.logw != nil {
+		s.logw.Flush()
+	}
+	if s.logf != nil {
+		s.logf.Close()
+	}
+	if r.jlog && !r.world.Aborted() {
+		_ = r.logger(r.svcRank).Finish(nil)
+	}
+}
+
+func (s *svcServer) writeLine(text string) {
+	if s.logw == nil {
+		return
+	}
+	// Arrival timestamp, as in Pilot's original facility. Flushed per
+	// entry so the native log survives an abort.
+	fmt.Fprintf(s.logw, "[%12.6f] %s\n", s.rank.Wtime(), text)
+	s.logw.Flush()
+}
+
+func (s *svcServer) handle(m mpi.Message) {
+	if len(m.Data) == 0 {
+		return
+	}
+	kind, body := m.Data[0], m.Data[1:]
+	switch kind {
+	case svcMsgQuit:
+		s.quit = true
+	case svcMsgLog:
+		s.writeLine(string(body))
+	case svcMsgExited:
+		s.graph.SetExited(m.Source)
+		s.writeLine(fmt.Sprintf("P%d exited", m.Source))
+		s.maybeReport()
+	case svcMsgDone:
+		s.graph.ClearWait(m.Source)
+	case svcMsgWait:
+		if len(body) < 1 {
+			return
+		}
+		anyOf := body[0] == 1
+		op, rest := readStr(body[1:])
+		loc, rest := readStr(rest)
+		if len(rest) < 4 {
+			return
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		peers := make([]int, 0, n)
+		for i := 0; i < n && len(rest) >= 4; i++ {
+			peers = append(peers, int(binary.LittleEndian.Uint32(rest)))
+			rest = rest[4:]
+		}
+		s.graph.SetWait(m.Source, deadlock.Wait{Op: op, Peers: peers, AnyOf: anyOf, Loc: loc})
+		s.maybeReport()
+	}
+}
+
+// maybeReport runs the deadlock check and, when a suspicion survives the
+// confirmation grace period, publishes the report and aborts the world.
+func (s *svcServer) maybeReport() {
+	if s.confirming || s.graph.Check() == nil {
+		return
+	}
+	if rep := s.confirmDeadlock(); rep != nil {
+		s.r.setDeadlockReport(rep)
+		s.r.warnf("pilot: %s", rep.String())
+		s.writeLine("DEADLOCK " + rep.String())
+		s.rank.Abort(AbortCodeDeadlock)
+		s.quit = true
+	}
+}
+
+// confirmDeadlock rechecks a suspected deadlock after a grace period. A
+// wait event can race a completion already in flight (data landed just
+// after the process announced its wait); draining events for
+// DeadlockGrace filters those out. True deadlocks persist forever, so the
+// grace only delays the report.
+func (s *svcServer) confirmDeadlock() *deadlock.Report {
+	s.confirming = true
+	defer func() { s.confirming = false }()
+	deadline := time.Now().Add(s.r.cfg.DeadlockGrace)
+	for time.Now().Before(deadline) {
+		_, ok, err := s.rank.IprobeCtx(mpi.CtxSvc, mpi.AnySource, svcTag)
+		if err != nil {
+			return nil
+		}
+		if !ok {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		m, err := s.rank.RecvCtx(mpi.CtxSvc, mpi.AnySource, svcTag)
+		if err != nil {
+			return nil
+		}
+		s.handle(m)
+		if s.quit {
+			return nil
+		}
+		if s.graph.Check() == nil {
+			return nil
+		}
+	}
+	return s.graph.Check()
+}

@@ -1,0 +1,800 @@
+// Package fmtspec parses and applies Pilot's fscanf/fprintf-style format
+// strings, the signature feature of the Pilot API ("made easy to learn by
+// borrowing C's well-known fprintf and fscanf format syntax").
+//
+// A format is a whitespace-separated list of conversion specs. Each spec
+// transfers one value or array and — exactly as in Pilot — travels as its
+// own wire message, so the format "%d %100f" produces two messages (and,
+// in the visual log, two arrival bubbles inside the PI_Read rectangle).
+//
+// Supported kinds: %c (byte), %hd (int16), %d (int), %ld (int64),
+// %hu (uint16), %u (uint), %lu (uint64), %f (float32), %lf (float64),
+// %s (string). Array forms for every kind except %s:
+//
+//	%25d  fixed-length array of 25
+//	%*d   array whose length is passed as a preceding argument at run time
+//	%^d   variable-length array: the writer's length travels on the wire and
+//	      the reader's slice is allocated to fit (Pilot V2.1)
+package fmtspec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind identifies the element type of a conversion spec.
+type Kind uint8
+
+// Element kinds, in wire-format order. The zero Kind is invalid so that a
+// zero Spec is detectably empty.
+const (
+	KindInvalid Kind = iota
+	KindChar         // %c  — Go byte
+	KindInt16        // %hd — Go int16
+	KindInt          // %d  — Go int (8 bytes on the wire)
+	KindInt64        // %ld — Go int64
+	KindUint16       // %hu — Go uint16
+	KindUint         // %u  — Go uint (8 bytes on the wire)
+	KindUint64       // %lu — Go uint64
+	KindFloat32      // %f  — Go float32
+	KindFloat64      // %lf — Go float64
+	KindString       // %s  — Go string, scalar only
+)
+
+// Mode identifies the array form of a conversion spec.
+type Mode uint8
+
+// Array modes.
+const (
+	Scalar Mode = iota // one value
+	Fixed              // %Nk: array of exactly N elements
+	Star               // %*k: array length passed as a run-time argument
+	Caret              // %^k: array length carried on the wire (auto-alloc on read)
+)
+
+// Spec is one parsed conversion.
+type Spec struct {
+	Kind Kind
+	Mode Mode
+	// N is the element count for Fixed mode and 0 otherwise.
+	N int
+}
+
+var kindLetters = map[string]Kind{
+	"c":  KindChar,
+	"hd": KindInt16,
+	"d":  KindInt,
+	"ld": KindInt64,
+	"hu": KindUint16,
+	"u":  KindUint,
+	"lu": KindUint64,
+	"f":  KindFloat32,
+	"lf": KindFloat64,
+	"s":  KindString,
+}
+
+// letter returns the conversion letters for k.
+func (k Kind) letter() string {
+	for s, kk := range kindLetters {
+		if kk == k {
+			return s
+		}
+	}
+	return "?"
+}
+
+// ElemSize returns the wire size in bytes of one element, or 0 for strings
+// (variable).
+func (k Kind) ElemSize() int {
+	switch k {
+	case KindChar:
+		return 1
+	case KindInt16, KindUint16:
+		return 2
+	case KindFloat32:
+		return 4
+	case KindInt, KindInt64, KindUint, KindUint64, KindFloat64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// String renders the spec back in format syntax, e.g. "%*d" or "%25f".
+func (s Spec) String() string {
+	switch s.Mode {
+	case Scalar:
+		return "%" + s.Kind.letter()
+	case Fixed:
+		return fmt.Sprintf("%%%d%s", s.N, s.Kind.letter())
+	case Star:
+		return "%*" + s.Kind.letter()
+	case Caret:
+		return "%^" + s.Kind.letter()
+	}
+	return "%?"
+}
+
+// Parse splits format into conversion specs. It rejects malformed formats
+// with an error naming the offending token, in the spirit of Pilot's
+// extensive error checking.
+func Parse(format string) ([]Spec, error) {
+	fields := strings.Fields(format)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("fmtspec: empty format %q", format)
+	}
+	specs := make([]Spec, 0, len(fields))
+	for _, tok := range fields {
+		s, err := parseToken(tok)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, s)
+	}
+	return specs, nil
+}
+
+func parseToken(tok string) (Spec, error) {
+	if len(tok) < 2 || tok[0] != '%' {
+		return Spec{}, fmt.Errorf("fmtspec: token %q does not start with %%", tok)
+	}
+	body := tok[1:]
+	var s Spec
+	switch body[0] {
+	case '*':
+		s.Mode = Star
+		body = body[1:]
+	case '^':
+		s.Mode = Caret
+		body = body[1:]
+	default:
+		if body[0] >= '0' && body[0] <= '9' {
+			s.Mode = Fixed
+			n := 0
+			i := 0
+			for i < len(body) && body[i] >= '0' && body[i] <= '9' {
+				n = n*10 + int(body[i]-'0')
+				i++
+			}
+			if n <= 0 {
+				return Spec{}, fmt.Errorf("fmtspec: token %q has non-positive array length", tok)
+			}
+			s.N = n
+			body = body[i:]
+		}
+	}
+	kind, ok := kindLetters[body]
+	if !ok {
+		return Spec{}, fmt.Errorf("fmtspec: token %q has unknown conversion %q", tok, body)
+	}
+	if kind == KindString && s.Mode != Scalar {
+		return Spec{}, fmt.Errorf("fmtspec: token %q: %%s does not support array forms", tok)
+	}
+	s.Kind = kind
+	return s, nil
+}
+
+// Canonical renders specs back to a normalised format string; two formats
+// with equal Canonical forms are identical.
+func Canonical(specs []Spec) string {
+	parts := make([]string, len(specs))
+	for i, s := range specs {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Compatible reports whether a writer using w may talk to a reader using r.
+// This is the check behind Pilot's error level 2 ("verifying that reader
+// and writer format strings match"). Kinds and positions must agree
+// exactly; Fixed and Star array forms are mutually compatible because the
+// element count is verified again at transfer time, but Caret only matches
+// Caret (the wire layout differs).
+func Compatible(w, r []Spec) error {
+	if len(w) != len(r) {
+		return fmt.Errorf("fmtspec: writer has %d conversions, reader has %d", len(w), len(r))
+	}
+	for i := range w {
+		a, b := w[i], r[i]
+		if a.Kind != b.Kind {
+			return fmt.Errorf("fmtspec: conversion %d: writer %s vs reader %s", i+1, a, b)
+		}
+		if !modesCompatible(a.Mode, b.Mode) {
+			return fmt.Errorf("fmtspec: conversion %d: writer %s vs reader %s (array forms incompatible)", i+1, a, b)
+		}
+		if a.Mode == Fixed && b.Mode == Fixed && a.N != b.N {
+			return fmt.Errorf("fmtspec: conversion %d: writer %s vs reader %s (lengths differ)", i+1, a, b)
+		}
+	}
+	return nil
+}
+
+func modesCompatible(a, b Mode) bool {
+	if a == b {
+		return true
+	}
+	arrayish := func(m Mode) bool { return m == Fixed || m == Star }
+	return arrayish(a) && arrayish(b)
+}
+
+// ArgsWrite returns how many caller arguments the spec consumes on the
+// write side: Star consumes a count plus the slice; everything else one.
+func (s Spec) ArgsWrite() int {
+	if s.Mode == Star {
+		return 2
+	}
+	return 1
+}
+
+// ArgsRead returns how many caller arguments the spec consumes on the read
+// side (same rule as ArgsWrite; Caret reads into a single *[]T).
+func (s Spec) ArgsRead() int {
+	if s.Mode == Star {
+		return 2
+	}
+	return 1
+}
+
+// ---- encoding ----
+
+func putElem(dst []byte, k Kind, v any) error {
+	switch k {
+	case KindChar:
+		b, ok := v.(byte)
+		if !ok {
+			return typeErr(k, "byte", v)
+		}
+		dst[0] = b
+	case KindInt16:
+		x, ok := v.(int16)
+		if !ok {
+			return typeErr(k, "int16", v)
+		}
+		binary.LittleEndian.PutUint16(dst, uint16(x))
+	case KindUint16:
+		x, ok := v.(uint16)
+		if !ok {
+			return typeErr(k, "uint16", v)
+		}
+		binary.LittleEndian.PutUint16(dst, x)
+	case KindInt:
+		x, ok := v.(int)
+		if !ok {
+			return typeErr(k, "int", v)
+		}
+		binary.LittleEndian.PutUint64(dst, uint64(x))
+	case KindInt64:
+		x, ok := v.(int64)
+		if !ok {
+			return typeErr(k, "int64", v)
+		}
+		binary.LittleEndian.PutUint64(dst, uint64(x))
+	case KindUint:
+		x, ok := v.(uint)
+		if !ok {
+			return typeErr(k, "uint", v)
+		}
+		binary.LittleEndian.PutUint64(dst, uint64(x))
+	case KindUint64:
+		x, ok := v.(uint64)
+		if !ok {
+			return typeErr(k, "uint64", v)
+		}
+		binary.LittleEndian.PutUint64(dst, x)
+	case KindFloat32:
+		x, ok := v.(float32)
+		if !ok {
+			return typeErr(k, "float32", v)
+		}
+		binary.LittleEndian.PutUint32(dst, math.Float32bits(x))
+	case KindFloat64:
+		x, ok := v.(float64)
+		if !ok {
+			return typeErr(k, "float64", v)
+		}
+		binary.LittleEndian.PutUint64(dst, math.Float64bits(x))
+	default:
+		return fmt.Errorf("fmtspec: cannot encode kind %v as element", k)
+	}
+	return nil
+}
+
+func typeErr(k Kind, want string, got any) error {
+	return fmt.Errorf("fmtspec: %%%s requires %s argument, got %T", k.letter(), want, got)
+}
+
+// sliceLen returns the length of a slice argument of the kind's element
+// type, or an error if v is not such a slice.
+func sliceInfo(k Kind, v any) (length int, get func(i int) any, err error) {
+	switch k {
+	case KindChar:
+		s, ok := v.([]byte)
+		if !ok {
+			return 0, nil, typeErr(k, "[]byte", v)
+		}
+		return len(s), func(i int) any { return s[i] }, nil
+	case KindInt16:
+		s, ok := v.([]int16)
+		if !ok {
+			return 0, nil, typeErr(k, "[]int16", v)
+		}
+		return len(s), func(i int) any { return s[i] }, nil
+	case KindUint16:
+		s, ok := v.([]uint16)
+		if !ok {
+			return 0, nil, typeErr(k, "[]uint16", v)
+		}
+		return len(s), func(i int) any { return s[i] }, nil
+	case KindInt:
+		s, ok := v.([]int)
+		if !ok {
+			return 0, nil, typeErr(k, "[]int", v)
+		}
+		return len(s), func(i int) any { return s[i] }, nil
+	case KindInt64:
+		s, ok := v.([]int64)
+		if !ok {
+			return 0, nil, typeErr(k, "[]int64", v)
+		}
+		return len(s), func(i int) any { return s[i] }, nil
+	case KindUint:
+		s, ok := v.([]uint)
+		if !ok {
+			return 0, nil, typeErr(k, "[]uint", v)
+		}
+		return len(s), func(i int) any { return s[i] }, nil
+	case KindUint64:
+		s, ok := v.([]uint64)
+		if !ok {
+			return 0, nil, typeErr(k, "[]uint64", v)
+		}
+		return len(s), func(i int) any { return s[i] }, nil
+	case KindFloat32:
+		s, ok := v.([]float32)
+		if !ok {
+			return 0, nil, typeErr(k, "[]float32", v)
+		}
+		return len(s), func(i int) any { return s[i] }, nil
+	case KindFloat64:
+		s, ok := v.([]float64)
+		if !ok {
+			return 0, nil, typeErr(k, "[]float64", v)
+		}
+		return len(s), func(i int) any { return s[i] }, nil
+	}
+	return 0, nil, fmt.Errorf("fmtspec: kind %v has no array form", k)
+}
+
+// Encode serialises the spec's value(s) drawn from args into a wire
+// payload, returning the payload and the number of arguments consumed.
+func Encode(s Spec, args []any) (payload []byte, consumed int, err error) {
+	need := s.ArgsWrite()
+	if len(args) < need {
+		return nil, 0, fmt.Errorf("fmtspec: %s needs %d argument(s), %d left", s, need, len(args))
+	}
+	switch s.Mode {
+	case Scalar:
+		if s.Kind == KindString {
+			str, ok := args[0].(string)
+			if !ok {
+				return nil, 0, typeErr(s.Kind, "string", args[0])
+			}
+			return []byte(str), 1, nil
+		}
+		buf := make([]byte, s.Kind.ElemSize())
+		if err := putElem(buf, s.Kind, args[0]); err != nil {
+			return nil, 0, err
+		}
+		return buf, 1, nil
+
+	case Fixed:
+		n, get, err := sliceInfo(s.Kind, args[0])
+		if err != nil {
+			return nil, 0, err
+		}
+		if n < s.N {
+			return nil, 0, fmt.Errorf("fmtspec: %s requires at least %d elements, slice has %d", s, s.N, n)
+		}
+		return encodeElems(s.Kind, s.N, get, 0)
+
+	case Star:
+		count, ok := args[0].(int)
+		if !ok {
+			return nil, 0, fmt.Errorf("fmtspec: %s requires an int count before the slice, got %T", s, args[0])
+		}
+		if count < 0 {
+			return nil, 0, fmt.Errorf("fmtspec: %s with negative count %d", s, count)
+		}
+		n, get, err := sliceInfo(s.Kind, args[1])
+		if err != nil {
+			return nil, 0, err
+		}
+		if n < count {
+			return nil, 0, fmt.Errorf("fmtspec: %s count %d exceeds slice length %d", s, count, n)
+		}
+		p, _, err := encodeElems(s.Kind, count, get, 0)
+		return p, 2, err
+
+	case Caret:
+		n, get, err := sliceInfo(s.Kind, args[0])
+		if err != nil {
+			return nil, 0, err
+		}
+		header := make([]byte, 4)
+		binary.LittleEndian.PutUint32(header, uint32(n))
+		body, _, err := encodeElems(s.Kind, n, get, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		return append(header, body...), 1, nil
+	}
+	return nil, 0, fmt.Errorf("fmtspec: unknown mode %v", s.Mode)
+}
+
+func encodeElems(k Kind, n int, get func(i int) any, consumed int) ([]byte, int, error) {
+	es := k.ElemSize()
+	buf := make([]byte, n*es)
+	for i := 0; i < n; i++ {
+		if err := putElem(buf[i*es:], k, get(i)); err != nil {
+			return nil, 0, err
+		}
+	}
+	return buf, consumed + 1, nil
+}
+
+// ---- decoding ----
+
+func getElem(src []byte, k Kind, dst any) error {
+	switch k {
+	case KindChar:
+		p, ok := dst.(*byte)
+		if !ok {
+			return typeErr(k, "*byte", dst)
+		}
+		*p = src[0]
+	case KindInt16:
+		p, ok := dst.(*int16)
+		if !ok {
+			return typeErr(k, "*int16", dst)
+		}
+		*p = int16(binary.LittleEndian.Uint16(src))
+	case KindUint16:
+		p, ok := dst.(*uint16)
+		if !ok {
+			return typeErr(k, "*uint16", dst)
+		}
+		*p = binary.LittleEndian.Uint16(src)
+	case KindInt:
+		p, ok := dst.(*int)
+		if !ok {
+			return typeErr(k, "*int", dst)
+		}
+		*p = int(binary.LittleEndian.Uint64(src))
+	case KindInt64:
+		p, ok := dst.(*int64)
+		if !ok {
+			return typeErr(k, "*int64", dst)
+		}
+		*p = int64(binary.LittleEndian.Uint64(src))
+	case KindUint:
+		p, ok := dst.(*uint)
+		if !ok {
+			return typeErr(k, "*uint", dst)
+		}
+		*p = uint(binary.LittleEndian.Uint64(src))
+	case KindUint64:
+		p, ok := dst.(*uint64)
+		if !ok {
+			return typeErr(k, "*uint64", dst)
+		}
+		*p = binary.LittleEndian.Uint64(src)
+	case KindFloat32:
+		p, ok := dst.(*float32)
+		if !ok {
+			return typeErr(k, "*float32", dst)
+		}
+		*p = math.Float32frombits(binary.LittleEndian.Uint32(src))
+	case KindFloat64:
+		p, ok := dst.(*float64)
+		if !ok {
+			return typeErr(k, "*float64", dst)
+		}
+		*p = math.Float64frombits(binary.LittleEndian.Uint64(src))
+	default:
+		return fmt.Errorf("fmtspec: cannot decode kind %v as element", k)
+	}
+	return nil
+}
+
+// sliceSet returns length and element-setter for a destination slice.
+func sliceSet(k Kind, v any) (length int, set func(i int, src []byte) error, err error) {
+	wrap := func(n int, f func(i int, src []byte)) (int, func(int, []byte) error, error) {
+		return n, func(i int, src []byte) error { f(i, src); return nil }, nil
+	}
+	switch k {
+	case KindChar:
+		s, ok := v.([]byte)
+		if !ok {
+			return 0, nil, typeErr(k, "[]byte", v)
+		}
+		return wrap(len(s), func(i int, src []byte) { s[i] = src[0] })
+	case KindInt16:
+		s, ok := v.([]int16)
+		if !ok {
+			return 0, nil, typeErr(k, "[]int16", v)
+		}
+		return wrap(len(s), func(i int, src []byte) { s[i] = int16(binary.LittleEndian.Uint16(src)) })
+	case KindUint16:
+		s, ok := v.([]uint16)
+		if !ok {
+			return 0, nil, typeErr(k, "[]uint16", v)
+		}
+		return wrap(len(s), func(i int, src []byte) { s[i] = binary.LittleEndian.Uint16(src) })
+	case KindInt:
+		s, ok := v.([]int)
+		if !ok {
+			return 0, nil, typeErr(k, "[]int", v)
+		}
+		return wrap(len(s), func(i int, src []byte) { s[i] = int(binary.LittleEndian.Uint64(src)) })
+	case KindInt64:
+		s, ok := v.([]int64)
+		if !ok {
+			return 0, nil, typeErr(k, "[]int64", v)
+		}
+		return wrap(len(s), func(i int, src []byte) { s[i] = int64(binary.LittleEndian.Uint64(src)) })
+	case KindUint:
+		s, ok := v.([]uint)
+		if !ok {
+			return 0, nil, typeErr(k, "[]uint", v)
+		}
+		return wrap(len(s), func(i int, src []byte) { s[i] = uint(binary.LittleEndian.Uint64(src)) })
+	case KindUint64:
+		s, ok := v.([]uint64)
+		if !ok {
+			return 0, nil, typeErr(k, "[]uint64", v)
+		}
+		return wrap(len(s), func(i int, src []byte) { s[i] = binary.LittleEndian.Uint64(src) })
+	case KindFloat32:
+		s, ok := v.([]float32)
+		if !ok {
+			return 0, nil, typeErr(k, "[]float32", v)
+		}
+		return wrap(len(s), func(i int, src []byte) { s[i] = math.Float32frombits(binary.LittleEndian.Uint32(src)) })
+	case KindFloat64:
+		s, ok := v.([]float64)
+		if !ok {
+			return 0, nil, typeErr(k, "[]float64", v)
+		}
+		return wrap(len(s), func(i int, src []byte) { s[i] = math.Float64frombits(binary.LittleEndian.Uint64(src)) })
+	}
+	return 0, nil, fmt.Errorf("fmtspec: kind %v has no array form", k)
+}
+
+// makeSlice allocates a fresh slice of n elements of the kind's type and
+// stores it through the caret-mode destination pointer (*[]T). It returns
+// the setter for filling elements.
+func makeSlice(k Kind, n int, dst any) (set func(i int, src []byte) error, err error) {
+	switch k {
+	case KindChar:
+		p, ok := dst.(*[]byte)
+		if !ok {
+			return nil, typeErr(k, "*[]byte", dst)
+		}
+		*p = make([]byte, n)
+		_, set, err := sliceSet(k, *p)
+		return set, err
+	case KindInt16:
+		p, ok := dst.(*[]int16)
+		if !ok {
+			return nil, typeErr(k, "*[]int16", dst)
+		}
+		*p = make([]int16, n)
+		_, set, err := sliceSet(k, *p)
+		return set, err
+	case KindUint16:
+		p, ok := dst.(*[]uint16)
+		if !ok {
+			return nil, typeErr(k, "*[]uint16", dst)
+		}
+		*p = make([]uint16, n)
+		_, set, err := sliceSet(k, *p)
+		return set, err
+	case KindInt:
+		p, ok := dst.(*[]int)
+		if !ok {
+			return nil, typeErr(k, "*[]int", dst)
+		}
+		*p = make([]int, n)
+		_, set, err := sliceSet(k, *p)
+		return set, err
+	case KindInt64:
+		p, ok := dst.(*[]int64)
+		if !ok {
+			return nil, typeErr(k, "*[]int64", dst)
+		}
+		*p = make([]int64, n)
+		_, set, err := sliceSet(k, *p)
+		return set, err
+	case KindUint:
+		p, ok := dst.(*[]uint)
+		if !ok {
+			return nil, typeErr(k, "*[]uint", dst)
+		}
+		*p = make([]uint, n)
+		_, set, err := sliceSet(k, *p)
+		return set, err
+	case KindUint64:
+		p, ok := dst.(*[]uint64)
+		if !ok {
+			return nil, typeErr(k, "*[]uint64", dst)
+		}
+		*p = make([]uint64, n)
+		_, set, err := sliceSet(k, *p)
+		return set, err
+	case KindFloat32:
+		p, ok := dst.(*[]float32)
+		if !ok {
+			return nil, typeErr(k, "*[]float32", dst)
+		}
+		*p = make([]float32, n)
+		_, set, err := sliceSet(k, *p)
+		return set, err
+	case KindFloat64:
+		p, ok := dst.(*[]float64)
+		if !ok {
+			return nil, typeErr(k, "*[]float64", dst)
+		}
+		*p = make([]float64, n)
+		_, set, err := sliceSet(k, *p)
+		return set, err
+	}
+	return nil, fmt.Errorf("fmtspec: kind %v has no array form", k)
+}
+
+// Decode deserialises payload into the destination argument(s) drawn from
+// args, returning the number of arguments consumed.
+func Decode(s Spec, payload []byte, args []any) (consumed int, err error) {
+	need := s.ArgsRead()
+	if len(args) < need {
+		return 0, fmt.Errorf("fmtspec: %s needs %d argument(s), %d left", s, need, len(args))
+	}
+	es := s.Kind.ElemSize()
+	switch s.Mode {
+	case Scalar:
+		if s.Kind == KindString {
+			p, ok := args[0].(*string)
+			if !ok {
+				return 0, typeErr(s.Kind, "*string", args[0])
+			}
+			*p = string(payload)
+			return 1, nil
+		}
+		if len(payload) != es {
+			return 0, fmt.Errorf("fmtspec: %s expected %d payload bytes, got %d", s, es, len(payload))
+		}
+		if err := getElem(payload, s.Kind, args[0]); err != nil {
+			return 0, err
+		}
+		return 1, nil
+
+	case Fixed:
+		want := s.N * es
+		if len(payload) != want {
+			return 0, fmt.Errorf("fmtspec: %s expected %d payload bytes, got %d", s, want, len(payload))
+		}
+		n, set, err := sliceSet(s.Kind, args[0])
+		if err != nil {
+			return 0, err
+		}
+		if n < s.N {
+			return 0, fmt.Errorf("fmtspec: %s requires at least %d elements, slice has %d", s, s.N, n)
+		}
+		return 1, fillElems(s.Kind, s.N, payload, set)
+
+	case Star:
+		count, ok := args[0].(int)
+		if !ok {
+			return 0, fmt.Errorf("fmtspec: %s requires an int count before the slice, got %T", s, args[0])
+		}
+		if count < 0 {
+			return 0, fmt.Errorf("fmtspec: %s with negative count %d", s, count)
+		}
+		want := count * es
+		if len(payload) != want {
+			return 0, fmt.Errorf("fmtspec: %s reader count %d (=%d bytes) but writer sent %d bytes", s, count, want, len(payload))
+		}
+		n, set, err := sliceSet(s.Kind, args[1])
+		if err != nil {
+			return 0, err
+		}
+		if n < count {
+			return 0, fmt.Errorf("fmtspec: %s count %d exceeds slice length %d", s, count, n)
+		}
+		return 2, fillElems(s.Kind, count, payload, set)
+
+	case Caret:
+		if len(payload) < 4 {
+			return 0, fmt.Errorf("fmtspec: %s payload missing length header", s)
+		}
+		n := int(binary.LittleEndian.Uint32(payload))
+		body := payload[4:]
+		if len(body) != n*es {
+			return 0, fmt.Errorf("fmtspec: %s header says %d elements (%d bytes), payload has %d bytes", s, n, n*es, len(body))
+		}
+		set, err := makeSlice(s.Kind, n, args[0])
+		if err != nil {
+			return 0, err
+		}
+		return 1, fillElems(s.Kind, n, body, set)
+	}
+	return 0, fmt.Errorf("fmtspec: unknown mode %v", s.Mode)
+}
+
+func fillElems(k Kind, n int, payload []byte, set func(i int, src []byte) error) error {
+	es := k.ElemSize()
+	for i := 0; i < n; i++ {
+		if err := set(i, payload[i*es:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Describe summarises an encoded payload for a log-bubble popup: the data
+// length and the value of the first element, as in the paper's PI_Write
+// bubbles. The returned text begins with literal words — the paper's
+// Jumpshot popup workaround ("Lines: %d" rather than "%d lines").
+func Describe(s Spec, payload []byte) string {
+	es := s.Kind.ElemSize()
+	switch {
+	case s.Kind == KindString:
+		return fmt.Sprintf("len: %d first: %q", len(payload), truncStr(string(payload), 8))
+	case s.Mode == Scalar:
+		return "val: " + firstElem(s.Kind, payload)
+	case s.Mode == Caret:
+		if len(payload) < 4 {
+			return "len: 0"
+		}
+		n := int(binary.LittleEndian.Uint32(payload))
+		return fmt.Sprintf("len: %d first: %s", n, firstElem(s.Kind, payload[4:]))
+	default:
+		n := 0
+		if es > 0 {
+			n = len(payload) / es
+		}
+		return fmt.Sprintf("len: %d first: %s", n, firstElem(s.Kind, payload))
+	}
+}
+
+func firstElem(k Kind, payload []byte) string {
+	es := k.ElemSize()
+	if len(payload) < es || es == 0 {
+		return "-"
+	}
+	switch k {
+	case KindChar:
+		return fmt.Sprintf("%q", payload[0])
+	case KindInt16:
+		return fmt.Sprint(int16(binary.LittleEndian.Uint16(payload)))
+	case KindUint16:
+		return fmt.Sprint(binary.LittleEndian.Uint16(payload))
+	case KindInt, KindInt64:
+		return fmt.Sprint(int64(binary.LittleEndian.Uint64(payload)))
+	case KindUint, KindUint64:
+		return fmt.Sprint(binary.LittleEndian.Uint64(payload))
+	case KindFloat32:
+		return fmt.Sprintf("%g", math.Float32frombits(binary.LittleEndian.Uint32(payload)))
+	case KindFloat64:
+		return fmt.Sprintf("%g", math.Float64frombits(binary.LittleEndian.Uint64(payload)))
+	}
+	return "-"
+}
+
+func truncStr(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

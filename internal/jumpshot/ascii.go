@@ -1,0 +1,104 @@
+package jumpshot
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/slog2"
+)
+
+// RenderASCII draws the log as one text row per rank, for terminals and
+// quick structural tests. Each column is a time bucket showing the initial
+// letter of the category occupying most of that bucket ('.' = idle,
+// '*' = an event bubble with no surrounding state dominance).
+func RenderASCII(f *slog2.File, v View) string {
+	v = v.normalized(f)
+	cols := v.Width
+	if cols > 200 {
+		cols = 120
+	}
+	if cols < 10 {
+		cols = 10
+	}
+	span := (v.To - v.From) / float64(cols)
+	if span <= 0 {
+		span = 1e-9
+	}
+	states, _, events := f.Query(v.From, v.To)
+
+	byRank := make([][]slog2.State, f.NumRanks)
+	for _, s := range states {
+		if s.Rank >= 0 && s.Rank < f.NumRanks {
+			byRank[s.Rank] = append(byRank[s.Rank], s)
+		}
+	}
+	grid := make([][]map[int]float64, f.NumRanks)
+	hasEvent := make([][]bool, f.NumRanks)
+	for r := range grid {
+		grid[r] = exclusiveBuckets(byRank[r], v.From, span, cols)
+		hasEvent[r] = make([]bool, cols)
+	}
+	colOf := func(t float64) int {
+		c := int((t - v.From) / span)
+		if c < 0 {
+			c = 0
+		}
+		if c >= cols {
+			c = cols - 1
+		}
+		return c
+	}
+	for _, e := range events {
+		if e.Rank >= 0 && e.Rank < f.NumRanks {
+			hasEvent[e.Rank][colOf(e.Time)] = true
+		}
+	}
+
+	initial := func(cat int) byte {
+		name := f.Categories[cat].Name
+		name = strings.TrimPrefix(name, "PI_")
+		if name == "" {
+			return '?'
+		}
+		return name[0]
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "time %.6fs .. %.6fs, %d columns of %.6fs\n", v.From, v.To, cols, span)
+	for r := 0; r < f.NumRanks; r++ {
+		row := make([]byte, cols)
+		empty := true
+		for c := 0; c < cols; c++ {
+			cell := grid[r][c]
+			switch {
+			case len(cell) > 0:
+				best, bestD := -1, 0.0
+				for cat, d := range cell {
+					if d > bestD || (d == bestD && (best < 0 || cat < best)) {
+						best, bestD = cat, d
+					}
+				}
+				row[c] = initial(best)
+				empty = false
+			case hasEvent[r][c]:
+				row[c] = '*'
+				empty = false
+			default:
+				row[c] = '.'
+			}
+		}
+		if empty && v.HideEmptyRanks {
+			continue
+		}
+		label := v.RankNames[r]
+		if label == "" {
+			if r == 0 {
+				label = "PI_MAIN"
+			} else {
+				label = fmt.Sprintf("P%d", r)
+			}
+		}
+		fmt.Fprintf(&b, "%-8s |%s|\n", label, row)
+	}
+	return b.String()
+}

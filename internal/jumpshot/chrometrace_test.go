@@ -1,0 +1,87 @@
+package jumpshot
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRenderChromeTrace(t *testing.T) {
+	f := makeLog(t)
+	data, err := RenderChromeTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	var slices, flowStarts, flowEnds, instants, meta int
+	threadNames := map[float64]string{}
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			slices++
+			if ev["dur"].(float64) < 0 {
+				t.Errorf("negative duration in %v", ev)
+			}
+		case "s":
+			flowStarts++
+		case "f":
+			flowEnds++
+		case "i":
+			instants++
+		case "M":
+			meta++
+			args := ev["args"].(map[string]any)
+			threadNames[ev["tid"].(float64)] = args["name"].(string)
+		}
+	}
+	// makeLog: 4 states, 1 arrow, 1 event, 2 ranks.
+	if slices != 4 || flowStarts != 1 || flowEnds != 1 || instants != 1 || meta != 2 {
+		t.Fatalf("slices=%d s=%d f=%d i=%d meta=%d", slices, flowStarts, flowEnds, instants, meta)
+	}
+	if threadNames[0] != "PI_MAIN" || threadNames[1] != "P1" {
+		t.Fatalf("thread names %v", threadNames)
+	}
+	// Timestamps are relative to the log start (first event at ts=0).
+	if !strings.Contains(string(data), `"ts": 0`) {
+		t.Error("no zero-based timestamp found")
+	}
+}
+
+func TestAtPopupLookup(t *testing.T) {
+	f := makeLog(t)
+	// t=2.5 on rank 1: inside Compute [0,10] and PI_Read [2,3].
+	hits := At(f, 1, 2.5)
+	if len(hits) != 2 {
+		t.Fatalf("hits at (1, 2.5): %v", hits)
+	}
+	// Innermost first: the read before the compute.
+	if !strings.Contains(hits[0], "PI_Read") || !strings.Contains(hits[1], "Compute") {
+		t.Fatalf("ordering wrong: %v", hits)
+	}
+	if !strings.Contains(hits[0], "line: y.go:9") {
+		t.Errorf("popup cargo missing: %s", hits[0])
+	}
+	// At the bubble instant on rank 1: event + arrow endpoint + states.
+	hits = At(f, 1, 2.8)
+	var haveEvent, haveArrow bool
+	for _, h := range hits {
+		if strings.HasPrefix(h, "event MsgArrival") {
+			haveEvent = true
+		}
+		if strings.HasPrefix(h, "message P0->P1") {
+			haveArrow = true
+		}
+	}
+	if !haveEvent || !haveArrow {
+		t.Fatalf("bubble lookup: %v", hits)
+	}
+	// Empty spot.
+	if hits := At(f, 0, 99); len(hits) != 0 {
+		t.Fatalf("hits in empty region: %v", hits)
+	}
+}

@@ -1,0 +1,132 @@
+package jumpshot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/colors"
+	"repro/internal/slog2"
+)
+
+// PathSeg is one link of the critical path: either local computation on a
+// rank, or a message hop that transferred control of the path between
+// ranks.
+type PathSeg struct {
+	// Kind is "compute" or "message".
+	Kind string
+	// Rank is the computing rank; for messages, the destination.
+	Rank int
+	// SrcRank is the sending rank for message segments (-1 otherwise).
+	SrcRank    int
+	Start, End float64
+}
+
+// Duration returns the segment length.
+func (s PathSeg) Duration() float64 { return s.End - s.Start }
+
+// CriticalPath walks backwards from the end of the log to its start,
+// alternating local computation with the message dependencies that gated
+// it: at each point, if the rank was blocked in an input state whose
+// message arrived from another rank, the path hops to the sender at the
+// send instant. The result — earliest segment first — is the chain that
+// determined the program's wall-clock time; shortening anything on it
+// shortens the run, shortening anything off it does not. This turns the
+// paper's "diagnosing logic that impedes parallelism" from visual
+// inspection into a number per segment.
+func CriticalPath(f *slog2.File) []PathSeg {
+	states, arrows, _ := f.All()
+	if len(states) == 0 {
+		return nil
+	}
+	// The path ends at the latest state end.
+	endRank, endT := states[0].Rank, states[0].End
+	for _, s := range states {
+		if s.End > endT {
+			endRank, endT = s.Rank, s.End
+		}
+	}
+	// Input states per rank, sorted by end time; arrows per destination.
+	inputs := map[int][]slog2.State{}
+	for _, s := range states {
+		if colors.CategoryOf(f.Categories[s.Cat].Name) == colors.Input {
+			inputs[s.Rank] = append(inputs[s.Rank], s)
+		}
+	}
+	for r := range inputs {
+		sort.Slice(inputs[r], func(i, j int) bool { return inputs[r][i].End < inputs[r][j].End })
+	}
+	arrivesIn := func(st slog2.State) (slog2.Arrow, bool) {
+		for _, a := range arrows {
+			if a.DstRank == st.Rank && a.End >= st.Start && a.End <= st.End {
+				return a, true
+			}
+		}
+		return slog2.Arrow{}, false
+	}
+
+	var rev []PathSeg
+	rank, t := endRank, endT
+	for steps := 0; steps < 10000 && t > f.Start; steps++ {
+		// Latest input state on this rank ending at or before t.
+		var dep *slog2.State
+		for i := len(inputs[rank]) - 1; i >= 0; i-- {
+			s := inputs[rank][i]
+			if s.End <= t+1e-12 {
+				dep = &inputs[rank][i]
+				break
+			}
+		}
+		if dep == nil {
+			rev = append(rev, PathSeg{Kind: "compute", Rank: rank, SrcRank: -1, Start: f.Start, End: t})
+			break
+		}
+		if dep.End < t {
+			rev = append(rev, PathSeg{Kind: "compute", Rank: rank, SrcRank: -1, Start: dep.End, End: t})
+		}
+		a, ok := arrivesIn(*dep)
+		if !ok {
+			// Blocked wait with no recorded message (e.g. select): charge
+			// it locally and continue before the state began.
+			rev = append(rev, PathSeg{Kind: "compute", Rank: rank, SrcRank: -1, Start: dep.Start, End: dep.End})
+			t = dep.Start
+			continue
+		}
+		rev = append(rev, PathSeg{Kind: "message", Rank: rank, SrcRank: a.SrcRank, Start: a.Start, End: dep.End})
+		rank, t = a.SrcRank, a.Start
+	}
+	// Reverse into chronological order and merge zero-length noise.
+	var out []PathSeg
+	for i := len(rev) - 1; i >= 0; i-- {
+		if rev[i].Duration() > 1e-12 {
+			out = append(out, rev[i])
+		}
+	}
+	return out
+}
+
+// FormatCriticalPath renders the path with per-segment durations and the
+// share of total wall-clock each segment accounts for.
+func FormatCriticalPath(path []PathSeg) string {
+	if len(path) == 0 {
+		return "empty critical path\n"
+	}
+	total := path[len(path)-1].End - path[0].Start
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path: %.6fs across %d segment(s)\n", total, len(path))
+	for _, s := range path {
+		share := 0.0
+		if total > 0 {
+			share = s.Duration() / total * 100
+		}
+		switch s.Kind {
+		case "message":
+			fmt.Fprintf(&b, "  [%12.6f, %12.6f] message P%d->P%d %10.6fs (%4.1f%%)\n",
+				s.Start, s.End, s.SrcRank, s.Rank, s.Duration(), share)
+		default:
+			fmt.Fprintf(&b, "  [%12.6f, %12.6f] compute P%-12d %10.6fs (%4.1f%%)\n",
+				s.Start, s.End, s.Rank, s.Duration(), share)
+		}
+	}
+	return b.String()
+}

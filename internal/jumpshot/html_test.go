@@ -1,0 +1,53 @@
+package jumpshot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderHTMLSelfContained(t *testing.T) {
+	f := makeLog(t)
+	f.Warnings = append(f.Warnings, "Equal Drawables: demo warning")
+	html := RenderHTML(f, View{Title: "demo run"})
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"demo run",
+		"<svg",             // embedded timeline
+		"viewBox",          // zoom script wiring
+		"addEventListener", // interaction script
+		"legend",
+		"Compute",
+		"incl (s)",
+		"Equal Drawables: demo warning",
+		"</html>",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	// Self-contained: no external references (the SVG xmlns is a
+	// namespace identifier, never fetched).
+	stripped := strings.ReplaceAll(html, `xmlns="http://www.w3.org/2000/svg"`, "")
+	for _, banned := range []string{"http://", "https://", "src=", "href="} {
+		if strings.Contains(stripped, banned) {
+			t.Errorf("HTML references external resource via %q", banned)
+		}
+	}
+}
+
+func TestRenderHTMLEscapes(t *testing.T) {
+	f := makeLog(t)
+	f.Warnings = append(f.Warnings, `<script>alert("x")</script>`)
+	html := RenderHTML(f, View{Title: `<img onerror=x>`})
+	if strings.Contains(html, `<script>alert`) || strings.Contains(html, "<img onerror") {
+		t.Error("HTML output not escaped")
+	}
+}
+
+func TestRenderHTMLDefaultTitle(t *testing.T) {
+	f := makeLog(t)
+	html := RenderHTML(f, View{})
+	if !strings.Contains(html, "Pilot visual log") {
+		t.Error("default title missing")
+	}
+}

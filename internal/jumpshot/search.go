@@ -1,0 +1,120 @@
+package jumpshot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/slog2"
+)
+
+// Hit is one result of the search-and-scan facility, which "helps locate
+// graphical objects which are hard to find".
+type Hit struct {
+	// Kind is "state", "event" or "arrow".
+	Kind string
+	// Name is the category name ("arrow" for arrows).
+	Name string
+	Rank int // for arrows, the source rank
+	// Start and End bound the drawable (equal for events).
+	Start, End float64
+	// Detail is the popup-style description.
+	Detail string
+}
+
+// SearchOptions narrows a search.
+type SearchOptions struct {
+	// Name, if non-empty, matches category names case-insensitively by
+	// substring.
+	Name string
+	// Rank, if non-negative, restricts hits to one timeline.
+	Rank int
+	// From/To bound the scan window; zero values mean the whole log.
+	From, To float64
+	// MinDuration drops states shorter than this (seconds).
+	MinDuration float64
+	// Cargo, if non-empty, matches popup text by substring.
+	Cargo string
+	// Limit caps the number of hits (0 = unlimited).
+	Limit int
+}
+
+// Search scans the log for drawables matching opts, returning hits in
+// start-time order.
+func Search(f *slog2.File, opts SearchOptions) []Hit {
+	t0, t1 := opts.From, opts.To
+	if t1 <= t0 {
+		t0, t1 = f.Start, f.End
+	}
+	nameMatch := func(name string) bool {
+		if opts.Name == "" {
+			return true
+		}
+		return strings.Contains(strings.ToLower(name), strings.ToLower(opts.Name))
+	}
+	cargoMatch := func(cargo string) bool {
+		if opts.Cargo == "" {
+			return true
+		}
+		return strings.Contains(strings.ToLower(cargo), strings.ToLower(opts.Cargo))
+	}
+	rankMatch := func(rank int) bool { return opts.Rank < 0 || rank == opts.Rank }
+
+	states, arrows, events := f.Query(t0, t1)
+	var hits []Hit
+	for _, s := range states {
+		name := f.Categories[s.Cat].Name
+		if !nameMatch(name) || !rankMatch(s.Rank) || s.Duration() < opts.MinDuration {
+			continue
+		}
+		if !cargoMatch(s.StartCargo) && !cargoMatch(s.EndCargo) {
+			continue
+		}
+		hits = append(hits, Hit{
+			Kind: "state", Name: name, Rank: s.Rank, Start: s.Start, End: s.End,
+			Detail: fmt.Sprintf("dur: %.6fs %s", s.Duration(), s.StartCargo),
+		})
+	}
+	for _, e := range events {
+		name := f.Categories[e.Cat].Name
+		if !nameMatch(name) || !rankMatch(e.Rank) || !cargoMatch(e.Cargo) || opts.MinDuration > 0 {
+			continue
+		}
+		hits = append(hits, Hit{
+			Kind: "event", Name: name, Rank: e.Rank, Start: e.Time, End: e.Time,
+			Detail: e.Cargo,
+		})
+	}
+	if nameMatch("arrow") && opts.Cargo == "" {
+		for _, a := range arrows {
+			if !rankMatch(a.SrcRank) && !rankMatch(a.DstRank) {
+				continue
+			}
+			if a.End-a.Start < opts.MinDuration {
+				continue
+			}
+			// The arrow popup: "the start and end times of the
+			// transmission, its duration, the MPI tag, and message size."
+			hits = append(hits, Hit{
+				Kind: "arrow", Name: "arrow", Rank: a.SrcRank, Start: a.Start, End: a.End,
+				Detail: fmt.Sprintf("dur: %.6fs to: P%d tag: %d size: %d",
+					a.End-a.Start, a.DstRank, a.Tag, a.Size),
+			})
+		}
+	}
+	sort.SliceStable(hits, func(i, j int) bool { return hits[i].Start < hits[j].Start })
+	if opts.Limit > 0 && len(hits) > opts.Limit {
+		hits = hits[:opts.Limit]
+	}
+	return hits
+}
+
+// FormatHits renders hits as an aligned text listing.
+func FormatHits(hits []Hit) string {
+	var b strings.Builder
+	for _, h := range hits {
+		fmt.Fprintf(&b, "%-6s %-14s P%-3d [%12.6f, %12.6f] %s\n",
+			h.Kind, h.Name, h.Rank, h.Start, h.End, h.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,356 @@
+package jumpshot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/colors"
+	"repro/internal/slog2"
+)
+
+// View controls a timeline rendering: the zoom viewport, canvas size, and
+// the preview threshold beyond which a timeline degrades to Jumpshot's
+// striped proportional rectangles.
+type View struct {
+	// From/To bound the viewport; if To <= From the whole log is shown.
+	From, To float64
+	// Width is the canvas width in pixels (default 1200).
+	Width int
+	// RowHeight is the per-timeline height in pixels (default 36).
+	RowHeight int
+	// PreviewThreshold is the per-rank state count above which the rank is
+	// drawn as striped previews instead of individual rectangles (default
+	// 512, 0 = default; negative disables previews).
+	PreviewThreshold int
+	// HideArrows/HideEvents suppress those drawable kinds.
+	HideArrows bool
+	HideEvents bool
+	// HideEmptyRanks drops timelines with no drawables in the viewport
+	// (Pilot's service rank logs nothing, like the real thing).
+	HideEmptyRanks bool
+	// Title is drawn above the canvas.
+	Title string
+	// RankNames optionally labels timelines (default "P<rank>", rank 0
+	// labelled PI_MAIN as in the paper's figures).
+	RankNames map[int]string
+	// RankOrder, when non-nil, selects and orders the timelines shown —
+	// Jumpshot's "timeline cut and paste". Ranks not listed are dropped.
+	RankOrder []int
+	// Expand multiplies individual timeline heights — Jumpshot's
+	// "vertical expansion of timelines". Missing entries default to 1.
+	Expand map[int]int
+}
+
+const (
+	marginLeft   = 74
+	marginTop    = 34
+	marginBottom = 26
+	marginRight  = 14
+)
+
+func (v View) normalized(f *slog2.File) View {
+	if v.To <= v.From {
+		v.From, v.To = f.Start, f.End
+	}
+	if v.To <= v.From {
+		v.To = v.From + 1e-9
+	}
+	if v.Width <= 0 {
+		v.Width = 1200
+	}
+	if v.RowHeight <= 0 {
+		v.RowHeight = 36
+	}
+	if v.PreviewThreshold == 0 {
+		v.PreviewThreshold = 512
+	}
+	return v
+}
+
+// RenderSVG draws the log under the given view as a standalone SVG
+// document on a dark canvas, Jumpshot-style: timelines per rank (rank 0 =
+// PI_MAIN at the top), coloured state rectangles with nesting insets,
+// yellow event bubbles, white message arrows, an axis in global seconds,
+// and popup details as SVG tooltips.
+func RenderSVG(f *slog2.File, v View) string {
+	v = v.normalized(f)
+	states, arrows, events := f.Query(v.From, v.To)
+
+	// Decide which ranks to draw and in what order (timeline cut/paste).
+	present := map[int]bool{}
+	for _, s := range states {
+		present[s.Rank] = true
+	}
+	for _, e := range events {
+		present[e.Rank] = true
+	}
+	for _, a := range arrows {
+		present[a.SrcRank] = true
+		present[a.DstRank] = true
+	}
+	var ranks []int
+	if v.RankOrder != nil {
+		for _, r := range v.RankOrder {
+			if r >= 0 && r < f.NumRanks {
+				ranks = append(ranks, r)
+			}
+		}
+	} else {
+		for r := 0; r < f.NumRanks; r++ {
+			if present[r] || !v.HideEmptyRanks {
+				ranks = append(ranks, r)
+			}
+		}
+	}
+	shown := map[int]bool{}
+	for _, r := range ranks {
+		shown[r] = true
+	}
+	// Per-timeline heights (vertical expansion) and row layout.
+	heightOf := func(rank int) int {
+		mul := v.Expand[rank]
+		if mul < 1 {
+			mul = 1
+		}
+		return v.RowHeight * mul
+	}
+	rowTops := map[int]float64{}
+	rowHeights := map[int]int{}
+	y := marginTop
+	for _, r := range ranks {
+		rowTops[r] = float64(y)
+		rowHeights[r] = heightOf(r)
+		y += rowHeights[r]
+	}
+
+	width := v.Width
+	height := y + marginBottom
+	plotW := float64(width - marginLeft - marginRight)
+	xOf := func(t float64) float64 {
+		return float64(marginLeft) + plotW*(t-v.From)/(v.To-v.From)
+	}
+	rowTop := func(rank int) float64 { return rowTops[rank] }
+	rowMid := func(rank int) float64 { return rowTops[rank] + float64(rowHeights[rank])/2 }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="#101010"/>`+"\n", width, height)
+	if v.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="16" fill="#e0e0e0" font-size="13">%s</text>`+"\n", marginLeft, esc(v.Title))
+	}
+
+	// Row separators and labels.
+	for _, r := range ranks {
+		y := rowTop(r)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#303030"/>`+"\n",
+			marginLeft, y, width-marginRight, y)
+		label := v.RankNames[r]
+		if label == "" {
+			if r == 0 {
+				label = "PI_MAIN"
+			} else {
+				label = fmt.Sprintf("P%d", r)
+			}
+		}
+		fmt.Fprintf(&b, `<text x="6" y="%.1f" fill="#c0c0c0">%s</text>`+"\n", rowMid(r)+4, esc(label))
+	}
+
+	// Axis ticks.
+	for i := 0; i <= 8; i++ {
+		t := v.From + (v.To-v.From)*float64(i)/8
+		x := xOf(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#404040"/>`+"\n",
+			x, marginTop, x, height-marginBottom)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" fill="#909090" text-anchor="middle">%.4gs</text>`+"\n",
+			x, height-8, t)
+	}
+
+	// States per rank, individually or as striped previews.
+	byRank := map[int][]slog2.State{}
+	for _, s := range states {
+		byRank[s.Rank] = append(byRank[s.Rank], s)
+	}
+	for _, r := range ranks {
+		rs := byRank[r]
+		if len(rs) == 0 {
+			continue
+		}
+		if v.PreviewThreshold > 0 && len(rs) > v.PreviewThreshold {
+			b.WriteString(renderPreviewRow(f, rs, v, xOf, rowTop(r), rowHeights[r]))
+			continue
+		}
+		b.WriteString(renderStateRow(f, rs, v, xOf, rowTop(r), rowHeights[r]))
+	}
+
+	// Arrows: white, drawn over states, with the popup the paper lists.
+	if !v.HideArrows {
+		for _, a := range arrows {
+			if !shown[a.SrcRank] || !shown[a.DstRank] {
+				continue
+			}
+			x1, y1 := xOf(a.Start), rowMid(a.SrcRank)
+			x2, y2 := xOf(a.End), rowMid(a.DstRank)
+			fmt.Fprintf(&b, `<g><line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+				x1, y1, x2, y2, colors.ArrowColor.Hex())
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="1.6" fill="%s"/>`, x2, y2, colors.ArrowColor.Hex())
+			fmt.Fprintf(&b, `<title>message P%d-&gt;P%d start: %.6f end: %.6f dur: %.6f tag: %d size: %d</title></g>`+"\n",
+				a.SrcRank, a.DstRank, a.Start, a.End, a.End-a.Start, a.Tag, a.Size)
+		}
+	}
+
+	// Event bubbles on top.
+	if !v.HideEvents {
+		for _, e := range events {
+			if !shown[e.Rank] {
+				continue
+			}
+			fmt.Fprintf(&b, `<g><circle cx="%.1f" cy="%.1f" r="2.6" fill="%s" stroke="#806000"/>`,
+				xOf(e.Time), rowMid(e.Rank), hexOf(f.Categories[e.Cat].Color))
+			fmt.Fprintf(&b, `<title>%s t: %.6f %s</title></g>`+"\n",
+				esc(f.Categories[e.Cat].Name), e.Time, esc(e.Cargo))
+		}
+	}
+
+	b.WriteString(renderInlineLegend(f, width, height))
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// renderStateRow draws one rank's states as nested rectangles: outer
+// states first, each nesting level inset vertically, exactly how Jumpshot
+// shows "state B fully nested within A ... as another rectangle within A".
+func renderStateRow(f *slog2.File, rs []slog2.State, v View, xOf func(float64) float64, top float64, rowHeight int) string {
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].Start != rs[j].Start {
+			return rs[i].Start < rs[j].Start
+		}
+		return rs[i].End > rs[j].End
+	})
+	var b strings.Builder
+	type openIv struct{ end float64 }
+	var stack []openIv
+	for _, s := range rs {
+		for len(stack) > 0 && stack[len(stack)-1].end <= s.Start {
+			stack = stack[:len(stack)-1]
+		}
+		depth := len(stack)
+		stack = append(stack, openIv{end: s.End})
+
+		inset := float64(depth * 4)
+		maxInset := float64(rowHeight)/2 - 4
+		if inset > maxInset {
+			inset = maxInset
+		}
+		x1, x2 := xOf(clampF(s.Start, v.From, v.To)), xOf(clampF(s.End, v.From, v.To))
+		w := x2 - x1
+		if w < 0.5 {
+			w = 0.5
+		}
+		y := top + 3 + inset
+		h := float64(rowHeight) - 6 - 2*inset
+		if h < 2 {
+			h = 2
+		}
+		cat := f.Categories[s.Cat]
+		fmt.Fprintf(&b, `<g><rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#000000" stroke-width="0.4"/>`,
+			x1, y, w, h, hexOf(cat.Color))
+		fmt.Fprintf(&b, `<title>%s start: %.6f end: %.6f dur: %.6f %s</title></g>`+"\n",
+			esc(cat.Name), s.Start, s.End, s.Duration(), esc(s.StartCargo))
+	}
+	return b.String()
+}
+
+// renderPreviewRow draws one rank's states as Jumpshot's zoomed-out
+// preview: outline rectangles per bucket containing horizontal stripes
+// whose thicknesses "indicate the relative proportions of each colour
+// within that interval".
+func renderPreviewRow(f *slog2.File, rs []slog2.State, v View, xOf func(float64) float64, top float64, rowHeight int) string {
+	const bucketPx = 10.0
+	plotW := xOf(v.To) - xOf(v.From)
+	nBuckets := int(plotW / bucketPx)
+	if nBuckets < 1 {
+		nBuckets = 1
+	}
+	span := (v.To - v.From) / float64(nBuckets)
+	// Per bucket, per category, exclusive (innermost-wins) state time, so
+	// the stripes show the proportions a viewer actually perceives.
+	buckets := exclusiveBuckets(rs, v.From, span, nBuckets)
+	var b strings.Builder
+	rowH := float64(rowHeight) - 6
+	for bi, m := range buckets {
+		if m == nil {
+			continue
+		}
+		x := xOf(v.From + float64(bi)*span)
+		w := plotW / float64(nBuckets)
+		var total float64
+		var cats []int
+		for cat, d := range m {
+			total += d
+			cats = append(cats, cat)
+		}
+		if total <= 0 {
+			continue
+		}
+		sort.Ints(cats)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#707070" stroke-width="0.5"/>`+"\n",
+			x, top+3, w, rowH)
+		y := top + 3.0
+		for _, cat := range cats {
+			frac := m[cat] / total
+			h := rowH * frac
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y, w, h, hexOf(f.Categories[cat].Color))
+			y += h
+		}
+	}
+	return b.String()
+}
+
+// renderInlineLegend draws colour swatches along the bottom margin.
+func renderInlineLegend(f *slog2.File, width, height int) string {
+	var b strings.Builder
+	x := marginLeft
+	y := height - 8
+	for _, c := range f.Categories {
+		if c.Kind != slog2.KindState {
+			continue
+		}
+		if x > width-140 {
+			break
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="9" height="9" fill="%s"/>`, x, y-9, hexOf(c.Color))
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#909090">%s</text>`+"\n", x+12, y, esc(c.Name))
+		x += 13 + 7*len(c.Name) + 10
+	}
+	return b.String()
+}
+
+// hexOf maps a colour name from the log to a hex value via the palette,
+// falling back to the name itself (SVG understands X11 names).
+func hexOf(name string) string {
+	for _, c := range []colors.Color{colors.Red, colors.Green, colors.ForestGreen,
+		colors.DarkGreen, colors.IndianRed, colors.Firebrick, colors.Salmon,
+		colors.Bisque, colors.Gray, colors.Yellow, colors.White} {
+		if c.Name == name {
+			return c.Hex()
+		}
+	}
+	return name
+}
+
+func clampF(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

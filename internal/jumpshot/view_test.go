@@ -1,0 +1,71 @@
+package jumpshot
+
+import (
+	"strings"
+	"testing"
+)
+
+// Timeline cut-and-paste: RankOrder selects and orders the timelines.
+func TestRankOrderCutAndPaste(t *testing.T) {
+	f := makeLog(t) // ranks 0, 1
+	// Only rank 1 shown.
+	svg := RenderSVG(f, View{RankOrder: []int{1}})
+	if strings.Contains(svg, ">PI_MAIN<") {
+		t.Error("dropped timeline still labelled")
+	}
+	if !strings.Contains(svg, ">P1<") {
+		t.Error("kept timeline missing")
+	}
+	// An arrow touching a hidden rank must not be drawn.
+	if strings.Contains(svg, "message P0-&gt;P1") {
+		t.Error("arrow to hidden timeline drawn")
+	}
+	// Reordered: both shown, P1 first.
+	svg = RenderSVG(f, View{RankOrder: []int{1, 0}})
+	p1 := strings.Index(svg, ">P1<")
+	p0 := strings.Index(svg, ">PI_MAIN<")
+	if p1 < 0 || p0 < 0 || p1 > p0 {
+		t.Errorf("timeline order not honoured: P1@%d PI_MAIN@%d", p1, p0)
+	}
+	// Out-of-range ranks are ignored, not fatal.
+	svg = RenderSVG(f, View{RankOrder: []int{0, 99, -2}})
+	if !strings.Contains(svg, ">PI_MAIN<") {
+		t.Error("valid rank dropped alongside invalid ones")
+	}
+}
+
+// Vertical expansion: an expanded timeline grows the canvas.
+func TestVerticalExpansion(t *testing.T) {
+	f := makeLog(t)
+	plain := RenderSVG(f, View{})
+	expanded := RenderSVG(f, View{Expand: map[int]int{1: 3}})
+	hOf := func(svg string) string {
+		i := strings.Index(svg, `height="`)
+		rest := svg[i+len(`height="`):]
+		return rest[:strings.Index(rest, `"`)]
+	}
+	if hOf(plain) == hOf(expanded) {
+		t.Errorf("expansion did not change canvas height (%s)", hOf(plain))
+	}
+}
+
+func TestRenderStatsSVG(t *testing.T) {
+	f := makeLog(t)
+	svg := RenderStatsSVG(f, f.Start, f.End, "load balance")
+	for _, want := range []string{
+		"<svg", "</svg>", "load balance",
+		"PI_MAIN", "P1",
+		"Compute:", // tooltip with category name
+		"100%",     // percentage grid
+		"#808080",  // compute gray segment
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("stats SVG missing %q", want)
+		}
+	}
+	// Default title includes the window.
+	svg = RenderStatsSVG(f, 0, 10, "")
+	if !strings.Contains(svg, "duration statistics") {
+		t.Error("default title missing")
+	}
+}

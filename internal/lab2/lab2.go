@@ -1,0 +1,162 @@
+// Package lab2 is the paper's Fig. 3 hands-on exercise as a library: W
+// workers each receive a work-allocation size and a data array over a
+// channel, sum their share in a compute loop, and report the subtotal
+// back to PI_MAIN, which prints the grand total. It is the program the
+// course uses to "show students a graphical representation of exactly
+// what these simple codes are doing".
+package lab2
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config sizes the exercise. The paper's source uses W=5 fixed workers
+// and NUM=10000 array elements.
+type Config struct {
+	// W is the number of workers (default 5).
+	W int
+	// NUM is the data array length (default 10000).
+	NUM int
+	// Seed varies the random numbers.
+	Seed int64
+	// UseCaret switches the workers to the V2.1 single-call "%^d" form
+	// described in the paper's footnote 3, replacing the two PI_Reads.
+	UseCaret bool
+	// Core carries Pilot options; NumProcs is computed from W.
+	Core core.Config
+}
+
+// Result reports one run.
+type Result struct {
+	// Subtotals holds each worker's reported sum, in worker order.
+	Subtotals []int
+	// Total is the grand total.
+	Total int
+	// Expected is the directly computed sum for verification.
+	Expected int
+	// Elapsed excludes the MPE wrap-up.
+	Elapsed time.Duration
+	// Runtime exposes the finished Pilot runtime.
+	Runtime *core.Runtime
+}
+
+// Run executes lab2.
+func Run(cfg Config) (*Result, error) {
+	if cfg.W < 1 {
+		cfg.W = 5
+	}
+	if cfg.NUM < cfg.W {
+		cfg.NUM = 10000
+	}
+	cc := cfg.Core
+	cc.NumProcs = cfg.W + 1
+	if cc.HasService(core.SvcNativeLog) || cc.HasService(core.SvcDeadlock) {
+		cc.NumProcs++
+	}
+	r, err := core.NewRuntime(cc)
+	if err != nil {
+		return nil, err
+	}
+
+	toWorker := make([]*core.Channel, cfg.W)
+	result := make([]*core.Channel, cfg.W)
+
+	// The work function from Fig. 3: two reads (size then data), a sum
+	// loop, one write. UseCaret collapses the reads into the "%^d" form.
+	workerFunc := func(self *core.Self, index int, arg any) int {
+		var myshare int
+		var buff []int
+		if cfg.UseCaret {
+			if err := toWorker[index].Read("%^d", &buff); err != nil {
+				return 1
+			}
+			myshare = len(buff)
+		} else {
+			if err := toWorker[index].Read("%d", &myshare); err != nil {
+				return 1
+			}
+			buff = make([]int, myshare)
+			if err := toWorker[index].Read("%*d", myshare, buff); err != nil {
+				return 1
+			}
+		}
+		sum := 0
+		for i := 0; i < myshare; i++ {
+			sum += buff[i]
+		}
+		if err := result[index].Write("%d", sum); err != nil {
+			return 1
+		}
+		return 0
+	}
+
+	for i := 0; i < cfg.W; i++ {
+		p, err := r.CreateProcess(workerFunc, i, nil)
+		if err != nil {
+			return nil, err
+		}
+		if toWorker[i], err = r.CreateChannel(r.MainProc(), p); err != nil {
+			return nil, err
+		}
+		if result[i], err = r.CreateChannel(p, r.MainProc()); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := r.StartAll(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	// Fill the numbers array with pseudo-random values.
+	numbers := make([]int, cfg.NUM)
+	s := uint64(cfg.Seed)*2862933555777941757 + 3037000493
+	expected := 0
+	for i := range numbers {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		numbers[i] = int(s % 1000)
+		expected += numbers[i]
+	}
+
+	for i := 0; i < cfg.W; i++ {
+		portion := cfg.NUM / cfg.W
+		if i == cfg.W-1 {
+			portion += cfg.NUM % cfg.W
+		}
+		share := numbers[i*(cfg.NUM/cfg.W) : i*(cfg.NUM/cfg.W)+portion]
+		if cfg.UseCaret {
+			if err := toWorker[i].Write("%^d", share); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := toWorker[i].Write("%d", portion); err != nil {
+				return nil, err
+			}
+			if err := toWorker[i].Write("%*d", portion, share); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	res := &Result{Expected: expected, Runtime: r}
+	for i := 0; i < cfg.W; i++ {
+		var sum int
+		if err := result[i].Read("%d", &sum); err != nil {
+			return nil, err
+		}
+		res.Subtotals = append(res.Subtotals, sum)
+		res.Total += sum
+	}
+	if err := r.StopMain(0); err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start) - r.WrapUpTime()
+	if res.Total != res.Expected {
+		return res, fmt.Errorf("lab2: grand total %d != expected %d", res.Total, res.Expected)
+	}
+	return res, nil
+}

@@ -1,0 +1,84 @@
+package mpe
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/clog2"
+	"repro/internal/mpi"
+)
+
+// Property: the merged CLOG-2 contains exactly the records every rank
+// buffered (plus one timeshift per rank and the definition table), for
+// random per-rank logging loads.
+func TestFinishMergePreservesEverythingProperty(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(5) + 1
+		w := mpi.NewWorld(n, mpi.Options{})
+		g := NewGroup(w, true)
+		sids := []StateID{
+			g.DescribeState("A", "red"),
+			g.DescribeState("B", "green"),
+		}
+		eid := g.DescribeEvent("E", "yellow")
+
+		wantPerRank := make([]int, n)
+		loads := make([]int, n)
+		for r := 0; r < n; r++ {
+			loads[r] = rng.Intn(50)
+		}
+		var out bytes.Buffer
+		errs := w.Run(func(r *mpi.Rank) error {
+			l := g.Logger(r.ID())
+			for i := 0; i < loads[r.ID()]; i++ {
+				sid := sids[i%len(sids)]
+				l.StateStart(sid, "x")
+				l.StateEnd(sid, "")
+				if i%3 == 0 {
+					l.Event(eid, "e")
+				}
+			}
+			if r.ID() == 0 {
+				return l.Finish(&out)
+			}
+			return l.Finish(nil)
+		})
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("seed %d rank %d: %v", seed, i, err)
+			}
+		}
+		for r := 0; r < n; r++ {
+			wantPerRank[r] = 2*loads[r] + (loads[r]+2)/3 // starts+ends+events
+		}
+
+		f, err := clog2.Read(&out)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		gotPerRank := make([]int, n)
+		shifts := 0
+		for _, rec := range f.Records() {
+			switch rec.Type {
+			case clog2.RecCargoEvt, clog2.RecBareEvt:
+				gotPerRank[rec.Rank]++
+			case clog2.RecTimeShift:
+				shifts++
+			}
+		}
+		for r := 0; r < n; r++ {
+			if gotPerRank[r] != wantPerRank[r] {
+				t.Fatalf("seed %d rank %d: merged %d records, want %d",
+					seed, r, gotPerRank[r], wantPerRank[r])
+			}
+		}
+		if shifts != n {
+			t.Fatalf("seed %d: %d timeshifts, want %d", seed, shifts, n)
+		}
+		if got := len(f.StateDefs()); got != 2 {
+			t.Fatalf("seed %d: %d state defs", seed, got)
+		}
+	}
+}

@@ -1,0 +1,401 @@
+// Package mpe reproduces the Multi-Processing Environment logging library
+// that the paper adapts for Pilot: event IDs allocated at initialisation,
+// states (paired start/end events) and solo events with name and colour
+// properties, per-rank log buffers stamped by each rank's own clock,
+// send/receive records that the converter pairs into arrows, clock
+// synchronisation to undo drift, and a final collective merge that ships
+// every rank's buffer to rank 0 and writes one CLOG-2 file.
+//
+// Two properties from the paper are deliberately preserved:
+//
+//   - The merge happens at program end over MPI messages, so the wrap-up
+//     cost is paid at termination (measured in Section III.E) and the log
+//     is unrecoverably lost if the world aborts first (Section III.B).
+//   - Event cargo is limited to 40 bytes, as in MPE.
+package mpe
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+
+	"repro/internal/clog2"
+	"repro/internal/mpi"
+)
+
+// StateID names a defined state (a pair of start/end event types).
+type StateID int32
+
+// EventID names a defined solo event.
+type EventID int32
+
+const soloBase = 1 << 20 // solo etypes live above all state etypes
+
+func startEtype(s StateID) int32 { return int32(s) * 2 }
+func endEtype(s StateID) int32   { return int32(s)*2 + 1 }
+func soloEtype(e EventID) int32  { return soloBase + int32(e) }
+
+// IsStartEtype reports whether etype marks a state start, and the state.
+func IsStartEtype(etype int32) (StateID, bool) {
+	if etype >= soloBase || etype%2 != 0 {
+		return 0, false
+	}
+	return StateID(etype / 2), true
+}
+
+// IsEndEtype reports whether etype marks a state end, and the state.
+func IsEndEtype(etype int32) (StateID, bool) {
+	if etype >= soloBase || etype%2 == 0 {
+		return 0, false
+	}
+	return StateID(etype / 2), true
+}
+
+// IsSoloEtype reports whether etype is a solo event, and which.
+func IsSoloEtype(etype int32) (EventID, bool) {
+	if etype < soloBase {
+		return 0, false
+	}
+	return EventID(etype - soloBase), true
+}
+
+// Group owns the logging state for one MPI world: the definition tables
+// and one Logger per rank.
+type Group struct {
+	world   *mpi.World
+	enabled bool
+
+	mu     sync.Mutex
+	states []def // index = StateID-1
+	events []def // index = EventID-1
+	// spillPrefix, when non-empty, makes every logger write each record
+	// through to an abort-surviving spill file (see spill.go).
+	spillPrefix string
+
+	loggers []*Logger
+}
+
+type def struct {
+	name  string
+	color string
+}
+
+// NewGroup creates logging state for world. When enabled is false every
+// logging call is a no-op, which is the "-pisvc without j" configuration
+// used as the overhead baseline.
+func NewGroup(world *mpi.World, enabled bool) *Group {
+	g := &Group{world: world, enabled: enabled}
+	g.loggers = make([]*Logger, world.Size())
+	for i := range g.loggers {
+		g.loggers[i] = &Logger{g: g, rank: world.Rank(i)}
+	}
+	return g
+}
+
+// Enabled reports whether logging is active.
+func (g *Group) Enabled() bool { return g.enabled }
+
+// DescribeState defines a state with display properties and returns its
+// ID. Definitions are shared by all ranks (Pilot defines every state once,
+// during the configuration phase).
+func (g *Group) DescribeState(name, color string) StateID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.states = append(g.states, def{name, color})
+	return StateID(len(g.states))
+}
+
+// DescribeEvent defines a solo event and returns its ID.
+func (g *Group) DescribeEvent(name, color string) EventID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.events = append(g.events, def{name, color})
+	return EventID(len(g.events))
+}
+
+// Logger returns rank's logger.
+func (g *Group) Logger(rank int) *Logger { return g.loggers[rank] }
+
+// defRecords renders the definition tables as CLOG-2 records (written in
+// rank 0's first block).
+func (g *Group) defRecords() []clog2.Record {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	recs := make([]clog2.Record, 0, len(g.states)+len(g.events))
+	for i, d := range g.states {
+		id := StateID(i + 1)
+		recs = append(recs, clog2.Record{
+			Type: clog2.RecStateDef, ID: int32(id),
+			Aux1: startEtype(id), Aux2: endEtype(id),
+			Color: d.color, Name: d.name,
+		})
+	}
+	for i, d := range g.events {
+		id := EventID(i + 1)
+		recs = append(recs, clog2.Record{
+			Type: clog2.RecEventDef, ID: soloEtype(id),
+			Color: d.color, Name: d.name,
+		})
+	}
+	return recs
+}
+
+// Logger is one rank's event log. A Logger must only be used from the
+// goroutine acting as its rank, mirroring MPE's per-process logging.
+type Logger struct {
+	g    *Group
+	rank *mpi.Rank
+	recs []clog2.Record
+
+	sp        *spill
+	spErr     error
+	spChecked bool
+	spPrefix  string
+}
+
+// Rank returns the MPI rank this logger belongs to.
+func (l *Logger) Rank() int { return l.rank.ID() }
+
+// Enabled reports whether logging is active for this logger's group.
+func (l *Logger) Enabled() bool { return l.g.enabled }
+
+// Len returns the number of buffered records (diagnostics and tests).
+func (l *Logger) Len() int { return len(l.recs) }
+
+func (l *Logger) append(r clog2.Record) {
+	r.Time = l.rank.Wtime()
+	r.Rank = int32(l.rank.ID())
+	l.recs = append(l.recs, r)
+	if !l.spChecked {
+		// EnableSpill happens before any logging (configuration phase),
+		// so the prefix can be cached on first use.
+		l.spPrefix = l.g.SpillPrefix()
+		l.spChecked = true
+	}
+	if l.spPrefix != "" {
+		l.spillRecord(r)
+	}
+}
+
+// StateStart logs the beginning of an instance of state s. cargo is
+// truncated to the MPE 40-byte limit on output.
+func (l *Logger) StateStart(s StateID, cargo string) {
+	if !l.g.enabled {
+		return
+	}
+	l.append(clog2.Record{Type: clog2.RecCargoEvt, ID: startEtype(s), Text: cargo})
+}
+
+// StateEnd logs the end of an instance of state s.
+func (l *Logger) StateEnd(s StateID, cargo string) {
+	if !l.g.enabled {
+		return
+	}
+	l.append(clog2.Record{Type: clog2.RecCargoEvt, ID: endEtype(s), Text: cargo})
+}
+
+// Event logs a solo event — a bubble in Jumpshot.
+func (l *Logger) Event(e EventID, cargo string) {
+	if !l.g.enabled {
+		return
+	}
+	l.append(clog2.Record{Type: clog2.RecCargoEvt, ID: soloEtype(e), Text: cargo})
+}
+
+// LogSend records the sending half of a message arrow. The converter
+// pairs it with a LogRecv carrying the same (peer, tag) — "MPE_Log_send
+// and MPE_Log_receive should be called in pairs with matching tag number
+// and length of data".
+func (l *Logger) LogSend(dst, tag, size int) {
+	if !l.g.enabled {
+		return
+	}
+	l.append(clog2.Record{Type: clog2.RecMsgEvt, Dir: clog2.DirSend,
+		Aux1: int32(dst), Aux2: int32(tag), Aux3: int32(size)})
+}
+
+// LogRecv records the receiving half of a message arrow.
+func (l *Logger) LogRecv(src, tag, size int) {
+	if !l.g.enabled {
+		return
+	}
+	l.append(clog2.Record{Type: clog2.RecMsgEvt, Dir: clog2.DirRecv,
+		Aux1: int32(src), Aux2: int32(tag), Aux3: int32(size)})
+}
+
+// Clock-sync message tags within mpi.CtxLog.
+const (
+	tagSyncPing = iota
+	tagSyncReply
+	tagSyncOffset
+	tagCollect
+)
+
+const syncRounds = 4
+
+// Finish is the collective log wrap-up (MPE_Log_sync_clocks followed by
+// MPE_Finish_log): every rank must call it. Clocks are synchronised
+// against rank 0 by ping-pong offset estimation, each rank shifts its
+// buffered timestamps onto rank 0's timebase and records a TimeShift,
+// then all buffers travel to rank 0, which writes the single merged
+// CLOG-2 file to w (only rank 0's w is used; other ranks may pass nil).
+//
+// If the world has aborted, Finish fails and the log is lost — the
+// behaviour the paper documents for PI_Abort.
+func (l *Logger) Finish(w io.Writer) error {
+	offset, err := l.syncClocks()
+	if err != nil {
+		return fmt.Errorf("mpe: clock sync: %w", err)
+	}
+	if offset != 0 {
+		for i := range l.recs {
+			l.recs[i].Time -= offset
+		}
+	}
+	l.recs = append(l.recs, clog2.Record{
+		Type: clog2.RecTimeShift, Time: l.rank.Wtime() - offset,
+		Rank: int32(l.rank.ID()), Shift: offset,
+	})
+
+	if l.rank.ID() != 0 {
+		var buf bytes.Buffer
+		cw, err := clog2.NewWriter(&buf, l.rank.Size())
+		if err != nil {
+			return err
+		}
+		if err := cw.WriteBlock(int32(l.rank.ID()), l.recs); err != nil {
+			return err
+		}
+		if err := cw.Close(); err != nil {
+			return err
+		}
+		if err := l.rank.SendCtx(mpi.CtxLog, 0, tagCollect, buf.Bytes()); err != nil {
+			l.closeSpill(false) // keep the fragment; the merge failed
+			return err
+		}
+		l.closeSpill(true) // merged log supersedes the spill
+		return nil
+	}
+
+	// Rank 0: write definitions + own block, then collect the others.
+	if w == nil {
+		return fmt.Errorf("mpe: rank 0 Finish needs an output writer")
+	}
+	cw, err := clog2.NewWriter(w, l.rank.Size())
+	if err != nil {
+		return err
+	}
+	if err := cw.WriteBlock(0, append(l.g.defRecords(), l.recs...)); err != nil {
+		return err
+	}
+	for src := 1; src < l.rank.Size(); src++ {
+		m, err := l.rank.RecvCtx(mpi.CtxLog, src, tagCollect)
+		if err != nil {
+			l.closeSpill(false)
+			return fmt.Errorf("mpe: collecting rank %d log: %w", src, err)
+		}
+		sub, err := clog2.Read(bytes.NewReader(m.Data))
+		if err != nil {
+			l.closeSpill(false)
+			return fmt.Errorf("mpe: parsing rank %d log: %w", src, err)
+		}
+		for _, b := range sub.Blocks {
+			if err := cw.WriteBlock(b.Rank, b.Records); err != nil {
+				l.closeSpill(false)
+				return err
+			}
+		}
+	}
+	if err := cw.Close(); err != nil {
+		l.closeSpill(false)
+		return err
+	}
+	l.closeSpill(true)
+	if prefix := l.g.SpillPrefix(); prefix != "" {
+		os.Remove(spillDefsPath(prefix))
+	}
+	return nil
+}
+
+// FinishFile is Finish writing to a file path on rank 0.
+func (l *Logger) FinishFile(path string) error {
+	if l.rank.ID() != 0 {
+		return l.Finish(nil)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := l.Finish(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncClocks estimates this rank's clock offset relative to rank 0 using
+// the ping-pong scheme (several rounds, best RTT wins). Rank 0's offset is
+// zero by definition.
+func (l *Logger) syncClocks() (float64, error) {
+	r := l.rank
+	if r.Size() == 1 {
+		return 0, nil
+	}
+	if r.ID() == 0 {
+		for peer := 1; peer < r.Size(); peer++ {
+			bestRTT := -1.0
+			bestOff := 0.0
+			for round := 0; round < syncRounds; round++ {
+				t0 := r.Wtime()
+				if err := r.SendCtx(mpi.CtxLog, peer, tagSyncPing, nil); err != nil {
+					return 0, err
+				}
+				m, err := r.RecvCtx(mpi.CtxLog, peer, tagSyncReply)
+				if err != nil {
+					return 0, err
+				}
+				t1 := r.Wtime()
+				remote := decodeF64(m.Data)
+				rtt := t1 - t0
+				if bestRTT < 0 || rtt < bestRTT {
+					bestRTT = rtt
+					bestOff = remote - (t0+t1)/2
+				}
+			}
+			if err := r.SendCtx(mpi.CtxLog, peer, tagSyncOffset, encodeF64(bestOff)); err != nil {
+				return 0, err
+			}
+		}
+		return 0, nil
+	}
+	for round := 0; round < syncRounds; round++ {
+		if _, err := r.RecvCtx(mpi.CtxLog, 0, tagSyncPing); err != nil {
+			return 0, err
+		}
+		if err := r.SendCtx(mpi.CtxLog, 0, tagSyncReply, encodeF64(r.Wtime())); err != nil {
+			return 0, err
+		}
+	}
+	m, err := r.RecvCtx(mpi.CtxLog, 0, tagSyncOffset)
+	if err != nil {
+		return 0, err
+	}
+	return decodeF64(m.Data), nil
+}
+
+func encodeF64(v float64) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	return buf[:]
+}
+
+func decodeF64(b []byte) float64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}

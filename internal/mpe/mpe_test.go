@@ -1,0 +1,316 @@
+package mpe
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/clog2"
+	"repro/internal/mpi"
+)
+
+func TestEtypeMapping(t *testing.T) {
+	s := StateID(7)
+	if st, ok := IsStartEtype(startEtype(s)); !ok || st != s {
+		t.Errorf("IsStartEtype(start(7)) = %v %v", st, ok)
+	}
+	if st, ok := IsEndEtype(endEtype(s)); !ok || st != s {
+		t.Errorf("IsEndEtype(end(7)) = %v %v", st, ok)
+	}
+	if _, ok := IsStartEtype(endEtype(s)); ok {
+		t.Error("end etype classified as start")
+	}
+	e := EventID(3)
+	if ev, ok := IsSoloEtype(soloEtype(e)); !ok || ev != e {
+		t.Errorf("IsSoloEtype = %v %v", ev, ok)
+	}
+	if _, ok := IsSoloEtype(startEtype(s)); ok {
+		t.Error("state etype classified as solo")
+	}
+}
+
+func TestDisabledGroupLogsNothing(t *testing.T) {
+	w := mpi.NewWorld(1, mpi.Options{})
+	g := NewGroup(w, false)
+	l := g.Logger(0)
+	sid := g.DescribeState("PI_Read", "red")
+	l.StateStart(sid, "x")
+	l.StateEnd(sid, "")
+	l.LogSend(0, 1, 2)
+	l.LogRecv(0, 1, 2)
+	l.Event(g.DescribeEvent("e", "yellow"), "")
+	if l.Len() != 0 {
+		t.Fatalf("disabled logger buffered %d records", l.Len())
+	}
+	if g.Enabled() || l.Enabled() {
+		t.Fatal("Enabled() reports true for disabled group")
+	}
+}
+
+// End-to-end: two ranks log states and a message, Finish merges to one
+// CLOG-2 file containing definitions, both blocks, and timeshifts.
+func TestFinishMergesAllRanks(t *testing.T) {
+	w := mpi.NewWorld(3, mpi.Options{})
+	g := NewGroup(w, true)
+	sidRead := g.DescribeState("PI_Read", "red")
+	sidWrite := g.DescribeState("PI_Write", "green")
+	evArrive := g.DescribeEvent("MsgArrival", "yellow")
+
+	var out bytes.Buffer
+	errs := w.Run(func(r *mpi.Rank) error {
+		l := g.Logger(r.ID())
+		switch r.ID() {
+		case 0:
+			l.StateStart(sidWrite, "line: 10")
+			l.LogSend(1, 5, 64)
+			if err := r.Send(1, 5, make([]byte, 64)); err != nil {
+				return err
+			}
+			l.StateEnd(sidWrite, "")
+		case 1:
+			l.StateStart(sidRead, "line: 20")
+			if _, err := r.Recv(0, 5); err != nil {
+				return err
+			}
+			l.LogRecv(0, 5, 64)
+			l.Event(evArrive, "chan: C1")
+			l.StateEnd(sidRead, "")
+		}
+		var dst *bytes.Buffer
+		if r.ID() == 0 {
+			dst = &out
+		}
+		if dst == nil {
+			return l.Finish(nil)
+		}
+		return l.Finish(dst)
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+
+	f, err := clog2.Read(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRanks != 3 {
+		t.Fatalf("NumRanks = %d", f.NumRanks)
+	}
+	if got := len(f.StateDefs()); got != 2 {
+		t.Fatalf("state defs = %d, want 2", got)
+	}
+	if got := len(f.EventDefs()); got != 1 {
+		t.Fatalf("event defs = %d, want 1", got)
+	}
+	// One block per rank (rank 2 logged nothing but still has a timeshift).
+	ranksSeen := map[int32]bool{}
+	var sends, recvs, shifts, cargo int
+	for _, b := range f.Blocks {
+		ranksSeen[b.Rank] = true
+		for _, rec := range b.Records {
+			switch rec.Type {
+			case clog2.RecMsgEvt:
+				if rec.Dir == clog2.DirSend {
+					sends++
+				} else {
+					recvs++
+				}
+			case clog2.RecTimeShift:
+				shifts++
+			case clog2.RecCargoEvt:
+				cargo++
+			}
+		}
+	}
+	if len(ranksSeen) != 3 {
+		t.Fatalf("blocks for ranks %v, want all 3", ranksSeen)
+	}
+	if sends != 1 || recvs != 1 {
+		t.Fatalf("sends=%d recvs=%d, want 1/1", sends, recvs)
+	}
+	if shifts != 3 {
+		t.Fatalf("timeshift records = %d, want 3", shifts)
+	}
+	if cargo != 5 { // 2 starts + 2 ends + 1 solo
+		t.Fatalf("cargo events = %d, want 5", cargo)
+	}
+}
+
+// With skewed rank clocks, Finish must land all timestamps on rank 0's
+// timebase: the receive of a message may never appear earlier than its
+// send by more than the sync error.
+func TestFinishSynchronisesClocks(t *testing.T) {
+	base := clock.NewReal()
+	w := mpi.NewWorld(2, mpi.Options{
+		Clocks: []clock.Source{
+			base,
+			clock.NewSkewed(base, -2.5, 0, 0), // rank 1's clock is 2.5 s behind
+		},
+	})
+	g := NewGroup(w, true)
+	sid := g.DescribeState("PI_Write", "green")
+
+	var out bytes.Buffer
+	errs := w.Run(func(r *mpi.Rank) error {
+		l := g.Logger(r.ID())
+		if r.ID() == 0 {
+			l.LogSend(1, 1, 8)
+			if err := r.Send(1, 1, make([]byte, 8)); err != nil {
+				return err
+			}
+			l.StateStart(sid, "")
+			l.StateEnd(sid, "")
+			return l.Finish(&out)
+		}
+		if _, err := r.Recv(0, 1); err != nil {
+			return err
+		}
+		l.LogRecv(0, 1, 8)
+		return l.Finish(nil)
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+
+	f, err := clog2.Read(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sendT, recvT float64 = -1, -1
+	var shift1 float64
+	for _, rec := range f.Records() {
+		if rec.Type == clog2.RecMsgEvt && rec.Dir == clog2.DirSend {
+			sendT = rec.Time
+		}
+		if rec.Type == clog2.RecMsgEvt && rec.Dir == clog2.DirRecv {
+			recvT = rec.Time
+		}
+		if rec.Type == clog2.RecTimeShift && rec.Rank == 1 {
+			shift1 = rec.Shift
+		}
+	}
+	if sendT < 0 || recvT < 0 {
+		t.Fatal("missing msg events")
+	}
+	if math.Abs(shift1-(-2.5)) > 0.05 {
+		t.Fatalf("rank 1 timeshift = %v, want ~-2.5", shift1)
+	}
+	if recvT < sendT-0.05 {
+		t.Fatalf("after sync, recv time %v precedes send time %v", recvT, sendT)
+	}
+}
+
+func TestFinishRankZeroNeedsWriter(t *testing.T) {
+	w := mpi.NewWorld(1, mpi.Options{})
+	g := NewGroup(w, true)
+	if err := g.Logger(0).Finish(nil); err == nil {
+		t.Fatal("rank 0 Finish(nil) succeeded")
+	}
+}
+
+// The paper's PI_Abort problem: once the world is aborted, the MPE log
+// cannot be collected.
+func TestLogLostOnAbort(t *testing.T) {
+	w := mpi.NewWorld(2, mpi.Options{})
+	g := NewGroup(w, true)
+	sid := g.DescribeState("PI_Write", "green")
+	g.Logger(0).StateStart(sid, "")
+	w.Rank(1).Abort(3)
+	var out bytes.Buffer
+	err := g.Logger(0).Finish(&out)
+	if !errors.Is(err, mpi.ErrAborted) {
+		t.Fatalf("Finish after abort: %v, want ErrAborted", err)
+	}
+	if out.Len() > 0 {
+		// A partial header may have been written before the failure was
+		// detected, but it must not parse as a complete file.
+		if _, err := clog2.Read(bytes.NewReader(out.Bytes())); err == nil {
+			t.Fatal("aborted run still produced a readable log")
+		}
+	}
+}
+
+func TestCargoTruncatedAtLimit(t *testing.T) {
+	w := mpi.NewWorld(1, mpi.Options{})
+	g := NewGroup(w, true)
+	sid := g.DescribeState("S", "red")
+	l := g.Logger(0)
+	l.StateStart(sid, strings.Repeat("y", 100))
+	var out bytes.Buffer
+	if err := l.Finish(&out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := clog2.Read(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range f.Records() {
+		if rec.Type == clog2.RecCargoEvt && len(rec.Text) > clog2.MaxCargo {
+			t.Fatalf("cargo %d bytes exceeds MPE limit", len(rec.Text))
+		}
+	}
+}
+
+func TestTimestampsNondecreasingPerRank(t *testing.T) {
+	w := mpi.NewWorld(1, mpi.Options{})
+	g := NewGroup(w, true)
+	sid := g.DescribeState("S", "red")
+	l := g.Logger(0)
+	for i := 0; i < 100; i++ {
+		l.StateStart(sid, "")
+		l.StateEnd(sid, "")
+	}
+	var out bytes.Buffer
+	if err := l.Finish(&out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := clog2.Read(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, rec := range f.Records() {
+		if rec.Type == clog2.RecStateDef || rec.Type == clog2.RecEventDef {
+			continue
+		}
+		if rec.Time < prev {
+			t.Fatalf("time went backwards: %v after %v", rec.Time, prev)
+		}
+		prev = rec.Time
+	}
+}
+
+func TestFinishFileWritesToDisk(t *testing.T) {
+	w := mpi.NewWorld(2, mpi.Options{})
+	g := NewGroup(w, true)
+	path := t.TempDir() + "/test.clog2"
+	errs := w.Run(func(r *mpi.Rank) error {
+		l := g.Logger(r.ID())
+		if r.ID() == 0 {
+			return l.FinishFile(path)
+		}
+		return l.FinishFile("ignored-on-nonzero-ranks")
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	b, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clog2.Read(bytes.NewReader(b)); err != nil {
+		t.Fatalf("written file unreadable: %v", err)
+	}
+}
+
+func readFile(path string) ([]byte, error) { return os.ReadFile(path) }

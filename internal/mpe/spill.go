@@ -1,0 +1,198 @@
+package mpe
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/clog2"
+)
+
+// Spill support: the paper's future work, implemented. "It would be
+// better if the MPE log could be finalized in all cases" — with spilling
+// enabled, every rank writes each record through to a per-rank spill file
+// as it is logged (the same write-per-entry discipline that makes the
+// native log abort-proof). A clean Finish removes the spill files; after
+// an abort, Salvage merges the surviving fragments into a complete CLOG-2
+// file.
+//
+// Caveat inherited from the design: records in spill files carry raw,
+// unsynchronised per-rank clocks, because MPE_Log_sync_clocks runs during
+// the wrap-up that an abort skips. With shared or mildly drifting clocks
+// the salvaged log is still perfectly usable for debugging — and
+// debugging an aborted program is exactly when you want it.
+
+// spill is a per-rank write-through CLOG-2 fragment.
+type spill struct {
+	f *os.File
+	w *clog2.Writer
+}
+
+// EnableSpill turns on write-through spilling for every logger in the
+// group. prefix names the spill family: rank r writes
+// "<prefix>.rank<r>.spill" and the definition table goes to
+// "<prefix>.defs.spill". Call before any logging happens.
+func (g *Group) EnableSpill(prefix string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.spillPrefix = prefix
+}
+
+// SpillPrefix returns the active spill prefix ("" when disabled).
+func (g *Group) SpillPrefix() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.spillPrefix
+}
+
+func spillRankPath(prefix string, rank int) string {
+	return fmt.Sprintf("%s.rank%d.spill", prefix, rank)
+}
+
+func spillDefsPath(prefix string) string { return prefix + ".defs.spill" }
+
+// SpillDefs writes the definition tables to the defs spill file. Pilot
+// calls it once, after all states and events are described (at
+// PI_StartAll).
+func (g *Group) SpillDefs() error {
+	prefix := g.SpillPrefix()
+	if prefix == "" || !g.enabled {
+		return nil
+	}
+	f, err := os.Create(spillDefsPath(prefix))
+	if err != nil {
+		return err
+	}
+	w, err := clog2.NewWriter(f, g.world.Size())
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.WriteBlock(0, g.defRecords()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ensureSpill lazily opens the logger's spill file (on the logger's own
+// goroutine, so no locking is needed beyond the prefix read).
+func (l *Logger) ensureSpill() *spill {
+	if l.sp != nil {
+		return l.sp
+	}
+	prefix := l.g.SpillPrefix()
+	if prefix == "" {
+		return nil
+	}
+	f, err := os.Create(spillRankPath(prefix, l.rank.ID()))
+	if err != nil {
+		l.spErr = err
+		l.sp = &spill{} // degraded: stop retrying
+		return nil
+	}
+	w, err := clog2.NewWriter(f, l.rank.Size())
+	if err != nil {
+		f.Close()
+		l.spErr = err
+		l.sp = &spill{}
+		return nil
+	}
+	l.sp = &spill{f: f, w: w}
+	return l.sp
+}
+
+// spillRecord writes one record through to disk immediately.
+func (l *Logger) spillRecord(rec clog2.Record) {
+	sp := l.ensureSpill()
+	if sp == nil || sp.w == nil {
+		return
+	}
+	if err := sp.w.WriteBlock(int32(l.rank.ID()), []clog2.Record{rec}); err != nil {
+		l.spErr = err
+		return
+	}
+	l.spErr = sp.w.Flush()
+}
+
+// closeSpill finalises the logger's spill file; when remove is true
+// (clean shutdown) the file is deleted, since the merged log supersedes
+// it.
+func (l *Logger) closeSpill(remove bool) {
+	if l.sp == nil || l.sp.f == nil {
+		return
+	}
+	l.sp.w.Close()
+	l.sp.f.Close()
+	if remove {
+		os.Remove(l.sp.f.Name())
+	}
+	l.sp = nil
+}
+
+// SpillError reports the first spill-write failure, if any (diagnostics).
+func (l *Logger) SpillError() error { return l.spErr }
+
+// Salvage merges the spill fragments of an aborted run into one complete
+// CLOG-2 file at out. It reads "<prefix>.defs.spill" plus every
+// "<prefix>.rank<r>.spill" it can find, tolerating torn tails, and reports
+// how many ranks contributed. The spill files are left in place; callers
+// delete them once satisfied.
+func Salvage(prefix string, out *os.File) (ranks int, err error) {
+	defsF, err := os.Open(spillDefsPath(prefix))
+	if err != nil {
+		return 0, fmt.Errorf("mpe: salvage needs the defs spill: %w", err)
+	}
+	defs, _, err := clog2.ReadLenient(defsF)
+	defsF.Close()
+	if err != nil {
+		return 0, fmt.Errorf("mpe: reading defs spill: %w", err)
+	}
+
+	w, err := clog2.NewWriter(out, defs.NumRanks)
+	if err != nil {
+		return 0, err
+	}
+	if len(defs.Blocks) > 0 {
+		if err := w.WriteBlock(0, defs.Blocks[0].Records); err != nil {
+			return 0, err
+		}
+	}
+	for r := 0; r < defs.NumRanks; r++ {
+		f, err := os.Open(spillRankPath(prefix, r))
+		if err != nil {
+			continue // rank logged nothing before the abort
+		}
+		frag, _, err := clog2.ReadLenient(f)
+		f.Close()
+		if err != nil {
+			continue
+		}
+		// Spill fragments are one record per block; coalesce per rank.
+		var recs []clog2.Record
+		for _, b := range frag.Blocks {
+			recs = append(recs, b.Records...)
+		}
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time < recs[j].Time })
+		if len(recs) == 0 {
+			continue
+		}
+		if err := w.WriteBlock(int32(r), recs); err != nil {
+			return 0, err
+		}
+		ranks++
+	}
+	return ranks, w.Close()
+}
+
+// RemoveSpills deletes every spill file of the prefix family.
+func RemoveSpills(prefix string, numRanks int) {
+	os.Remove(spillDefsPath(prefix))
+	for r := 0; r < numRanks; r++ {
+		os.Remove(spillRankPath(prefix, r))
+	}
+}

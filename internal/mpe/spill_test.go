@@ -1,0 +1,171 @@
+package mpe
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/clog2"
+	"repro/internal/mpi"
+)
+
+func TestSpillWritesThrough(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "run.clog2")
+	w := mpi.NewWorld(2, mpi.Options{})
+	g := NewGroup(w, true)
+	g.EnableSpill(prefix)
+	sid := g.DescribeState("PI_Write", "green")
+	if err := g.SpillDefs(); err != nil {
+		t.Fatal(err)
+	}
+
+	l := g.Logger(1)
+	l.StateStart(sid, "line: a.go:1")
+	l.StateEnd(sid, "")
+	if err := l.SpillError(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The spill is already on disk, before any Finish.
+	f, err := os.Open(prefix + ".rank1.spill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	frag, complete, err := clog2.ReadLenient(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complete {
+		t.Error("open spill should not be a complete file yet")
+	}
+	var n int
+	for _, b := range frag.Blocks {
+		n += len(b.Records)
+	}
+	if n != 2 {
+		t.Fatalf("spill has %d records, want 2", n)
+	}
+}
+
+func TestSalvageMergesFragments(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "run.clog2")
+	w := mpi.NewWorld(3, mpi.Options{})
+	g := NewGroup(w, true)
+	g.EnableSpill(prefix)
+	sid := g.DescribeState("PI_Read", "red")
+	if err := g.SpillDefs(); err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < 3; rank++ {
+		l := g.Logger(rank)
+		for i := 0; i < rank+1; i++ {
+			l.StateStart(sid, "x")
+			l.StateEnd(sid, "")
+		}
+		l.LogSend(0, 1, 8)
+	}
+	// Abort: no Finish ever runs; salvage straight from the fragments.
+	w.Rank(0).Abort(1)
+
+	outPath := prefix + ".salvaged"
+	out, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks, err := Salvage(prefix, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Close()
+	if ranks != 3 {
+		t.Fatalf("salvaged %d ranks, want 3", ranks)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := clog2.Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("salvaged log unreadable: %v", err)
+	}
+	if len(merged.StateDefs()) != 1 {
+		t.Fatalf("defs lost: %d", len(merged.StateDefs()))
+	}
+	var cargo, msgs int
+	for _, rec := range merged.Records() {
+		switch rec.Type {
+		case clog2.RecCargoEvt:
+			cargo++
+		case clog2.RecMsgEvt:
+			msgs++
+		}
+	}
+	if cargo != 2*(1+2+3) || msgs != 3 {
+		t.Fatalf("salvaged %d cargo + %d msg records", cargo, msgs)
+	}
+}
+
+func TestSalvageNeedsDefs(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "missing")
+	out, err := os.Create(prefix + ".out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if _, err := Salvage(prefix, out); err == nil {
+		t.Fatal("salvage without defs spill succeeded")
+	}
+}
+
+func TestCleanFinishRemovesSpills(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "run.clog2")
+	w := mpi.NewWorld(2, mpi.Options{})
+	g := NewGroup(w, true)
+	g.EnableSpill(prefix)
+	sid := g.DescribeState("S", "red")
+	if err := g.SpillDefs(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	errs := w.Run(func(r *mpi.Rank) error {
+		l := g.Logger(r.ID())
+		l.StateStart(sid, "")
+		l.StateEnd(sid, "")
+		if r.ID() == 0 {
+			return l.Finish(&buf)
+		}
+		return l.Finish(nil)
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	for _, path := range []string{
+		prefix + ".defs.spill", prefix + ".rank0.spill", prefix + ".rank1.spill",
+	} {
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Errorf("spill %s survives a clean finish", path)
+		}
+	}
+	if _, err := clog2.Read(&buf); err != nil {
+		t.Fatalf("merged log unreadable: %v", err)
+	}
+}
+
+func TestRemoveSpills(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "x")
+	for _, p := range []string{spillDefsPath(prefix), spillRankPath(prefix, 0), spillRankPath(prefix, 1)} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	RemoveSpills(prefix, 2)
+	for _, p := range []string{spillDefsPath(prefix), spillRankPath(prefix, 0), spillRankPath(prefix, 1)} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("%s not removed", p)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package mpi
+
+import "fmt"
+
+// Collective-operation tags within CtxColl. Each collective call site uses
+// a fixed tag; correctness relies on MPI's guarantee that collectives are
+// invoked in the same order on every rank, which the callers preserve.
+const (
+	tagBcast = iota
+	tagGather
+	tagScatter
+	tagReduce
+)
+
+// Bcast distributes root's buffer to every rank. Every rank must call it
+// with the same root; root passes the data, the others' data argument is
+// ignored. Returns the broadcast payload on every rank.
+func (r *Rank) Bcast(root int, data []byte) ([]byte, error) {
+	if err := r.checkPeer(root); err != nil {
+		return nil, err
+	}
+	if r.id == root {
+		for dst := 0; dst < r.w.size; dst++ {
+			if dst == root {
+				continue
+			}
+			if err := r.SendCtx(CtxColl, dst, tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+		return cloneBytes(data), nil
+	}
+	m, err := r.RecvCtx(CtxColl, root, tagBcast)
+	if err != nil {
+		return nil, err
+	}
+	return m.Data, nil
+}
+
+// Gather collects one buffer from every rank at root. On root the result
+// has one entry per rank in rank order; on other ranks it is nil.
+func (r *Rank) Gather(root int, data []byte) ([][]byte, error) {
+	if err := r.checkPeer(root); err != nil {
+		return nil, err
+	}
+	if r.id != root {
+		return nil, r.SendCtx(CtxColl, root, tagGather, data)
+	}
+	out := make([][]byte, r.w.size)
+	out[root] = cloneBytes(data)
+	for src := 0; src < r.w.size; src++ {
+		if src == root {
+			continue
+		}
+		m, err := r.RecvCtx(CtxColl, src, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = m.Data
+	}
+	return out, nil
+}
+
+// Scatter sends parts[i] from root to rank i and returns the local part.
+// On root, parts must have exactly Size entries; on other ranks it is
+// ignored.
+func (r *Rank) Scatter(root int, parts [][]byte) ([]byte, error) {
+	if err := r.checkPeer(root); err != nil {
+		return nil, err
+	}
+	if r.id == root {
+		if len(parts) != r.w.size {
+			return nil, fmt.Errorf("mpi: Scatter with %d parts for %d ranks", len(parts), r.w.size)
+		}
+		for dst := 0; dst < r.w.size; dst++ {
+			if dst == root {
+				continue
+			}
+			if err := r.SendCtx(CtxColl, dst, tagScatter, parts[dst]); err != nil {
+				return nil, err
+			}
+		}
+		return cloneBytes(parts[root]), nil
+	}
+	m, err := r.RecvCtx(CtxColl, root, tagScatter)
+	if err != nil {
+		return nil, err
+	}
+	return m.Data, nil
+}
+
+// ReduceOp combines two operand buffers into one. It must be associative
+// over the encoding the caller uses.
+type ReduceOp func(a, b []byte) []byte
+
+// Reduce combines every rank's buffer at root using op, applied in rank
+// order: op(...op(op(buf0, buf1), buf2)..., bufN-1). On non-root ranks the
+// result is nil.
+func (r *Rank) Reduce(root int, data []byte, op ReduceOp) ([]byte, error) {
+	if err := r.checkPeer(root); err != nil {
+		return nil, err
+	}
+	if op == nil {
+		return nil, fmt.Errorf("mpi: Reduce with nil op")
+	}
+	if r.id != root {
+		return nil, r.SendCtx(CtxColl, root, tagReduce, data)
+	}
+	bufs := make([][]byte, r.w.size)
+	bufs[root] = cloneBytes(data)
+	for src := 0; src < r.w.size; src++ {
+		if src == root {
+			continue
+		}
+		m, err := r.RecvCtx(CtxColl, src, tagReduce)
+		if err != nil {
+			return nil, err
+		}
+		bufs[src] = m.Data
+	}
+	acc := bufs[0]
+	for i := 1; i < len(bufs); i++ {
+		acc = op(acc, bufs[i])
+	}
+	return acc, nil
+}

@@ -1,0 +1,126 @@
+package mpi
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Property: broadcast delivers the root's exact payload to every rank for
+// random sizes, roots and world sizes.
+func TestBcastProperty(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 1
+		root := rng.Intn(n)
+		payload := make([]byte, rng.Intn(100000))
+		rng.Read(payload)
+		w := NewWorld(n, Options{EagerLimit: 1024})
+		errs := w.Run(func(r *Rank) error {
+			var in []byte
+			if r.ID() == root {
+				in = payload
+			}
+			out, err := r.Bcast(root, in)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(out, payload) {
+				t.Errorf("seed %d rank %d: payload corrupted", seed, r.ID())
+			}
+			return nil
+		})
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("seed %d rank %d: %v", seed, i, err)
+			}
+		}
+	}
+}
+
+// Property: scatter then gather is the identity on random partitions.
+func TestScatterGatherIdentityProperty(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(5) + 1
+		root := rng.Intn(n)
+		parts := make([][]byte, n)
+		for i := range parts {
+			parts[i] = make([]byte, rng.Intn(5000))
+			rng.Read(parts[i])
+		}
+		w := NewWorld(n, Options{EagerLimit: 256})
+		gathered := make([][]byte, n)
+		errs := w.Run(func(r *Rank) error {
+			var in [][]byte
+			if r.ID() == root {
+				in = parts
+			}
+			mine, err := r.Scatter(root, in)
+			if err != nil {
+				return err
+			}
+			got, err := r.Gather(root, mine)
+			if err != nil {
+				return err
+			}
+			if r.ID() == root {
+				copy(gathered, got)
+			}
+			return nil
+		})
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("seed %d rank %d: %v", seed, i, err)
+			}
+		}
+		for i := range parts {
+			if !bytes.Equal(gathered[i], parts[i]) {
+				t.Fatalf("seed %d: part %d corrupted (%d vs %d bytes)",
+					seed, i, len(gathered[i]), len(parts[i]))
+			}
+		}
+	}
+}
+
+// Reduce with a non-commutative op exposes the documented rank-order
+// application.
+func TestReduceAppliesInRankOrder(t *testing.T) {
+	w := NewWorld(3, Options{})
+	concat := func(a, b []byte) []byte { return append(append([]byte{}, a...), b...) }
+	errs := w.Run(func(r *Rank) error {
+		in := []byte{byte('a' + r.ID())}
+		out, err := r.Reduce(0, in, concat)
+		if err != nil {
+			return err
+		}
+		if r.ID() == 0 && string(out) != "abc" {
+			t.Errorf("reduce order: %q", out)
+		}
+		return nil
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+}
+
+// Collectives with a non-root caller passing data are harmless (ignored),
+// and out-of-range roots fail cleanly.
+func TestCollectiveValidation(t *testing.T) {
+	w := NewWorld(2, Options{})
+	r := w.Rank(0)
+	if _, err := r.Bcast(5, nil); err == nil {
+		t.Error("bcast with bad root accepted")
+	}
+	if _, err := r.Gather(-1, nil); err == nil {
+		t.Error("gather with bad root accepted")
+	}
+	if _, err := r.Scatter(9, nil); err == nil {
+		t.Error("scatter with bad root accepted")
+	}
+	if _, err := r.Reduce(7, nil, func(a, b []byte) []byte { return a }); err == nil {
+		t.Error("reduce with bad root accepted")
+	}
+}

@@ -1,0 +1,518 @@
+// Package mpi is a simulated Message Passing Interface substrate: a fixed
+// set of ranks running as goroutines in one process, exchanging byte-slice
+// messages matched by (source, tag) with MPI's non-overtaking ordering
+// guarantee.
+//
+// The real Pilot library runs on a real MPI (OpenMPI, MPICH). Go has no
+// mature MPI bindings, so this package supplies the closest synthetic
+// equivalent that exercises the same code paths the paper's tooling
+// observes: rank identity, blocking matched receives, eager versus
+// rendezvous sends, per-rank wallclocks (MPI_Wtime) that may drift, an
+// MPI_Abort that tears down every rank, and collectives.
+//
+// Message contexts play the role of MPI communicators: traffic in one
+// context never matches receives in another, so library-internal messages
+// (collectives, log collection) cannot be stolen by user wildcard receives.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Wildcards for Recv and Probe, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Message contexts, the moral equivalent of MPI communicators.
+const (
+	// CtxUser carries application point-to-point traffic.
+	CtxUser = 0
+	// CtxColl carries collective-operation traffic.
+	CtxColl = 1
+	// CtxLog carries log-collection traffic (MPE final merge).
+	CtxLog = 2
+	// CtxSvc carries service traffic (deadlock detector, native log).
+	CtxSvc = 3
+	numCtx = 4
+)
+
+// ErrAborted is returned from every blocked or subsequent operation once
+// Abort has been called by any rank. It models MPI_Abort killing the whole
+// job: in-flight communication is lost, which is precisely why the paper's
+// MPE log cannot survive PI_Abort.
+var ErrAborted = errors.New("mpi: world aborted")
+
+// DefaultEagerLimit is the message size (bytes) up to which Send buffers
+// and returns immediately; larger messages rendezvous with the receiver.
+// Real MPIs switch protocols the same way.
+const DefaultEagerLimit = 64 << 10
+
+// Options configures a World.
+type Options struct {
+	// Clocks supplies one wallclock per rank. If nil or short, missing
+	// entries share a single Real clock (all ranks on one node).
+	Clocks []clock.Source
+	// EagerLimit overrides DefaultEagerLimit when non-zero. A negative
+	// value forces every send to rendezvous.
+	EagerLimit int
+}
+
+// World is a simulated MPI job of a fixed number of ranks.
+type World struct {
+	size       int
+	eagerLimit int
+	clocks     []clock.Source
+	boxes      []*mailbox
+
+	abortCh   chan struct{}
+	abortOnce sync.Once
+	abortCode int
+
+	barrier barrierState
+
+	// Per-rank traffic counters (user context only), maintained with
+	// atomics so any goroutine can snapshot them.
+	sent, sentBytes, recvd, recvdBytes []atomic.Int64
+}
+
+// NewWorld creates a world of n ranks. It panics if n < 1; a world with no
+// ranks is a programming error, not a runtime condition.
+func NewWorld(n int, opts Options) *World {
+	if n < 1 {
+		panic(fmt.Sprintf("mpi: NewWorld with %d ranks", n))
+	}
+	eager := opts.EagerLimit
+	switch {
+	case eager == 0:
+		eager = DefaultEagerLimit
+	case eager < 0:
+		eager = -1
+	}
+	w := &World{
+		size:       n,
+		eagerLimit: eager,
+		clocks:     make([]clock.Source, n),
+		boxes:      make([]*mailbox, n),
+		abortCh:    make(chan struct{}),
+	}
+	shared := clock.Source(nil)
+	for i := 0; i < n; i++ {
+		if i < len(opts.Clocks) && opts.Clocks[i] != nil {
+			w.clocks[i] = opts.Clocks[i]
+		} else {
+			if shared == nil {
+				shared = clock.NewReal()
+			}
+			w.clocks[i] = shared
+		}
+		w.boxes[i] = newMailbox()
+	}
+	w.barrier.cond = sync.NewCond(&w.barrier.mu)
+	w.sent = make([]atomic.Int64, n)
+	w.sentBytes = make([]atomic.Int64, n)
+	w.recvd = make([]atomic.Int64, n)
+	w.recvdBytes = make([]atomic.Int64, n)
+	return w
+}
+
+// Traffic summarises one rank's user-context message flow.
+type Traffic struct {
+	Sent, SentBytes     int64
+	Received, RecvBytes int64
+}
+
+// Traffic returns rank id's counters (user context only; collective,
+// logging and service traffic is internal bookkeeping).
+func (w *World) Traffic(id int) Traffic {
+	return Traffic{
+		Sent:      w.sent[id].Load(),
+		SentBytes: w.sentBytes[id].Load(),
+		Received:  w.recvd[id].Load(),
+		RecvBytes: w.recvdBytes[id].Load(),
+	}
+}
+
+// TotalTraffic sums every rank's counters.
+func (w *World) TotalTraffic() Traffic {
+	var t Traffic
+	for i := 0; i < w.size; i++ {
+		r := w.Traffic(i)
+		t.Sent += r.Sent
+		t.SentBytes += r.SentBytes
+		t.Received += r.Received
+		t.RecvBytes += r.RecvBytes
+	}
+	return t
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Rank returns the handle for rank id. It panics on an out-of-range id.
+func (w *World) Rank(id int) *Rank {
+	if id < 0 || id >= w.size {
+		panic(fmt.Sprintf("mpi: Rank(%d) out of range [0,%d)", id, w.size))
+	}
+	return &Rank{w: w, id: id}
+}
+
+// Aborted reports whether Abort has been called.
+func (w *World) Aborted() bool {
+	select {
+	case <-w.abortCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// AbortCode returns the code passed to the first Abort call, or 0.
+func (w *World) AbortCode() int {
+	if w.Aborted() {
+		return w.abortCode
+	}
+	return 0
+}
+
+// Run executes f concurrently on every rank and returns the per-rank
+// results once all have finished.
+func (w *World) Run(f func(r *Rank) error) []error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for i := 0; i < w.size; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			errs[id] = f(w.Rank(id))
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}
+
+func (w *World) abort(code int) {
+	w.abortOnce.Do(func() {
+		w.abortCode = code
+		close(w.abortCh)
+		for _, b := range w.boxes {
+			b.close()
+		}
+		w.barrier.mu.Lock()
+		w.barrier.aborted = true
+		w.barrier.cond.Broadcast()
+		w.barrier.mu.Unlock()
+	})
+}
+
+// Status describes a matched message.
+type Status struct {
+	Source int
+	Tag    int
+	Len    int
+}
+
+// Rank is one process's handle onto the world. A Rank's methods are safe to
+// call from the single goroutine acting as that rank; distinct Ranks may be
+// used concurrently.
+type Rank struct {
+	w  *World
+	id int
+}
+
+// ID returns this rank's number (0-based).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.w.size }
+
+// World returns the world this rank belongs to.
+func (r *Rank) World() *World { return r.w }
+
+// Wtime returns this rank's wallclock reading in seconds (MPI_Wtime).
+func (r *Rank) Wtime() float64 { return r.w.clocks[r.id].Now() }
+
+// Clock exposes the rank's clock source, used by the logging layer.
+func (r *Rank) Clock() clock.Source { return r.w.clocks[r.id] }
+
+// Abort terminates the whole world (MPI_Abort): every blocked operation on
+// every rank fails with ErrAborted and all buffered traffic is lost.
+func (r *Rank) Abort(code int) { r.w.abort(code) }
+
+// Send transmits data to rank dst with the given tag in the user context.
+// Sends up to the world's eager limit buffer and return immediately; larger
+// sends block until the receiver has matched the message (rendezvous).
+func (r *Rank) Send(dst, tag int, data []byte) error {
+	return r.SendCtx(CtxUser, dst, tag, data)
+}
+
+// SendCtx is Send in an explicit message context.
+func (r *Rank) SendCtx(ctx, dst, tag int, data []byte) error {
+	if err := r.checkPeer(dst); err != nil {
+		return err
+	}
+	if tag < 0 {
+		return fmt.Errorf("mpi: send with negative tag %d", tag)
+	}
+	if ctx < 0 || ctx >= numCtx {
+		return fmt.Errorf("mpi: send in invalid context %d", ctx)
+	}
+	if r.w.Aborted() {
+		return ErrAborted
+	}
+	env := &envelope{ctx: ctx, src: r.id, tag: tag, data: cloneBytes(data)}
+	rendezvous := r.w.eagerLimit < 0 || len(data) > r.w.eagerLimit
+	if rendezvous {
+		env.done = make(chan struct{})
+	}
+	if !r.w.boxes[dst].put(env) {
+		return ErrAborted
+	}
+	if rendezvous {
+		select {
+		case <-env.done:
+		case <-r.w.abortCh:
+			return ErrAborted
+		}
+	}
+	if ctx == CtxUser {
+		r.w.sent[r.id].Add(1)
+		r.w.sentBytes[r.id].Add(int64(len(data)))
+	}
+	return nil
+}
+
+// Recv blocks until a message matching (src, tag) in the user context
+// arrives, removes it, and returns it. src may be AnySource and tag AnyTag.
+func (r *Rank) Recv(src, tag int) (Message, error) {
+	return r.RecvCtx(CtxUser, src, tag)
+}
+
+// RecvCtx is Recv in an explicit message context.
+func (r *Rank) RecvCtx(ctx, src, tag int) (Message, error) {
+	if err := r.checkWildPeer(src); err != nil {
+		return Message{}, err
+	}
+	env, ok := r.w.boxes[r.id].take(ctx, src, tag)
+	if !ok {
+		return Message{}, ErrAborted
+	}
+	if env.done != nil {
+		close(env.done)
+	}
+	if ctx == CtxUser {
+		r.w.recvd[r.id].Add(1)
+		r.w.recvdBytes[r.id].Add(int64(len(env.data)))
+	}
+	return Message{
+		Status: Status{Source: env.src, Tag: env.tag, Len: len(env.data)},
+		Data:   env.data,
+	}, nil
+}
+
+// Message is a received payload plus its matching metadata.
+type Message struct {
+	Status
+	Data []byte
+}
+
+// Probe blocks until a message matching (src, tag) in the user context is
+// available and returns its status without removing it.
+func (r *Rank) Probe(src, tag int) (Status, error) {
+	if err := r.checkWildPeer(src); err != nil {
+		return Status{}, err
+	}
+	st, ok := r.w.boxes[r.id].probe(CtxUser, src, tag, true)
+	if !ok {
+		return Status{}, ErrAborted
+	}
+	return st, nil
+}
+
+// Iprobe reports whether a message matching (src, tag) in the user context
+// is immediately available, and its status if so.
+func (r *Rank) Iprobe(src, tag int) (Status, bool, error) {
+	return r.IprobeCtx(CtxUser, src, tag)
+}
+
+// IprobeCtx is Iprobe in an explicit message context.
+func (r *Rank) IprobeCtx(ctx, src, tag int) (Status, bool, error) {
+	if err := r.checkWildPeer(src); err != nil {
+		return Status{}, false, err
+	}
+	if r.w.Aborted() {
+		return Status{}, false, ErrAborted
+	}
+	st, ok := r.w.boxes[r.id].iprobe(ctx, src, tag)
+	return st, ok, nil
+}
+
+// Barrier blocks until every rank in the world has entered it.
+func (r *Rank) Barrier() error {
+	b := &r.w.barrier
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.aborted {
+		return ErrAborted
+	}
+	gen := b.gen
+	b.count++
+	if b.count == r.w.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return nil
+	}
+	for b.gen == gen && !b.aborted {
+		b.cond.Wait()
+	}
+	if b.aborted {
+		return ErrAborted
+	}
+	return nil
+}
+
+func (r *Rank) checkPeer(p int) error {
+	if p < 0 || p >= r.w.size {
+		return fmt.Errorf("mpi: rank %d out of range [0,%d)", p, r.w.size)
+	}
+	return nil
+}
+
+func (r *Rank) checkWildPeer(p int) error {
+	if p == AnySource {
+		return nil
+	}
+	return r.checkPeer(p)
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// Sleep pauses the calling rank. It exists so workloads can inject think
+// time without importing package time everywhere.
+func (r *Rank) Sleep(d time.Duration) { time.Sleep(d) }
+
+type barrierState struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	count   int
+	gen     int
+	aborted bool
+}
+
+// envelope is one in-flight message.
+type envelope struct {
+	ctx  int
+	src  int
+	tag  int
+	data []byte
+	// done is non-nil for rendezvous sends; the receiver closes it when the
+	// message has been matched.
+	done chan struct{}
+}
+
+// mailbox is a per-rank queue of in-flight messages with matched receives.
+// Queue order is arrival order, which yields MPI's non-overtaking guarantee
+// for any fixed (context, source, tag).
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*envelope
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) put(env *envelope) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return false
+	}
+	b.queue = append(b.queue, env)
+	b.cond.Broadcast()
+	return true
+}
+
+func match(env *envelope, ctx, src, tag int) bool {
+	return env.ctx == ctx &&
+		(src == AnySource || env.src == src) &&
+		(tag == AnyTag || env.tag == tag)
+}
+
+// take removes and returns the first matching message, blocking until one
+// arrives. ok=false means the world aborted.
+func (b *mailbox) take(ctx, src, tag int) (*envelope, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.closed {
+			return nil, false
+		}
+		for i, env := range b.queue {
+			if match(env, ctx, src, tag) {
+				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				return env, true
+			}
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *mailbox) probe(ctx, src, tag int, block bool) (Status, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.closed {
+			return Status{}, false
+		}
+		for _, env := range b.queue {
+			if match(env, ctx, src, tag) {
+				return Status{Source: env.src, Tag: env.tag, Len: len(env.data)}, true
+			}
+		}
+		if !block {
+			return Status{}, false
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *mailbox) iprobe(ctx, src, tag int) (Status, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return Status{}, false
+	}
+	for _, env := range b.queue {
+		if match(env, ctx, src, tag) {
+			return Status{Source: env.src, Tag: env.tag, Len: len(env.data)}, true
+		}
+	}
+	return Status{}, false
+}
+
+func (b *mailbox) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,187 @@
+// Package nativelog parses and analyses Pilot's native text log — the
+// original facility the paper's Section I criticises: timestamps recorded
+// at arrival at a central process, events from all processes
+// conglomerated, output scarcely human readable. Parsing it back into
+// structure is how a tool (or a test) separates the conglomerate; the
+// analyses here quantify exactly the properties the paper complains
+// about.
+//
+// A line looks like:
+//
+//	[   12.345678] P3 PI_Read chan C2 fmt "%d" app.go:47
+//
+// The first field is the service process's arrival timestamp; the second
+// is the reporting process's name; the third is the Pilot operation; the
+// rest is free-form detail.
+package nativelog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed log line.
+type Entry struct {
+	// ArrivalTime is when the line reached the central service process —
+	// not when the call happened (the paper's shortcoming 1).
+	ArrivalTime float64
+	// Proc is the reporting process's display name ("PI_MAIN", "P3", or a
+	// PI_SetName value).
+	Proc string
+	// Op is the Pilot operation ("PI_Read", "PI_Write", "PI_Log",
+	// "exited", ...).
+	Op string
+	// Detail is the rest of the line.
+	Detail string
+	// Line is the 1-based line number in the log file.
+	Line int
+}
+
+// Parse reads a native log. Malformed lines are returned as entries with
+// only Detail set rather than dropped — a debugging log should never
+// silently lose data.
+func Parse(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		e, ok := parseLine(line)
+		e.Line = lineNo
+		if !ok {
+			e = Entry{Detail: line, Line: lineNo}
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+func parseLine(line string) (Entry, bool) {
+	if !strings.HasPrefix(line, "[") {
+		return Entry{}, false
+	}
+	close := strings.IndexByte(line, ']')
+	if close < 0 {
+		return Entry{}, false
+	}
+	ts, err := strconv.ParseFloat(strings.TrimSpace(line[1:close]), 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	rest := strings.TrimSpace(line[close+1:])
+	fields := strings.SplitN(rest, " ", 3)
+	e := Entry{ArrivalTime: ts}
+	switch len(fields) {
+	case 0:
+		return Entry{}, false
+	case 1:
+		e.Proc = fields[0]
+	case 2:
+		e.Proc, e.Op = fields[0], fields[1]
+	default:
+		e.Proc, e.Op, e.Detail = fields[0], fields[1], fields[2]
+	}
+	return e, true
+}
+
+// ByProc separates the conglomerated log into per-process streams — the
+// manual chore the paper's shortcoming 2 describes, done once here.
+func ByProc(entries []Entry) map[string][]Entry {
+	out := map[string][]Entry{}
+	for _, e := range entries {
+		if e.Proc == "" {
+			continue
+		}
+		out[e.Proc] = append(out[e.Proc], e)
+	}
+	return out
+}
+
+// CallCounts tallies operations per process: the quickest summary of what
+// a program actually did.
+func CallCounts(entries []Entry) map[string]map[string]int {
+	out := map[string]map[string]int{}
+	for _, e := range entries {
+		if e.Proc == "" || e.Op == "" {
+			continue
+		}
+		if out[e.Proc] == nil {
+			out[e.Proc] = map[string]int{}
+		}
+		out[e.Proc][e.Op]++
+	}
+	return out
+}
+
+// Interleaving measures how conglomerated the log is: the fraction of
+// adjacent line pairs that switch processes. A single-process log scores
+// 0; a perfectly alternating two-process log scores 1. High values are
+// why the native log is "painful to separate" by eye.
+func Interleaving(entries []Entry) float64 {
+	switches, pairs := 0, 0
+	var prev string
+	for _, e := range entries {
+		if e.Proc == "" {
+			continue
+		}
+		if prev != "" {
+			pairs++
+			if e.Proc != prev {
+				switches++
+			}
+		}
+		prev = e.Proc
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(switches) / float64(pairs)
+}
+
+// FormatSummary renders per-process call counts as an aligned table.
+func FormatSummary(entries []Entry) string {
+	counts := CallCounts(entries)
+	procs := make([]string, 0, len(counts))
+	for p := range counts {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	var b strings.Builder
+	for _, p := range procs {
+		ops := make([]string, 0, len(counts[p]))
+		for op := range counts[p] {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		fmt.Fprintf(&b, "%-10s", p)
+		for _, op := range ops {
+			fmt.Fprintf(&b, " %s=%d", op, counts[p][op])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Grep returns the entries whose operation or detail contains the pattern
+// (case-insensitive).
+func Grep(entries []Entry, pattern string) []Entry {
+	p := strings.ToLower(pattern)
+	var out []Entry
+	for _, e := range entries {
+		if strings.Contains(strings.ToLower(e.Op), p) ||
+			strings.Contains(strings.ToLower(e.Detail), p) ||
+			strings.Contains(strings.ToLower(e.Proc), p) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package nativelog
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lab2"
+)
+
+const sample = `[    0.000100] PI_MAIN PI_Write chan C1 fmt "%d" main.go:10
+[    0.000150] P1 PI_Read chan C1 fmt "%d" worker.go:5
+[    0.000200] PI_MAIN PI_Write chan C2 fmt "%d" main.go:11
+[    0.000220] P2 PI_Read chan C2 fmt "%d" worker.go:5
+[    0.000300] P1 exited
+garbage line that is not a log entry
+[    0.000400] P2 exited
+`
+
+func TestParse(t *testing.T) {
+	entries, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 7 {
+		t.Fatalf("parsed %d entries, want 7", len(entries))
+	}
+	e := entries[0]
+	if e.ArrivalTime != 0.0001 || e.Proc != "PI_MAIN" || e.Op != "PI_Write" {
+		t.Fatalf("first entry %+v", e)
+	}
+	if !strings.Contains(e.Detail, "main.go:10") {
+		t.Fatalf("detail lost: %q", e.Detail)
+	}
+	// The garbage line survives as a detail-only entry with its line number.
+	g := entries[5]
+	if g.Proc != "" || g.Line != 6 || !strings.Contains(g.Detail, "garbage") {
+		t.Fatalf("garbage entry %+v", g)
+	}
+}
+
+func TestByProcSeparatesConglomerate(t *testing.T) {
+	entries, _ := Parse(strings.NewReader(sample))
+	per := ByProc(entries)
+	if len(per["PI_MAIN"]) != 2 || len(per["P1"]) != 2 || len(per["P2"]) != 2 {
+		t.Fatalf("per-proc counts: main=%d p1=%d p2=%d",
+			len(per["PI_MAIN"]), len(per["P1"]), len(per["P2"]))
+	}
+	// Per-process streams stay in arrival order.
+	if per["P1"][0].Op != "PI_Read" || per["P1"][1].Op != "exited" {
+		t.Fatalf("P1 stream %+v", per["P1"])
+	}
+}
+
+func TestCallCountsAndSummary(t *testing.T) {
+	entries, _ := Parse(strings.NewReader(sample))
+	counts := CallCounts(entries)
+	if counts["PI_MAIN"]["PI_Write"] != 2 {
+		t.Fatalf("counts %+v", counts)
+	}
+	out := FormatSummary(entries)
+	if !strings.Contains(out, "PI_MAIN") || !strings.Contains(out, "PI_Write=2") {
+		t.Fatalf("summary:\n%s", out)
+	}
+}
+
+func TestInterleaving(t *testing.T) {
+	entries, _ := Parse(strings.NewReader(sample))
+	// Sequence: MAIN P1 MAIN P2 P1 P2 -> every adjacent pair switches.
+	if got := Interleaving(entries); got != 1.0 {
+		t.Fatalf("interleaving = %v, want 1.0", got)
+	}
+	single, _ := Parse(strings.NewReader("[1.0] P1 PI_Read x\n[2.0] P1 PI_Read y\n"))
+	if got := Interleaving(single); got != 0 {
+		t.Fatalf("single-proc interleaving = %v", got)
+	}
+	if got := Interleaving(nil); got != 0 {
+		t.Fatalf("empty interleaving = %v", got)
+	}
+}
+
+func TestGrep(t *testing.T) {
+	entries, _ := Parse(strings.NewReader(sample))
+	if hits := Grep(entries, "pi_read"); len(hits) != 2 {
+		t.Fatalf("grep pi_read: %d hits", len(hits))
+	}
+	if hits := Grep(entries, "C2"); len(hits) != 2 {
+		t.Fatalf("grep C2: %d hits", len(hits))
+	}
+	if hits := Grep(entries, "nomatch-xyz"); len(hits) != 0 {
+		t.Fatalf("grep nomatch: %d hits", len(hits))
+	}
+}
+
+// Round trip against the real runtime: run lab2 with -pisvc=c and parse
+// what the service process wrote.
+func TestParseRealNativeLog(t *testing.T) {
+	dir := t.TempDir()
+	cfg := lab2.Config{W: 3, NUM: 300, Seed: 2}
+	cfg.Core.Services = "c"
+	cfg.Core.NativePath = filepath.Join(dir, "lab2.log")
+	cfg.Core.JumpshotPath = filepath.Join(dir, "unused.clog2")
+	if _, err := lab2.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	f, err := openFile(cfg.Core.NativePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	entries, err := Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := CallCounts(entries)
+	// Per worker: 2 reads + 1 write; PI_MAIN: 6 writes + 3 reads.
+	for _, p := range []string{"P1", "P2", "P3"} {
+		if counts[p]["PI_Read"] != 2 || counts[p]["PI_Write"] != 1 {
+			t.Errorf("%s counts %+v", p, counts[p])
+		}
+	}
+	if counts["PI_MAIN"]["PI_Write"] != 6 || counts["PI_MAIN"]["PI_Read"] != 3 {
+		t.Errorf("PI_MAIN counts %+v", counts["PI_MAIN"])
+	}
+	// Arrival timestamps are nondecreasing: the central process stamps in
+	// arrival order (the paper's shortcoming 1, faithfully reproduced).
+	prev := -1.0
+	for _, e := range entries {
+		if e.Proc == "" {
+			continue
+		}
+		if e.ArrivalTime < prev {
+			t.Fatalf("arrival times not monotone: %v after %v", e.ArrivalTime, prev)
+		}
+		prev = e.ArrivalTime
+	}
+	// With several processes the stream really is interleaved.
+	if il := Interleaving(entries); il == 0 {
+		t.Error("real log shows no interleaving; expected a conglomerate")
+	}
+}
+
+func openFile(path string) (*os.File, error) { return os.Open(path) }

@@ -1,0 +1,371 @@
+package slog2
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/clog2"
+	"repro/internal/mpe"
+)
+
+// DefaultFrameCapacity is the default "frame size": the maximum number of
+// drawables stored in one frame before it splits. The paper notes this
+// conversion parameter governs "the amount of data initially displayed by
+// the visualization tool".
+const DefaultFrameCapacity = 256
+
+// MaxTreeDepth bounds tree height regardless of capacity.
+const MaxTreeDepth = 24
+
+// ConvertOptions tunes the CLOG-2 → SLOG-2 conversion.
+type ConvertOptions struct {
+	// FrameCapacity is the maximum drawable count per frame (0 = default).
+	FrameCapacity int
+}
+
+// Report carries conversion diagnostics, mirroring the chatty output of
+// the real clog2TOslog2 tool.
+type Report struct {
+	States         int
+	Arrows         int
+	Events         int
+	EqualDrawables int // drawables sharing category and identical times
+	UnmatchedSends int
+	UnmatchedRecvs int
+	NestingErrors  int // mismatched state start/end pairs
+	Warnings       []string
+}
+
+func (r *Report) warnf(format string, args ...any) {
+	r.Warnings = append(r.Warnings, fmt.Sprintf(format, args...))
+}
+
+// Convert builds an SLOG-2 file from a parsed CLOG-2 log.
+func Convert(in *clog2.File, opts ConvertOptions) (*File, *Report, error) {
+	capacity := opts.FrameCapacity
+	if capacity <= 0 {
+		capacity = DefaultFrameCapacity
+	}
+	rep := &Report{}
+
+	// Category table: states first, then events, keyed by their etypes.
+	var cats []Category
+	stateCat := map[mpe.StateID]int{} // state id -> category index
+	eventCat := map[mpe.EventID]int{} // event id -> category index
+	for _, d := range in.StateDefs() {
+		sid, ok := mpe.IsStartEtype(d.Aux1)
+		if !ok {
+			return nil, nil, fmt.Errorf("slog2: state def %q has non-start etype %d", d.Name, d.Aux1)
+		}
+		stateCat[sid] = len(cats)
+		cats = append(cats, Category{Name: d.Name, Color: d.Color, Kind: KindState})
+	}
+	for _, d := range in.EventDefs() {
+		eid, ok := mpe.IsSoloEtype(d.ID)
+		if !ok {
+			return nil, nil, fmt.Errorf("slog2: event def %q has non-solo etype %d", d.Name, d.ID)
+		}
+		eventCat[eid] = len(cats)
+		cats = append(cats, Category{Name: d.Name, Color: d.Color, Kind: KindEvent})
+	}
+
+	// Gather per-rank record streams in time order.
+	perRank := map[int][]clog2.Record{}
+	for _, b := range in.Blocks {
+		for _, rec := range b.Records {
+			switch rec.Type {
+			case clog2.RecStateDef, clog2.RecEventDef, clog2.RecConstDef,
+				clog2.RecTimeShift, clog2.RecSrcLoc:
+				continue
+			}
+			perRank[int(rec.Rank)] = append(perRank[int(rec.Rank)], rec)
+		}
+	}
+	for rank := range perRank {
+		recs := perRank[rank]
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time < recs[j].Time })
+	}
+
+	var states []State
+	var events []Event
+	type sendRec struct {
+		t    float64
+		size int
+	}
+	type msgKey struct{ src, dst, tag int }
+	sendQ := map[msgKey][]sendRec{}
+	type recvRec struct {
+		t    float64
+		size int
+	}
+	recvQ := map[msgKey][]recvRec{}
+
+	type open struct {
+		sid   mpe.StateID
+		start float64
+		cargo string
+	}
+	for rank, recs := range perRank {
+		var stack []open
+		for _, rec := range recs {
+			switch rec.Type {
+			case clog2.RecBareEvt, clog2.RecCargoEvt:
+				if sid, ok := mpe.IsStartEtype(rec.ID); ok {
+					stack = append(stack, open{sid: sid, start: rec.Time, cargo: rec.Text})
+					continue
+				}
+				if sid, ok := mpe.IsEndEtype(rec.ID); ok {
+					if len(stack) == 0 {
+						rep.NestingErrors++
+						rep.warnf("rank %d: end of state %d at %v with no open state", rank, sid, rec.Time)
+						continue
+					}
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					if top.sid != sid {
+						rep.NestingErrors++
+						rep.warnf("rank %d: state %d closed while %d open at %v", rank, sid, top.sid, rec.Time)
+					}
+					cat, ok := stateCat[top.sid]
+					if !ok {
+						rep.warnf("rank %d: state %d has no definition", rank, top.sid)
+						continue
+					}
+					states = append(states, State{
+						Rank: rank, Cat: cat,
+						Start: top.start, End: rec.Time,
+						StartCargo: top.cargo, EndCargo: rec.Text,
+					})
+					continue
+				}
+				if eid, ok := mpe.IsSoloEtype(rec.ID); ok {
+					cat, ok := eventCat[eid]
+					if !ok {
+						rep.warnf("rank %d: event %d has no definition", rank, eid)
+						continue
+					}
+					events = append(events, Event{Rank: rank, Cat: cat, Time: rec.Time, Cargo: rec.Text})
+					continue
+				}
+				rep.warnf("rank %d: unclassifiable etype %d", rank, rec.ID)
+
+			case clog2.RecMsgEvt:
+				if rec.Dir == clog2.DirSend {
+					k := msgKey{src: rank, dst: int(rec.Aux1), tag: int(rec.Aux2)}
+					sendQ[k] = append(sendQ[k], sendRec{t: rec.Time, size: int(rec.Aux3)})
+				} else {
+					k := msgKey{src: int(rec.Aux1), dst: rank, tag: int(rec.Aux2)}
+					recvQ[k] = append(recvQ[k], recvRec{t: rec.Time, size: int(rec.Aux3)})
+				}
+			}
+		}
+		for _, o := range stack {
+			rep.NestingErrors++
+			rep.warnf("rank %d: state %d opened at %v never closed", rank, o.sid, o.start)
+		}
+	}
+
+	// Pair sends with receives FIFO per (src, dst, tag) — MPE's matching
+	// rule ("called in pairs with matching tag number and length").
+	var arrows []Arrow
+	for k, sends := range sendQ {
+		recvs := recvQ[k]
+		n := len(sends)
+		if len(recvs) < n {
+			n = len(recvs)
+		}
+		for i := 0; i < n; i++ {
+			if sends[i].size != recvs[i].size {
+				rep.warnf("message %d->%d tag %d: send size %d != recv size %d",
+					k.src, k.dst, k.tag, sends[i].size, recvs[i].size)
+			}
+			arrows = append(arrows, Arrow{
+				SrcRank: k.src, DstRank: k.dst,
+				Start: sends[i].t, End: recvs[i].t,
+				Tag: k.tag, Size: sends[i].size,
+			})
+		}
+		if extra := len(sends) - n; extra > 0 {
+			rep.UnmatchedSends += extra
+			rep.warnf("message %d->%d tag %d: %d send(s) without receive", k.src, k.dst, k.tag, extra)
+		}
+	}
+	for k, recvs := range recvQ {
+		if extra := len(recvs) - len(sendQ[k]); extra > 0 {
+			rep.UnmatchedRecvs += extra
+			rep.warnf("message %d->%d tag %d: %d receive(s) without send", k.src, k.dst, k.tag, extra)
+		}
+	}
+	sort.SliceStable(arrows, func(i, j int) bool { return arrows[i].Start < arrows[j].Start })
+
+	rep.EqualDrawables = countEqualDrawables(states, arrows, events, rep)
+
+	// Time bounds.
+	minT, maxT := bounds(states, arrows, events)
+	f := &File{
+		NumRanks:   in.NumRanks,
+		Start:      minT,
+		End:        maxT,
+		Categories: cats,
+		Warnings:   rep.Warnings,
+	}
+	f.Root = buildFrame(minT, maxT, states, arrows, events, capacity, 0)
+	computePreviews(f.Root)
+
+	rep.States = len(states)
+	rep.Arrows = len(arrows)
+	rep.Events = len(events)
+	return f, rep, nil
+}
+
+func bounds(states []State, arrows []Arrow, events []Event) (minT, maxT float64) {
+	first := true
+	upd := func(lo, hi float64) {
+		if first {
+			minT, maxT = lo, hi
+			first = false
+			return
+		}
+		if lo < minT {
+			minT = lo
+		}
+		if hi > maxT {
+			maxT = hi
+		}
+	}
+	for _, s := range states {
+		upd(s.Start, s.End)
+	}
+	for _, a := range arrows {
+		lo, hi := a.Start, a.End
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		upd(lo, hi)
+	}
+	for _, e := range events {
+		upd(e.Time, e.Time)
+	}
+	if first {
+		return 0, 0
+	}
+	return minT, maxT
+}
+
+// countEqualDrawables reproduces the converter's "Equal Drawables" warning:
+// it counts drawables beyond the first in any group sharing a category and
+// identical start and end times.
+func countEqualDrawables(states []State, arrows []Arrow, events []Event, rep *Report) int {
+	count := 0
+	type key struct {
+		kind     int
+		cat      int
+		lo, hi   float64
+		src, dst int
+	}
+	// States and events collide only on the same timeline; arrows collide
+	// when the same endpoints get identical times (the collective fan-out
+	// case the paper hit).
+	seen := map[key]int{}
+	for _, s := range states {
+		seen[key{kind: 0, cat: s.Cat, lo: s.Start, hi: s.End, src: s.Rank}]++
+	}
+	for _, a := range arrows {
+		seen[key{kind: 1, lo: a.Start, hi: a.End, src: a.SrcRank, dst: a.DstRank}]++
+	}
+	for _, e := range events {
+		seen[key{kind: 2, cat: e.Cat, lo: e.Time, hi: e.Time, src: e.Rank}]++
+	}
+	groups := 0
+	for _, n := range seen {
+		if n > 1 {
+			count += n - 1
+			groups++
+		}
+	}
+	if count > 0 {
+		rep.warnf("Equal Drawables: %d drawable(s) in %d group(s) share identical timestamps (limited clock resolution?)", count, groups)
+	}
+	return count
+}
+
+// buildFrame constructs the bounding-box tree. Drawables fully inside a
+// half go down; spanners stay at this node.
+func buildFrame(start, end float64, states []State, arrows []Arrow, events []Event, capacity, depth int) *Frame {
+	fr := &Frame{Start: start, End: end}
+	total := len(states) + len(arrows) + len(events)
+	if total <= capacity || depth >= MaxTreeDepth || end <= start {
+		fr.States, fr.Arrows, fr.Events = states, arrows, events
+		return fr
+	}
+	mid := (start + end) / 2
+	var lStates, rStates, here []State
+	for _, s := range states {
+		switch {
+		case s.End <= mid:
+			lStates = append(lStates, s)
+		case s.Start >= mid:
+			rStates = append(rStates, s)
+		default:
+			here = append(here, s)
+		}
+	}
+	var lArrows, rArrows, hereA []Arrow
+	for _, a := range arrows {
+		lo, hi := a.Start, a.End
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		switch {
+		case hi <= mid:
+			lArrows = append(lArrows, a)
+		case lo >= mid:
+			rArrows = append(rArrows, a)
+		default:
+			hereA = append(hereA, a)
+		}
+	}
+	var lEvents, rEvents []Event
+	for _, e := range events {
+		if e.Time < mid {
+			lEvents = append(lEvents, e)
+		} else {
+			rEvents = append(rEvents, e)
+		}
+	}
+	fr.States, fr.Arrows = here, hereA
+	if len(lStates)+len(lArrows)+len(lEvents) > 0 {
+		fr.Left = buildFrame(start, mid, lStates, lArrows, lEvents, capacity, depth+1)
+	}
+	if len(rStates)+len(rArrows)+len(rEvents) > 0 {
+		fr.Right = buildFrame(mid, end, rStates, rArrows, rEvents, capacity, depth+1)
+	}
+	return fr
+}
+
+// computePreviews fills each frame's per-rank, per-category state-time
+// summary from its subtree (exact, bottom-up).
+func computePreviews(fr *Frame) map[int]map[int]float64 {
+	if fr == nil {
+		return nil
+	}
+	p := map[int]map[int]float64{}
+	add := func(rank, cat int, d float64) {
+		if p[rank] == nil {
+			p[rank] = map[int]float64{}
+		}
+		p[rank][cat] += d
+	}
+	for _, s := range fr.States {
+		add(s.Rank, s.Cat, s.Duration())
+	}
+	for _, child := range []map[int]map[int]float64{computePreviews(fr.Left), computePreviews(fr.Right)} {
+		for rank, cats := range child {
+			for cat, d := range cats {
+				add(rank, cat, d)
+			}
+		}
+	}
+	fr.Preview = p
+	return p
+}

@@ -1,0 +1,345 @@
+package slog2
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// Magic begins every SLOG-2 file; the digits are this format's version.
+const Magic = "SLOG-R0206"
+
+// Write serialises f onto w.
+func Write(w io.Writer, f *File) error {
+	if f == nil || f.Root == nil {
+		return fmt.Errorf("slog2: cannot write file without a root frame")
+	}
+	e := &encoder{w: bufio.NewWriter(w)}
+	e.raw([]byte(Magic))
+	e.i32(int32(f.NumRanks))
+	e.f64(f.Start)
+	e.f64(f.End)
+	e.i32(int32(len(f.Categories)))
+	for _, c := range f.Categories {
+		e.b(uint8(c.Kind))
+		e.str(c.Color)
+		e.str(c.Name)
+	}
+	e.i32(int32(len(f.Warnings)))
+	for _, s := range f.Warnings {
+		e.str(s)
+	}
+	e.frame(f.Root)
+	if e.err != nil {
+		return e.err
+	}
+	return e.w.Flush()
+}
+
+// WriteFile serialises f to a file at path.
+func WriteFile(path string, f *File) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(out, f); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// Read parses a complete SLOG-2 file.
+func Read(r io.Reader) (*File, error) {
+	d := &decoder{r: bufio.NewReader(r)}
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(d.r, magic); err != nil {
+		return nil, fmt.Errorf("slog2: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("slog2: bad magic %q (not an SLOG-2 file?)", magic)
+	}
+	f := &File{}
+	f.NumRanks = int(d.i32())
+	f.Start = d.f64()
+	f.End = d.f64()
+	ncats := d.i32()
+	if d.err == nil && (ncats < 0 || ncats > 1<<20) {
+		return nil, fmt.Errorf("slog2: implausible category count %d", ncats)
+	}
+	for i := int32(0); i < ncats && d.err == nil; i++ {
+		var c Category
+		c.Kind = CategoryKind(d.b())
+		c.Color = d.str()
+		c.Name = d.str()
+		f.Categories = append(f.Categories, c)
+	}
+	nwarn := d.i32()
+	if d.err == nil && (nwarn < 0 || nwarn > 1<<24) {
+		return nil, fmt.Errorf("slog2: implausible warning count %d", nwarn)
+	}
+	for i := int32(0); i < nwarn && d.err == nil; i++ {
+		f.Warnings = append(f.Warnings, d.str())
+	}
+	f.Root = d.frame()
+	if d.err != nil {
+		return nil, d.err
+	}
+	return f, nil
+}
+
+// ReadFile parses the SLOG-2 file at path.
+func ReadFile(path string) (*File, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	return Read(in)
+}
+
+type encoder struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (e *encoder) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+func (e *encoder) raw(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, err := e.w.Write(b)
+	e.fail(err)
+}
+
+func (e *encoder) b(v uint8) {
+	if e.err != nil {
+		return
+	}
+	e.fail(e.w.WriteByte(v))
+}
+
+func (e *encoder) i32(v int32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(v))
+	e.raw(buf[:])
+}
+
+func (e *encoder) f64(v float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	e.raw(buf[:])
+}
+
+func (e *encoder) str(s string) {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	var buf [2]byte
+	binary.LittleEndian.PutUint16(buf[:], uint16(len(s)))
+	e.raw(buf[:])
+	e.raw([]byte(s))
+}
+
+func (e *encoder) frame(fr *Frame) {
+	if fr == nil {
+		e.b(0)
+		return
+	}
+	e.b(1)
+	e.f64(fr.Start)
+	e.f64(fr.End)
+	e.i32(int32(len(fr.States)))
+	for _, s := range fr.States {
+		e.i32(int32(s.Rank))
+		e.i32(int32(s.Cat))
+		e.f64(s.Start)
+		e.f64(s.End)
+		e.str(s.StartCargo)
+		e.str(s.EndCargo)
+	}
+	e.i32(int32(len(fr.Arrows)))
+	for _, a := range fr.Arrows {
+		e.i32(int32(a.SrcRank))
+		e.i32(int32(a.DstRank))
+		e.f64(a.Start)
+		e.f64(a.End)
+		e.i32(int32(a.Tag))
+		e.i32(int32(a.Size))
+	}
+	e.i32(int32(len(fr.Events)))
+	for _, ev := range fr.Events {
+		e.i32(int32(ev.Rank))
+		e.i32(int32(ev.Cat))
+		e.f64(ev.Time)
+		e.str(ev.Cargo)
+	}
+	// Preview in deterministic (rank, cat) order.
+	ranks := make([]int, 0, len(fr.Preview))
+	for rank := range fr.Preview {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	e.i32(int32(len(ranks)))
+	for _, rank := range ranks {
+		cats := make([]int, 0, len(fr.Preview[rank]))
+		for cat := range fr.Preview[rank] {
+			cats = append(cats, cat)
+		}
+		sort.Ints(cats)
+		e.i32(int32(rank))
+		e.i32(int32(len(cats)))
+		for _, cat := range cats {
+			e.i32(int32(cat))
+			e.f64(fr.Preview[rank][cat])
+		}
+	}
+	e.frame(fr.Left)
+	e.frame(fr.Right)
+}
+
+type decoder struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (d *decoder) fail(err error) {
+	if d.err == nil {
+		d.err = fmt.Errorf("slog2: truncated or corrupt file: %w", err)
+	}
+}
+
+func (d *decoder) b() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := d.r.ReadByte()
+	if err != nil {
+		d.fail(err)
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) i32() int32 {
+	if d.err != nil {
+		return 0
+	}
+	var buf [4]byte
+	if _, err := io.ReadFull(d.r, buf[:]); err != nil {
+		d.fail(err)
+		return 0
+	}
+	return int32(binary.LittleEndian.Uint32(buf[:]))
+}
+
+func (d *decoder) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(d.r, buf[:]); err != nil {
+		d.fail(err)
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+}
+
+func (d *decoder) str() string {
+	if d.err != nil {
+		return ""
+	}
+	var buf [2]byte
+	if _, err := io.ReadFull(d.r, buf[:]); err != nil {
+		d.fail(err)
+		return ""
+	}
+	n := binary.LittleEndian.Uint16(buf[:])
+	s := make([]byte, n)
+	if _, err := io.ReadFull(d.r, s); err != nil {
+		d.fail(err)
+		return ""
+	}
+	return string(s)
+}
+
+func (d *decoder) count(limit int32) int32 {
+	n := d.i32()
+	if d.err == nil && (n < 0 || n > limit) {
+		d.err = fmt.Errorf("slog2: implausible count %d", n)
+	}
+	return n
+}
+
+func (d *decoder) frame() *Frame {
+	if d.err != nil {
+		return nil
+	}
+	present := d.b()
+	if present == 0 || d.err != nil {
+		return nil
+	}
+	fr := &Frame{}
+	fr.Start = d.f64()
+	fr.End = d.f64()
+	ns := d.count(1 << 28)
+	for i := int32(0); i < ns && d.err == nil; i++ {
+		var s State
+		s.Rank = int(d.i32())
+		s.Cat = int(d.i32())
+		s.Start = d.f64()
+		s.End = d.f64()
+		s.StartCargo = d.str()
+		s.EndCargo = d.str()
+		fr.States = append(fr.States, s)
+	}
+	na := d.count(1 << 28)
+	for i := int32(0); i < na && d.err == nil; i++ {
+		var a Arrow
+		a.SrcRank = int(d.i32())
+		a.DstRank = int(d.i32())
+		a.Start = d.f64()
+		a.End = d.f64()
+		a.Tag = int(d.i32())
+		a.Size = int(d.i32())
+		fr.Arrows = append(fr.Arrows, a)
+	}
+	ne := d.count(1 << 28)
+	for i := int32(0); i < ne && d.err == nil; i++ {
+		var ev Event
+		ev.Rank = int(d.i32())
+		ev.Cat = int(d.i32())
+		ev.Time = d.f64()
+		ev.Cargo = d.str()
+		fr.Events = append(fr.Events, ev)
+	}
+	nr := d.count(1 << 24)
+	if nr > 0 {
+		fr.Preview = map[int]map[int]float64{}
+	}
+	for i := int32(0); i < nr && d.err == nil; i++ {
+		rank := int(d.i32())
+		nc := d.count(1 << 20)
+		m := map[int]float64{}
+		for j := int32(0); j < nc && d.err == nil; j++ {
+			cat := int(d.i32())
+			m[cat] = d.f64()
+		}
+		fr.Preview[rank] = m
+	}
+	fr.Left = d.frame()
+	fr.Right = d.frame()
+	if d.err != nil {
+		return nil
+	}
+	return fr
+}

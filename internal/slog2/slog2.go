@@ -1,0 +1,274 @@
+// Package slog2 implements an SLOG-2-style visualization logfile: the
+// frame-tree format Jumpshot displays, produced by converting a raw CLOG-2
+// log. The conversion pairs state start/end events into interval drawables,
+// pairs message send/receive halves into arrows, detects the "Equal
+// Drawables" condition (distinct drawables with identical timestamps, a
+// symptom of limited MPI_Wtime resolution), and organises everything into
+// a binary bounding-box tree of frames whose capacity — the "frame size"
+// conversion parameter — controls how much data a viewer touches at any
+// zoom level. Internal tree nodes carry preview summaries: per-rank,
+// per-category time fractions, which Jumpshot renders as the striped
+// rectangles seen in zoomed-out views.
+package slog2
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CategoryKind distinguishes state categories from event categories.
+type CategoryKind uint8
+
+// Category kinds.
+const (
+	KindState CategoryKind = iota
+	KindEvent
+)
+
+// Category is a legend entry: one kind of drawable with display
+// properties. The legend table in Jumpshot is exactly this list plus
+// statistics computed from the drawables.
+type Category struct {
+	Name  string
+	Color string
+	Kind  CategoryKind
+}
+
+// State is an interval drawable on one rank's timeline: one call of a
+// Pilot function, or a phase like Compute.
+type State struct {
+	Rank       int
+	Cat        int // index into File.Categories
+	Start, End float64
+	// StartCargo/EndCargo carry the popup text logged with the state's
+	// start and end events (line number, process name, worker index...).
+	StartCargo string
+	EndCargo   string
+}
+
+// Duration returns End-Start.
+func (s State) Duration() float64 { return s.End - s.Start }
+
+// Arrow is a message drawable from a send on one timeline to the matching
+// receive on another. Its popup shows start and end times, duration, MPI
+// tag and message size — and, as the paper notes, nothing else can be
+// attached.
+type Arrow struct {
+	SrcRank, DstRank int
+	Start, End       float64
+	Tag, Size        int
+}
+
+// Event is a solo drawable — a bubble.
+type Event struct {
+	Rank  int
+	Cat   int // index into File.Categories
+	Time  float64
+	Cargo string
+}
+
+// Frame is one node of the bounding-box tree. Drawables live in the
+// deepest frame whose interval fully contains them; an interval spanning a
+// split point stays in the parent.
+type Frame struct {
+	Start, End float64
+	States     []State
+	Arrows     []Arrow
+	Events     []Event
+	// Preview summarises the whole subtree: Preview[rank][cat] is the total
+	// state time of that category on that rank within this frame's subtree.
+	Preview map[int]map[int]float64
+	Left    *Frame
+	Right   *Frame
+}
+
+// leaf reports whether the frame has no children.
+func (fr *Frame) leaf() bool { return fr.Left == nil && fr.Right == nil }
+
+// File is a complete SLOG-2 log.
+type File struct {
+	NumRanks   int
+	Start, End float64
+	Categories []Category
+	Root       *Frame
+	// Warnings carries conversion diagnostics, including the Equal
+	// Drawables warnings.
+	Warnings []string
+}
+
+// Walk visits every frame depth-first (parent before children).
+func (f *File) Walk(visit func(*Frame)) {
+	var rec func(*Frame)
+	rec = func(fr *Frame) {
+		if fr == nil {
+			return
+		}
+		visit(fr)
+		rec(fr.Left)
+		rec(fr.Right)
+	}
+	rec(f.Root)
+}
+
+// Query returns the drawables intersecting [t0, t1], in start-time order.
+// This is the viewer's fetch path: only frames overlapping the viewport
+// are touched, which is the point of the frame tree.
+func (f *File) Query(t0, t1 float64) (states []State, arrows []Arrow, events []Event) {
+	var rec func(fr *Frame)
+	rec = func(fr *Frame) {
+		if fr == nil || fr.End < t0 || fr.Start > t1 {
+			return
+		}
+		for _, s := range fr.States {
+			if s.End >= t0 && s.Start <= t1 {
+				states = append(states, s)
+			}
+		}
+		for _, a := range fr.Arrows {
+			lo, hi := a.Start, a.End
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			if hi >= t0 && lo <= t1 {
+				arrows = append(arrows, a)
+			}
+		}
+		for _, e := range fr.Events {
+			if e.Time >= t0 && e.Time <= t1 {
+				events = append(events, e)
+			}
+		}
+		rec(fr.Left)
+		rec(fr.Right)
+	}
+	rec(f.Root)
+	sort.SliceStable(states, func(i, j int) bool { return states[i].Start < states[j].Start })
+	sort.SliceStable(arrows, func(i, j int) bool { return arrows[i].Start < arrows[j].Start })
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time < events[j].Time })
+	return states, arrows, events
+}
+
+// All returns every drawable in the file.
+func (f *File) All() (states []State, arrows []Arrow, events []Event) {
+	f.Walk(func(fr *Frame) {
+		states = append(states, fr.States...)
+		arrows = append(arrows, fr.Arrows...)
+		events = append(events, fr.Events...)
+	})
+	return
+}
+
+// CategoryIndex returns the index of the named category, or -1.
+func (f *File) CategoryIndex(name string) int {
+	for i, c := range f.Categories {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Depth returns the height of the frame tree.
+func (f *File) Depth() int {
+	var rec func(fr *Frame) int
+	rec = func(fr *Frame) int {
+		if fr == nil {
+			return 0
+		}
+		l, r := rec(fr.Left), rec(fr.Right)
+		if r > l {
+			l = r
+		}
+		return l + 1
+	}
+	return rec(f.Root)
+}
+
+// CheckInvariants verifies structural soundness: every drawable fully
+// inside its frame's interval, children inside parents, previews
+// consistent with subtree contents. Tests and the converter's self-check
+// use it; a well-behaved producer never trips it.
+func (f *File) CheckInvariants() error {
+	if f.Root == nil {
+		return fmt.Errorf("slog2: nil root frame")
+	}
+	const eps = 1e-9
+	var rec func(fr *Frame) error
+	rec = func(fr *Frame) error {
+		if fr == nil {
+			return nil
+		}
+		if fr.End < fr.Start {
+			return fmt.Errorf("slog2: frame [%v,%v] inverted", fr.Start, fr.End)
+		}
+		for _, s := range fr.States {
+			if s.Start < fr.Start-eps || s.End > fr.End+eps {
+				return fmt.Errorf("slog2: state [%v,%v] escapes frame [%v,%v]", s.Start, s.End, fr.Start, fr.End)
+			}
+			if s.End < s.Start {
+				return fmt.Errorf("slog2: state [%v,%v] inverted", s.Start, s.End)
+			}
+			if s.Cat < 0 || s.Cat >= len(f.Categories) {
+				return fmt.Errorf("slog2: state category %d out of range", s.Cat)
+			}
+		}
+		for _, e := range fr.Events {
+			if e.Time < fr.Start-eps || e.Time > fr.End+eps {
+				return fmt.Errorf("slog2: event at %v escapes frame [%v,%v]", e.Time, fr.Start, fr.End)
+			}
+			if e.Cat < 0 || e.Cat >= len(f.Categories) {
+				return fmt.Errorf("slog2: event category %d out of range", e.Cat)
+			}
+		}
+		for _, a := range fr.Arrows {
+			lo, hi := a.Start, a.End
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			if lo < fr.Start-eps || hi > fr.End+eps {
+				return fmt.Errorf("slog2: arrow [%v,%v] escapes frame [%v,%v]", lo, hi, fr.Start, fr.End)
+			}
+		}
+		for _, child := range []*Frame{fr.Left, fr.Right} {
+			if child == nil {
+				continue
+			}
+			if child.Start < fr.Start-eps || child.End > fr.End+eps {
+				return fmt.Errorf("slog2: child frame [%v,%v] escapes parent [%v,%v]", child.Start, child.End, fr.Start, fr.End)
+			}
+			if err := rec(child); err != nil {
+				return err
+			}
+		}
+		// Preview equals subtree state time per (rank, cat).
+		want := map[int]map[int]float64{}
+		var sum func(x *Frame)
+		sum = func(x *Frame) {
+			if x == nil {
+				return
+			}
+			for _, s := range x.States {
+				if want[s.Rank] == nil {
+					want[s.Rank] = map[int]float64{}
+				}
+				want[s.Rank][s.Cat] += s.Duration()
+			}
+			sum(x.Left)
+			sum(x.Right)
+		}
+		sum(fr)
+		for rank, cats := range want {
+			for cat, d := range cats {
+				got := 0.0
+				if fr.Preview[rank] != nil {
+					got = fr.Preview[rank][cat]
+				}
+				if diff := got - d; diff > 1e-6 || diff < -1e-6 {
+					return fmt.Errorf("slog2: preview[%d][%d] = %v, subtree has %v", rank, cat, got, d)
+				}
+			}
+		}
+		return nil
+	}
+	return rec(f.Root)
+}

@@ -1,0 +1,519 @@
+package slog2
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/clog2"
+)
+
+// buildCLOG assembles a clog2.File in memory. States are defined with
+// sequential IDs beginning at 1 (etypes 2/3, 4/5, ...), events at solo
+// etypes.
+type clogBuilder struct {
+	nranks int
+	defs   []clog2.Record
+	blocks map[int32][]clog2.Record
+}
+
+func newCLOG(nranks int) *clogBuilder {
+	return &clogBuilder{nranks: nranks, blocks: map[int32][]clog2.Record{}}
+}
+
+func (b *clogBuilder) defState(id int32, name, color string) {
+	b.defs = append(b.defs, clog2.Record{
+		Type: clog2.RecStateDef, ID: id, Aux1: id * 2, Aux2: id*2 + 1,
+		Color: color, Name: name,
+	})
+}
+
+func (b *clogBuilder) defEvent(id int32, name, color string) {
+	b.defs = append(b.defs, clog2.Record{
+		Type: clog2.RecEventDef, ID: 1<<20 + id, Color: color, Name: name,
+	})
+}
+
+func (b *clogBuilder) state(rank int32, id int32, t0, t1 float64, cargo string) {
+	b.blocks[rank] = append(b.blocks[rank],
+		clog2.Record{Type: clog2.RecCargoEvt, Time: t0, Rank: rank, ID: id * 2, Text: cargo},
+		clog2.Record{Type: clog2.RecCargoEvt, Time: t1, Rank: rank, ID: id*2 + 1},
+	)
+}
+
+func (b *clogBuilder) event(rank int32, id int32, t float64, cargo string) {
+	b.blocks[rank] = append(b.blocks[rank],
+		clog2.Record{Type: clog2.RecCargoEvt, Time: t, Rank: rank, ID: 1<<20 + id, Text: cargo})
+}
+
+func (b *clogBuilder) send(rank, dst, tag int32, t float64, size int32) {
+	b.blocks[rank] = append(b.blocks[rank],
+		clog2.Record{Type: clog2.RecMsgEvt, Time: t, Rank: rank, Dir: clog2.DirSend, Aux1: dst, Aux2: tag, Aux3: size})
+}
+
+func (b *clogBuilder) recv(rank, src, tag int32, t float64, size int32) {
+	b.blocks[rank] = append(b.blocks[rank],
+		clog2.Record{Type: clog2.RecMsgEvt, Time: t, Rank: rank, Dir: clog2.DirRecv, Aux1: src, Aux2: tag, Aux3: size})
+}
+
+func (b *clogBuilder) file() *clog2.File {
+	f := &clog2.File{NumRanks: b.nranks}
+	f.Blocks = append(f.Blocks, clog2.Block{Rank: 0, Records: b.defs})
+	for r := int32(0); r < int32(b.nranks); r++ {
+		if recs, ok := b.blocks[r]; ok {
+			f.Blocks = append(f.Blocks, clog2.Block{Rank: r, Records: recs})
+		}
+	}
+	return f
+}
+
+func TestConvertBasicStatesAndArrow(t *testing.T) {
+	b := newCLOG(2)
+	b.defState(1, "PI_Write", "green")
+	b.defState(2, "PI_Read", "red")
+	b.defEvent(1, "MsgArrival", "yellow")
+	b.state(0, 1, 1.0, 1.2, "line: 10")
+	b.state(1, 2, 0.9, 1.5, "line: 20")
+	b.send(0, 1, 7, 1.05, 64)
+	b.recv(1, 0, 7, 1.4, 64)
+	b.event(1, 1, 1.4, "chan: C1")
+
+	f, rep, err := Convert(b.file(), ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.States != 2 || rep.Arrows != 1 || rep.Events != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.EqualDrawables != 0 || rep.NestingErrors != 0 || rep.UnmatchedSends != 0 {
+		t.Fatalf("unexpected warnings: %+v", rep)
+	}
+	states, arrows, events := f.All()
+	if len(states) != 2 || len(arrows) != 1 || len(events) != 1 {
+		t.Fatalf("drawables %d/%d/%d", len(states), len(arrows), len(events))
+	}
+	a := arrows[0]
+	if a.SrcRank != 0 || a.DstRank != 1 || a.Start != 1.05 || a.End != 1.4 || a.Tag != 7 || a.Size != 64 {
+		t.Fatalf("arrow %+v", a)
+	}
+	wi := f.CategoryIndex("PI_Write")
+	ri := f.CategoryIndex("PI_Read")
+	if wi < 0 || ri < 0 {
+		t.Fatalf("categories missing: %v", f.Categories)
+	}
+	if f.Categories[wi].Color != "green" || f.Categories[ri].Color != "red" {
+		t.Fatal("category colours lost")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Start != 0.9 || f.End != 1.5 {
+		t.Fatalf("bounds [%v,%v]", f.Start, f.End)
+	}
+}
+
+func TestConvertNestedStates(t *testing.T) {
+	b := newCLOG(1)
+	b.defState(1, "Compute", "gray")
+	b.defState(2, "PI_Read", "red")
+	// Read nested within Compute: start order C, R; end order R, C.
+	b.blocks[0] = append(b.blocks[0],
+		clog2.Record{Type: clog2.RecCargoEvt, Time: 1, Rank: 0, ID: 2},  // Compute start
+		clog2.Record{Type: clog2.RecCargoEvt, Time: 2, Rank: 0, ID: 4},  // Read start
+		clog2.Record{Type: clog2.RecCargoEvt, Time: 3, Rank: 0, ID: 5},  // Read end
+		clog2.Record{Type: clog2.RecCargoEvt, Time: 10, Rank: 0, ID: 3}, // Compute end
+	)
+	f, rep, err := Convert(b.file(), ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NestingErrors != 0 {
+		t.Fatalf("nesting errors: %v", rep.Warnings)
+	}
+	states, _, _ := f.All()
+	if len(states) != 2 {
+		t.Fatalf("states %+v", states)
+	}
+	var comp, read *State
+	for i := range states {
+		switch f.Categories[states[i].Cat].Name {
+		case "Compute":
+			comp = &states[i]
+		case "PI_Read":
+			read = &states[i]
+		}
+	}
+	if comp == nil || read == nil {
+		t.Fatal("missing states")
+	}
+	if !(read.Start >= comp.Start && read.End <= comp.End) {
+		t.Fatalf("nesting broken: %+v in %+v", read, comp)
+	}
+}
+
+func TestConvertNestingErrors(t *testing.T) {
+	b := newCLOG(1)
+	b.defState(1, "A", "red")
+	b.defState(2, "B", "green")
+	b.blocks[0] = append(b.blocks[0],
+		clog2.Record{Type: clog2.RecCargoEvt, Time: 1, Rank: 0, ID: 2}, // A start
+		clog2.Record{Type: clog2.RecCargoEvt, Time: 2, Rank: 0, ID: 5}, // B end (mismatch)
+		clog2.Record{Type: clog2.RecCargoEvt, Time: 3, Rank: 0, ID: 5}, // B end, stack empty
+		clog2.Record{Type: clog2.RecCargoEvt, Time: 4, Rank: 0, ID: 4}, // B start, never closed
+	)
+	_, rep, err := Convert(b.file(), ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NestingErrors != 3 {
+		t.Fatalf("nesting errors = %d, want 3 (%v)", rep.NestingErrors, rep.Warnings)
+	}
+}
+
+func TestConvertUnmatchedMessages(t *testing.T) {
+	b := newCLOG(2)
+	b.defState(1, "S", "red")
+	b.state(0, 1, 0, 1, "")
+	b.send(0, 1, 1, 0.1, 8)
+	b.send(0, 1, 1, 0.2, 8)
+	b.recv(1, 0, 1, 0.5, 8)
+	b.recv(1, 0, 2, 0.6, 8) // tag 2 never sent
+	_, rep, err := Convert(b.file(), ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Arrows != 1 || rep.UnmatchedSends != 1 || rep.UnmatchedRecvs != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func TestConvertSizeMismatchWarns(t *testing.T) {
+	b := newCLOG(2)
+	b.defState(1, "S", "red")
+	b.state(0, 1, 0, 1, "")
+	b.send(0, 1, 1, 0.1, 8)
+	b.recv(1, 0, 1, 0.5, 16)
+	_, rep, err := Convert(b.file(), ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range rep.Warnings {
+		if strings.Contains(w, "send size 8 != recv size 16") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no size-mismatch warning in %v", rep.Warnings)
+	}
+}
+
+// The paper's "Equal Drawables" warning: drawables of one category with
+// identical start and end times, caused by limited clock resolution.
+func TestEqualDrawablesDetected(t *testing.T) {
+	b := newCLOG(3)
+	b.defState(1, "PI_Write", "green")
+	// Three arrows logged at exactly the same (truncated) instants.
+	for dst := int32(1); dst <= 2; dst++ {
+		b.send(0, dst, 5, 1.000, 8)
+	}
+	b.send(0, 1, 6, 1.000, 8)
+	b.recv(1, 0, 5, 1.001, 8)
+	b.recv(2, 0, 5, 1.001, 8)
+	b.recv(1, 0, 6, 1.001, 8)
+	b.state(0, 1, 1.000, 1.001, "")
+	f, rep, err := Convert(b.file(), ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrows 0->1 tag5, 0->1 tag6 differ in tag but (src,dst) pair 0->1 has
+	// two arrows with identical times → at least one equal drawable.
+	if rep.EqualDrawables < 1 {
+		t.Fatalf("EqualDrawables = %d, want >= 1", rep.EqualDrawables)
+	}
+	hasWarning := false
+	for _, w := range f.Warnings {
+		if strings.Contains(w, "Equal Drawables") {
+			hasWarning = true
+		}
+	}
+	if !hasWarning {
+		t.Fatalf("no Equal Drawables warning in %v", f.Warnings)
+	}
+}
+
+func TestEqualDrawablesAbsentWhenSpread(t *testing.T) {
+	b := newCLOG(3)
+	b.defState(1, "PI_Write", "green")
+	b.state(0, 1, 1.0, 1.01, "")
+	// Same fan-out but spread by 1 ms, the paper's usleep workaround.
+	b.send(0, 1, 5, 1.000, 8)
+	b.send(0, 2, 5, 1.001, 8)
+	b.recv(1, 0, 5, 1.002, 8)
+	b.recv(2, 0, 5, 1.003, 8)
+	_, rep, err := Convert(b.file(), ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EqualDrawables != 0 {
+		t.Fatalf("EqualDrawables = %d with spread timestamps", rep.EqualDrawables)
+	}
+}
+
+func TestFrameTreeSplitsAndQuery(t *testing.T) {
+	b := newCLOG(4)
+	b.defState(1, "S", "red")
+	rng := rand.New(rand.NewSource(7))
+	const n = 2000
+	for i := 0; i < n; i++ {
+		rank := int32(rng.Intn(4))
+		t0 := rng.Float64() * 100
+		b.state(rank, 1, t0, t0+rng.Float64(), "")
+	}
+	f, rep, err := Convert(b.file(), ConvertOptions{FrameCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.States != n {
+		t.Fatalf("states = %d", rep.States)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Depth(); d < 3 {
+		t.Fatalf("tree depth %d; capacity 64 with %d drawables should split", d, n)
+	}
+	// Query returns exactly the states intersecting the window.
+	states, _, _ := f.Query(25, 30)
+	all, _, _ := f.All()
+	want := 0
+	for _, s := range all {
+		if s.End >= 25 && s.Start <= 30 {
+			want++
+		}
+	}
+	if len(states) != want {
+		t.Fatalf("Query returned %d states, want %d", len(states), want)
+	}
+	for _, s := range states {
+		if s.End < 25 || s.Start > 30 {
+			t.Fatalf("state [%v,%v] outside query window", s.Start, s.End)
+		}
+	}
+	// Total drawables preserved.
+	if len(all) != n {
+		t.Fatalf("All() returned %d states, want %d", len(all), n)
+	}
+}
+
+func TestFrameCapacityControlsDepth(t *testing.T) {
+	mk := func(capacity int) int {
+		b := newCLOG(2)
+		b.defState(1, "S", "red")
+		for i := 0; i < 500; i++ {
+			t0 := float64(i)
+			b.state(0, 1, t0, t0+0.5, "")
+		}
+		f, _, err := Convert(b.file(), ConvertOptions{FrameCapacity: capacity})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return f.Depth()
+	}
+	small := mk(16)
+	large := mk(1024)
+	if small <= large {
+		t.Fatalf("depth(capacity=16)=%d should exceed depth(capacity=1024)=%d", small, large)
+	}
+	if large != 1 {
+		t.Fatalf("capacity 1024 over 500 drawables should not split, depth=%d", large)
+	}
+}
+
+func TestPreviewFractions(t *testing.T) {
+	b := newCLOG(1)
+	b.defState(1, "Compute", "gray")
+	b.defState(2, "PI_Read", "red")
+	// 8 s of compute, 2 s of read within [0,10].
+	b.state(0, 1, 0, 8, "")
+	b.state(0, 2, 8, 10, "")
+	f, _, err := Convert(b.file(), ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := f.Root
+	comp := f.CategoryIndex("Compute")
+	read := f.CategoryIndex("PI_Read")
+	if got := root.Preview[0][comp]; got != 8 {
+		t.Fatalf("compute preview = %v", got)
+	}
+	if got := root.Preview[0][read]; got != 2 {
+		t.Fatalf("read preview = %v", got)
+	}
+}
+
+func TestConvertEmptyLog(t *testing.T) {
+	b := newCLOG(2)
+	b.defState(1, "S", "red")
+	f, rep, err := Convert(b.file(), ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.States != 0 || f.Root == nil {
+		t.Fatalf("empty conversion: rep=%+v root=%v", rep, f.Root)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	b := newCLOG(3)
+	b.defState(1, "PI_Write", "green")
+	b.defState(2, "PI_Read", "red")
+	b.defEvent(1, "MsgArrival", "yellow")
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		rank := int32(rng.Intn(3))
+		t0 := rng.Float64() * 50
+		b.state(rank, int32(rng.Intn(2)+1), t0, t0+rng.Float64(), "cargo")
+		b.event(rank, 1, t0, "ev")
+	}
+	b.send(0, 1, 1, 3, 10)
+	b.recv(1, 0, 1, 4, 10)
+	f, _, err := Convert(b.file(), ConvertOptions{FrameCapacity: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRanks != f.NumRanks || g.Start != f.Start || g.End != f.End {
+		t.Fatalf("header changed: %+v vs %+v", g, f)
+	}
+	if len(g.Categories) != len(f.Categories) {
+		t.Fatalf("categories %d vs %d", len(g.Categories), len(f.Categories))
+	}
+	for i := range g.Categories {
+		if g.Categories[i] != f.Categories[i] {
+			t.Fatalf("category %d changed: %+v vs %+v", i, g.Categories[i], f.Categories[i])
+		}
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	s1, a1, e1 := f.All()
+	s2, a2, e2 := g.All()
+	if len(s1) != len(s2) || len(a1) != len(a2) || len(e1) != len(e2) {
+		t.Fatalf("drawable counts changed: %d/%d/%d vs %d/%d/%d",
+			len(s1), len(a1), len(e1), len(s2), len(a2), len(e2))
+	}
+	if g.Depth() != f.Depth() {
+		t.Fatalf("tree depth changed: %d vs %d", g.Depth(), f.Depth())
+	}
+}
+
+func TestWriteFileReadFile(t *testing.T) {
+	b := newCLOG(1)
+	b.defState(1, "S", "red")
+	b.state(0, 1, 0, 1, "x")
+	f, _, err := Convert(b.file(), ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/x.slog2"
+	if err := WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not-slog"))); err == nil {
+		t.Fatal("garbage read succeeded")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty read succeeded")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	b := newCLOG(2)
+	b.defState(1, "S", "red")
+	for i := 0; i < 50; i++ {
+		b.state(0, 1, float64(i), float64(i)+0.5, "cargo")
+	}
+	f, _, err := Convert(b.file(), ConvertOptions{FrameCapacity: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := len(Magic); cut < len(full)-1; cut += 13 {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncated read at %d succeeded", cut)
+		}
+	}
+}
+
+func TestWriteNilFileFails(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("Write(nil) succeeded")
+	}
+	if err := Write(&bytes.Buffer{}, &File{}); err == nil {
+		t.Fatal("Write(no root) succeeded")
+	}
+}
+
+// Property: random logs convert to invariant-satisfying trees that
+// preserve every drawable, at several frame capacities.
+func TestConvertRandomProperty(t *testing.T) {
+	for _, capacity := range []int{1, 8, 64, 4096} {
+		for seed := int64(0); seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			nr := rng.Intn(6) + 1
+			b := newCLOG(nr)
+			b.defState(1, "A", "red")
+			b.defState(2, "B", "green")
+			b.defEvent(1, "E", "yellow")
+			n := rng.Intn(300)
+			for i := 0; i < n; i++ {
+				rank := int32(rng.Intn(nr))
+				t0 := rng.Float64() * 10
+				b.state(rank, int32(rng.Intn(2)+1), t0, t0+rng.Float64()*0.2, "")
+				if rng.Intn(3) == 0 {
+					b.event(rank, 1, t0, "")
+				}
+			}
+			f, rep, err := Convert(b.file(), ConvertOptions{FrameCapacity: capacity})
+			if err != nil {
+				t.Fatalf("capacity=%d seed=%d: %v", capacity, seed, err)
+			}
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatalf("capacity=%d seed=%d: %v", capacity, seed, err)
+			}
+			s, _, e := f.All()
+			if len(s) != rep.States || len(e) != rep.Events {
+				t.Fatalf("capacity=%d seed=%d: drawables lost", capacity, seed)
+			}
+		}
+	}
+}

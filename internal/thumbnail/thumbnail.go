@@ -1,0 +1,308 @@
+// Package thumbnail implements the paper's demonstration application
+// (Section III.D): a task-parallel pipeline that turns a batch of JPEG
+// files into thumbnails. PI_MAIN reads each image and ships it to the
+// next available decompressor D_i; each D decompresses, crops out the
+// centre 32% of the pixel array and downsamples to every third pixel; the
+// single compressor C re-encodes the thumbnail and ships it back to
+// PI_MAIN, the only process permitted to do disk I/O. The application
+// scales by adding data-parallel D processes, the most time-consuming
+// stage — which is what makes it the paper's overhead-measurement workload
+// (Section III.E).
+package thumbnail
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jpeglite"
+)
+
+// Config sizes one pipeline run.
+type Config struct {
+	// Workers is the number of decompressor processes D_i.
+	Workers int
+	// NumImages is the batch size (the paper used 1058 files; benches
+	// scale this down).
+	NumImages int
+	// ImageW/ImageH are the synthetic source dimensions (default 192×128).
+	ImageW, ImageH int
+	// Quality is the codec quality for both source and thumbnails.
+	Quality int
+	// Seed varies the synthetic images.
+	Seed int64
+	// OutDir, when non-empty, makes PI_MAIN write each thumbnail to disk
+	// as the paper's application does.
+	OutDir string
+	// StageDelay adds per-image think time: each decompression sleeps
+	// StageDelay and each compression StageDelay/10, on top of the real
+	// codec work. On machines with fewer cores than the paper's cluster
+	// this is what lets the pipeline's *wall-clock* scaling behave like
+	// the paper's (goroutines burning one shared core cannot speed up;
+	// sleeping stages can overlap). Zero keeps the workload purely
+	// CPU-bound.
+	StageDelay time.Duration
+	// Core carries the Pilot options (services, check level, log paths).
+	// NumProcs is computed from Workers and may be left zero.
+	Core core.Config
+}
+
+// CropFraction and DownsampleStep are the paper's constants: "cropping
+// out the center 32% of the pixel array, and then down-sampling ... every
+// third one".
+const (
+	CropFraction   = 0.32
+	DownsampleStep = 3
+)
+
+// Result reports one run.
+type Result struct {
+	// Elapsed is the execution time excluding the MPE wrap-up, matching
+	// how Section III.E reports times ("this disregards log wrap-up
+	// time").
+	Elapsed time.Duration
+	// WrapUp is the MPE log collection/merge/write cost at termination.
+	WrapUp time.Duration
+	// Thumbnails is the number produced (must equal NumImages).
+	Thumbnails int
+	// InputBytes and OutputBytes measure the compression pipeline.
+	InputBytes, OutputBytes int
+	// Runtime gives access to the finished Pilot runtime (log paths,
+	// deadlock report) for inspection.
+	Runtime *core.Runtime
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.NumImages < 1 {
+		c.NumImages = 1
+	}
+	if c.ImageW == 0 {
+		c.ImageW = 192
+	}
+	if c.ImageH == 0 {
+		c.ImageH = 128
+	}
+	if c.Quality == 0 {
+		c.Quality = 75
+	}
+	return c
+}
+
+// Run executes the pipeline and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+
+	// Pre-generate the "JPEG files". Generation is setup, not pipeline
+	// work, so it happens before timing starts.
+	images := make([][]byte, cfg.NumImages)
+	var inputBytes int
+	for i := range images {
+		im := jpeglite.Synthetic(cfg.ImageW, cfg.ImageH, cfg.Seed+int64(i))
+		images[i] = jpeglite.Encode(im, cfg.Quality)
+		inputBytes += len(images[i])
+	}
+
+	cc := cfg.Core
+	cc.NumProcs = 2 + cfg.Workers // PI_MAIN + C + D_1..D_W
+	if cc.HasService(core.SvcNativeLog) || cc.HasService(core.SvcDeadlock) {
+		cc.NumProcs++
+	}
+	r, err := core.NewRuntime(cc)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		toD     = make([]*core.Channel, cfg.Workers) // main -> D_i: job images
+		ready   = make([]*core.Channel, cfg.Workers) // D_i -> main: idle token
+		dToC    = make([]*core.Channel, cfg.Workers) // D_i -> C: raw pixels
+		cToMain *core.Channel                        // C -> main: thumbnails
+	)
+
+	compressor := func(self *core.Self, index int, arg any) int {
+		self.SetName("C")
+		done := 0
+		sel := arg.(*core.Bundle)
+		for done < cfg.Workers {
+			idx, err := sel.Select()
+			if err != nil {
+				return 1
+			}
+			var w, h int
+			var pix []byte
+			if err := dToC[idx].Read("%d %d %^c", &w, &h, &pix); err != nil {
+				return 1
+			}
+			if w < 0 { // termination marker from D_idx
+				done++
+				continue
+			}
+			im := &jpeglite.Image{W: w, H: h, Pix: pix}
+			data := jpeglite.Encode(im, cfg.Quality)
+			if cfg.StageDelay > 0 {
+				time.Sleep(cfg.StageDelay / 10)
+			}
+			if err := cToMain.Write("%^c", data); err != nil {
+				return 1
+			}
+		}
+		return 0
+	}
+
+	decompressor := func(self *core.Self, index int, arg any) int {
+		self.SetName(fmt.Sprintf("D%d", index+1))
+		for {
+			if err := ready[index].Write("%d", index); err != nil {
+				return 1
+			}
+			var data []byte
+			if err := toD[index].Read("%^c", &data); err != nil {
+				return 1
+			}
+			if len(data) == 0 { // no more work
+				if err := dToC[index].Write("%d %d %^c", -1, 0, []byte{}); err != nil {
+					return 1
+				}
+				return 0
+			}
+			im, err := jpeglite.Decode(data)
+			if err != nil {
+				self.Abort(2, fmt.Sprintf("undecodable image: %v", err))
+				return 1
+			}
+			thumb := im.CropCenter(CropFraction).Downsample(DownsampleStep)
+			if cfg.StageDelay > 0 {
+				time.Sleep(cfg.StageDelay)
+			}
+			if err := dToC[index].Write("%d %d %^c", thumb.W, thumb.H, thumb.Pix); err != nil {
+				return 1
+			}
+		}
+	}
+
+	// Configuration phase: C first (rank 1), then the D_i (ranks 2..W+1),
+	// matching the paper's Fig. 1 rank layout.
+	cproc, err := r.CreateProcess(compressor, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	dprocs := make([]*core.Process, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		if dprocs[i], err = r.CreateProcess(decompressor, i, nil); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		if toD[i], err = r.CreateChannel(r.MainProc(), dprocs[i]); err != nil {
+			return nil, err
+		}
+		if ready[i], err = r.CreateChannel(dprocs[i], r.MainProc()); err != nil {
+			return nil, err
+		}
+		if dToC[i], err = r.CreateChannel(dprocs[i], cproc); err != nil {
+			return nil, err
+		}
+		toD[i].SetName(fmt.Sprintf("job%d", i+1))
+		ready[i].SetName(fmt.Sprintf("idle%d", i+1))
+	}
+	if cToMain, err = r.CreateChannel(cproc, r.MainProc()); err != nil {
+		return nil, err
+	}
+	cToMain.SetName("thumbs")
+	readyBundle, err := r.CreateBundle(core.UsageSelect, ready...)
+	if err != nil {
+		return nil, err
+	}
+	readyBundle.SetName("idleD")
+	cSelect, err := r.CreateBundle(core.UsageSelect, dToC...)
+	if err != nil {
+		return nil, err
+	}
+	cSelect.SetName("fromD")
+	// Hand the compressor its select bundle.
+	cprocArgFix(cproc, cSelect)
+
+	start := time.Now()
+	if _, err := r.StartAll(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Runtime: r}
+	sent, received := 0, 0
+	for received < cfg.NumImages {
+		// Prefer draining finished thumbnails so channel buffers stay
+		// small; otherwise dispatch to the next available worker.
+		if has, err := cToMain.HasData(); err == nil && has {
+			if err := collectOne(cToMain, cfg, res, received); err != nil {
+				return nil, err
+			}
+			received++
+			continue
+		}
+		if sent < cfg.NumImages {
+			idx, err := readyBundle.Select()
+			if err != nil {
+				return nil, err
+			}
+			var widx int
+			if err := ready[idx].Read("%d", &widx); err != nil {
+				return nil, err
+			}
+			if err := toD[idx].Write("%^c", images[sent]); err != nil {
+				return nil, err
+			}
+			sent++
+			continue
+		}
+		if err := collectOne(cToMain, cfg, res, received); err != nil {
+			return nil, err
+		}
+		received++
+	}
+	// Shut the pipeline down: consume each D's final idle token and send
+	// the empty terminator job.
+	for i := 0; i < cfg.Workers; i++ {
+		var widx int
+		if err := ready[i].Read("%d", &widx); err != nil {
+			return nil, err
+		}
+		if err := toD[i].Write("%^c", []byte{}); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.StopMain(0); err != nil {
+		return nil, err
+	}
+	res.WrapUp = r.WrapUpTime()
+	res.Elapsed = time.Since(start) - res.WrapUp
+	res.Thumbnails = received
+	res.InputBytes = inputBytes
+	return res, nil
+}
+
+// collectOne receives one finished thumbnail and optionally writes it to
+// disk (PI_MAIN is the only process doing disk I/O).
+func collectOne(cToMain *core.Channel, cfg Config, res *Result, idx int) error {
+	var thumb []byte
+	if err := cToMain.Read("%^c", &thumb); err != nil {
+		return err
+	}
+	res.OutputBytes += len(thumb)
+	if cfg.OutDir != "" {
+		path := filepath.Join(cfg.OutDir, fmt.Sprintf("thumb%05d.jplt", idx))
+		if err := os.WriteFile(path, thumb, 0o644); err != nil {
+			return fmt.Errorf("thumbnail: writing %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// cprocArgFix stores the select bundle as the compressor's work-function
+// argument after bundle creation (processes are created before bundles in
+// the configuration phase).
+func cprocArgFix(p *core.Process, b *core.Bundle) { p.SetArg(b) }

@@ -1,0 +1,101 @@
+// Package pilot is the public face of this Go reproduction of the Pilot
+// library — "a friendly face for MPI" — together with the log
+// visualization facility added by Bao & Gardner's paper. It re-exports the
+// runtime in internal/core under the names a Pilot user expects.
+//
+// # C API mapping
+//
+//	PI_Configure(&argc,&argv)      cfg := pilot.Config{...}; pilot.ParseArgs(&cfg, os.Args[1:]);
+//	                               pi, err := pilot.Configure(cfg)
+//	PI_CreateProcess(f, i, p)      w, err := pi.CreateProcess(f, i, p)
+//	PI_CreateChannel(from, to)     ch, err := pi.CreateChannel(from, to)
+//	PI_CreateBundle(PI_SELECT,...) b, err := pi.CreateBundle(pilot.Select, chans...)
+//	PI_StartAll()                  self, err := pi.StartAll()
+//	PI_StopMain(status)            err := pi.StopMain(status)
+//	PI_Write(c, "%d %*f", ...)     err := c.Write("%d %*f", ...)
+//	PI_Read(c, "%d", &x)           err := c.Read("%d", &x)
+//	PI_Read(c, "%^d", &n, &buf)    err := c.Read("%^d", &buf)   // length = len(buf)
+//	PI_Broadcast(b, ...)           err := b.Broadcast(...)
+//	PI_Scatter / PI_Gather         b.Scatter(...) / b.Gather(...)
+//	PI_Reduce(b, PI_SUM, ...)      b.Reduce(pilot.Sum, ...)
+//	PI_Select(b)                   idx, err := b.Select()
+//	PI_TrySelect(b)                idx, err := b.TrySelect()
+//	PI_ChannelHasData(c)           ok, err := c.HasData()
+//	PI_SetName(x, name)            x.SetName(name)
+//	PI_Log(text)                   self.Log(text)
+//	PI_StartTime() / PI_EndTime()  self.StartTime() / self.EndTime()
+//	PI_Abort(code, msg)            self.Abort(code, msg)
+//	PI_IsLogging()                 self.IsLogging(pilot.SvcJumpshot)
+//
+// Run-time services are selected exactly like Pilot's command line:
+// -pisvc=cdj (c = native call log, d = deadlock detector, j = Jumpshot/MPE
+// visual log) and -picheck=N for the error-check level 0–3; ParseArgs
+// consumes them. With "j" enabled, StopMain writes a merged CLOG-2 file
+// that cmd/clog2slog converts for viewing with cmd/jumpshot.
+package pilot
+
+import (
+	"repro/internal/core"
+)
+
+// Core types, re-exported.
+type (
+	// Config is PI_Configure's input: world size, services, check level.
+	Config = core.Config
+	// Runtime is a configured Pilot program.
+	Runtime = core.Runtime
+	// Process is a created Pilot process (PI_PROCESS*).
+	Process = core.Process
+	// Channel is a one-way typed conduit (PI_CHANNEL*).
+	Channel = core.Channel
+	// Bundle is a set of channels for collectives (PI_BUNDLE*).
+	Bundle = core.Bundle
+	// Self is the process-context handle passed to work functions.
+	Self = core.Self
+	// WorkFunc is a process body: func(self, index, arg) status.
+	WorkFunc = core.WorkFunc
+	// Error is the diagnostic type for all API failures.
+	Error = core.Error
+	// BundleUsage declares a bundle's collective operation.
+	BundleUsage = core.BundleUsage
+	// ReduceOp selects the PI_Reduce combining operation.
+	ReduceOp = core.ReduceOp
+)
+
+// Bundle usages (PI_BROADCAST, PI_SCATTER, PI_GATHER, PI_REDUCE,
+// PI_SELECT).
+const (
+	Broadcast = core.UsageBroadcast
+	Scatter   = core.UsageScatter
+	Gather    = core.UsageGather
+	Reduce    = core.UsageReduce
+	Select    = core.UsageSelect
+)
+
+// Reduce operations (PI_SUM, PI_PROD, PI_MIN, PI_MAX).
+const (
+	Sum  = core.OpSum
+	Prod = core.OpProd
+	Min  = core.OpMin
+	Max  = core.OpMax
+)
+
+// Service letters for Config.Services / Self.IsLogging.
+const (
+	SvcNativeLog = core.SvcNativeLog
+	SvcDeadlock  = core.SvcDeadlock
+	SvcJumpshot  = core.SvcJumpshot
+)
+
+// DefaultArrowSpread is the 1 ms collective fan-out delay from the paper.
+const DefaultArrowSpread = core.DefaultArrowSpread
+
+// Configure is PI_Configure: validate cfg and enter the configuration
+// phase.
+func Configure(cfg Config) (*Runtime, error) { return core.NewRuntime(cfg) }
+
+// ParseArgs consumes Pilot's command-line options (-pisvc=, -picheck=,
+// -piprocs=) from args into cfg and returns the remaining arguments.
+func ParseArgs(cfg *Config, args []string) ([]string, error) {
+	return core.ParseArgs(cfg, args)
+}

@@ -1,0 +1,115 @@
+package vis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lab2"
+	"repro/vis"
+)
+
+// runLab2 produces a fresh CLOG-2 for the pipeline tests.
+func runLab2(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "lab2.clog2")
+	cfg := lab2.Config{W: 3, NUM: 1000, Seed: 4}
+	cfg.Core.Services = "j"
+	cfg.Core.JumpshotPath = path
+	cfg.Core.CheckLevel = 3
+	if _, err := lab2.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPipelineAllStages(t *testing.T) {
+	clog := runLab2(t)
+	dir := filepath.Dir(clog)
+	slogPath := filepath.Join(dir, "out.slog2")
+	svgPath := filepath.Join(dir, "out.svg")
+	f, rep, err := vis.Pipeline(clog, slogPath, svgPath, vis.ConvertOptions{}, vis.View{Title: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.States == 0 || f.NumRanks != 4 {
+		t.Fatalf("rep=%+v ranks=%d", rep, f.NumRanks)
+	}
+	for _, p := range []string{slogPath, svgPath} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("%s not written: %v", p, err)
+		}
+	}
+	// Skipping stages works too.
+	if _, _, err := vis.Pipeline(clog, "", "", vis.ConvertOptions{}, vis.View{}); err != nil {
+		t.Fatal(err)
+	}
+	// SLOG-2 roundtrip through the facade.
+	g, err := vis.ReadSLOG2(slogPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRanks != f.NumRanks {
+		t.Fatalf("roundtrip ranks %d vs %d", g.NumRanks, f.NumRanks)
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	if _, _, err := vis.Pipeline("no-such-file.clog2", "", "", vis.ConvertOptions{}, vis.View{}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	clog := runLab2(t)
+	if _, _, err := vis.Pipeline(clog, "/no/such/dir/x.slog2", "", vis.ConvertOptions{}, vis.View{}); err == nil {
+		t.Fatal("unwritable slog output accepted")
+	}
+	if _, _, err := vis.Pipeline(clog, "", "/no/such/dir/x.svg", vis.ConvertOptions{}, vis.View{}); err == nil {
+		t.Fatal("unwritable svg output accepted")
+	}
+}
+
+func TestFacadeRenderers(t *testing.T) {
+	clog := runLab2(t)
+	f, _, err := vis.ConvertFile(clog, vis.ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := vis.RenderASCII(f, vis.View{Width: 60}); !strings.Contains(s, "PI_MAIN") {
+		t.Error("ascii facade broken")
+	}
+	if s := vis.RenderHTML(f, vis.View{}); !strings.Contains(s, "<!DOCTYPE html>") {
+		t.Error("html facade broken")
+	}
+	if s := vis.RenderStatsSVG(f, f.Start, f.End, ""); !strings.Contains(s, "<svg") {
+		t.Error("stats svg facade broken")
+	}
+	htmlPath := filepath.Join(t.TempDir(), "v.html")
+	if err := vis.RenderHTMLFile(htmlPath, f, vis.View{}); err != nil {
+		t.Fatal(err)
+	}
+	legend := vis.Legend(f, f.Start, f.End)
+	vis.SortLegend(legend, "count")
+	if out := vis.FormatLegend(legend); !strings.Contains(out, "count") {
+		t.Error("legend facade broken")
+	}
+	stats := vis.Stats(f, f.Start, f.End)
+	if out := vis.FormatStats(f, stats); out == "" {
+		t.Error("stats facade broken")
+	}
+	if frac := vis.CategoryFraction(f, "Compute", f.Start, f.End); frac <= 0 {
+		t.Errorf("compute fraction %v", frac)
+	}
+	if hits := vis.Search(f, vis.SearchOptions{Name: "arrow", Rank: -1}); len(hits) != 9 {
+		t.Errorf("arrows = %d, want 9 (3 workers x 3 messages)", len(hits))
+	}
+	if r := vis.BusyOverlapRatio(f, []int{1, 2, 3}, f.Start, f.End); r < 0 || r > 1.2 {
+		t.Errorf("overlap ratio %v", r)
+	}
+	if v := vis.LoadImbalance(f, "Compute", []int{1, 2, 3}, f.Start, f.End); v < 1 {
+		t.Errorf("imbalance %v", v)
+	}
+	// PI_MAIN's Compute spans the whole run, so it overlaps any worker's.
+	if o := vis.Overlap(f, "Compute", 0, 1, f.Start, f.End); o <= 0 {
+		t.Errorf("overlap %v", o)
+	}
+}
