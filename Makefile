@@ -1,0 +1,37 @@
+# Repro of "Log Visualization Tool for Message-Passing Programming in
+# Pilot". `make ci` is the tier-1 gate: build, vet, and the full test
+# suite under the race detector.
+
+GO ?= go
+
+.PHONY: all build vet test race ci bench fuzz clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: build vet race
+
+# Conversion and merge benchmarks with allocation counts: the parallel
+# CLOG-2 -> SLOG-2 pipeline at several worker counts, plus the MPE
+# wrap-up merge.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkConvertParallel|BenchmarkMPE_FinishMerge|BenchmarkF1_ConvertCLOGToSLOG' -benchmem .
+
+# Short fuzz pass over the CLOG-2 reader (seed corpus runs in plain
+# `make test` as well).
+fuzz:
+	$(GO) test ./internal/clog2/ -fuzz FuzzReadFile -fuzztime 30s
+
+clean:
+	rm -rf out

@@ -18,6 +18,7 @@ package repro_test
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"path/filepath"
 	"testing"
 	"time"
@@ -256,6 +257,58 @@ func BenchmarkA2_FrameSize(b *testing.B) {
 				f.Query(f.Start+span*0.45, f.Start+span*0.55)
 			}
 		})
+	}
+}
+
+// BenchmarkConvertParallel measures CLOG-2 → SLOG-2 conversion at several
+// worker-pool sizes over the Fig. 1 log. The output is byte-identical at
+// every setting, so only ns/op and allocs/op move.
+func BenchmarkConvertParallel(b *testing.B) {
+	clog := fig1CLOG(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, rep, err := vis.ConvertFile(clog, vis.ConvertOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.NestingErrors != 0 {
+					b.Fatal("conversion errors")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMPE_FinishMerge exercises the collective wrap-up: every rank
+// logs a fixed load of state pairs, then Finish syncs clocks and merges
+// all buffers into one CLOG-2 stream on rank 0. The merge path (encode
+// buffers, block decode, string cargo) dominates allocs/op.
+func BenchmarkMPE_FinishMerge(b *testing.B) {
+	const ranks = 8
+	const recsPerRank = 1000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := mpi.NewWorld(ranks, mpi.Options{})
+		g := mpe.NewGroup(w, true)
+		sid := g.DescribeState("PI_Write", "green")
+		errs := w.Run(func(r *mpi.Rank) error {
+			l := g.Logger(r.ID())
+			for j := 0; j < recsPerRank; j++ {
+				l.StateStart(sid, "line: bench.go:1")
+				l.StateEnd(sid, "cargo")
+			}
+			if r.ID() == 0 {
+				return l.Finish(io.Discard)
+			}
+			return l.Finish(nil)
+		})
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 

@@ -7,7 +7,10 @@
 //
 // Usage:
 //
-//	clog2slog [-framesize N] [-o out.slog2] in.clog2
+//	clog2slog [-framesize N] [-workers N] [-o out.slog2] in.clog2
+//
+// -workers sizes the conversion worker pool (0 = one per CPU); the output
+// is byte-identical at any worker count.
 package main
 
 import (
@@ -20,11 +23,12 @@ import (
 
 func main() {
 	frameSize := flag.Int("framesize", 0, "maximum drawables per frame (0 = default 256)")
+	workers := flag.Int("workers", 0, "conversion worker-pool size (0 = one per CPU)")
 	out := flag.String("o", "", "output path (default: input with .slog2 suffix)")
 	quiet := flag.Bool("q", false, "suppress per-warning output")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: clog2slog [-framesize N] [-o out.slog2] in.clog2")
+		fmt.Fprintln(os.Stderr, "usage: clog2slog [-framesize N] [-workers N] [-o out.slog2] in.clog2")
 		os.Exit(2)
 	}
 	in := flag.Arg(0)
@@ -33,7 +37,7 @@ func main() {
 		dst = in + ".slog2"
 	}
 
-	f, rep, err := vis.ConvertFile(in, vis.ConvertOptions{FrameCapacity: *frameSize})
+	f, rep, err := vis.ConvertFile(in, vis.ConvertOptions{FrameCapacity: *frameSize, Workers: *workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -18,7 +18,7 @@
 //
 // Usage:
 //
-//	pilot-bench [-exp all|t1|f1|f2|f3|f4|f5|a1|a2|a3] [-out out] [-runs 5] [-images 120] [-rows 60000]
+//	pilot-bench [-exp all|t1|f1|f2|f3|f4|f5|a1|a2|a3] [-out out] [-runs 5] [-images 120] [-rows 60000] [-workers 0]
 package main
 
 import (
@@ -32,19 +32,21 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id or comma list: t1,f1,f2,f3,f4,f5,a1,a2,a3")
-		outDir = flag.String("out", "out", "output directory for figures and logs")
-		runs   = flag.Int("runs", 5, "repetitions per timed cell (paper: 10)")
-		images = flag.Int("images", 120, "thumbnail batch size (paper: 1058)")
-		rows   = flag.Int("rows", 60000, "collision dataset rows")
+		exp     = flag.String("exp", "all", "experiment id or comma list: t1,f1,f2,f3,f4,f5,a1,a2,a3")
+		outDir  = flag.String("out", "out", "output directory for figures and logs")
+		runs    = flag.Int("runs", 5, "repetitions per timed cell (paper: 10)")
+		images  = flag.Int("images", 120, "thumbnail batch size (paper: 1058)")
+		rows    = flag.Int("rows", 60000, "collision dataset rows")
+		workers = flag.Int("workers", 0, "CLOG-2 -> SLOG-2 conversion worker-pool size (0 = one per CPU)")
 	)
 	flag.Parse()
 	opt := experiments.Options{
-		OutDir: *outDir,
-		Runs:   *runs,
-		Images: *images,
-		Rows:   *rows,
-		Log:    os.Stdout,
+		OutDir:  *outDir,
+		Runs:    *runs,
+		Images:  *images,
+		Rows:    *rows,
+		Workers: *workers,
+		Log:     os.Stdout,
 	}
 
 	want := map[string]bool{}

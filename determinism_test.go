@@ -1,0 +1,111 @@
+// The acceptance gate for the parallel conversion pipeline: over the real
+// example logs — the lab2 run, the thumbnail pipeline, and the collisions
+// workload — conversion at any worker count must produce output
+// byte-identical to the sequential (workers=1) conversion, warnings
+// included.
+package repro_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/collisions"
+	"repro/internal/core"
+	"repro/internal/lab2"
+	"repro/internal/slog2"
+	"repro/internal/thumbnail"
+	"repro/vis"
+)
+
+// convertBytes converts clog at the given worker count and returns the
+// serialized SLOG-2 bytes plus the conversion report.
+func convertBytes(t *testing.T, clog string, workers int) ([]byte, *slog2.Report) {
+	t.Helper()
+	f, rep, err := vis.ConvertFile(clog, vis.ConvertOptions{Workers: workers})
+	if err != nil {
+		t.Fatalf("convert %s with %d workers: %v", clog, workers, err)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("invariants (%d workers): %v", workers, err)
+	}
+	var buf bytes.Buffer
+	if err := slog2.Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), rep
+}
+
+// checkByteIdentical converts the log sequentially and at several worker
+// counts and requires identical bytes and identical warning streams.
+func checkByteIdentical(t *testing.T, clog string) {
+	t.Helper()
+	ref, refRep := convertBytes(t, clog, 1)
+	if len(ref) == 0 {
+		t.Fatal("empty SLOG-2 output")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, rep := convertBytes(t, clog, workers)
+		if !bytes.Equal(got, ref) {
+			t.Errorf("workers=%d: SLOG-2 bytes differ from sequential (%d vs %d bytes)",
+				workers, len(got), len(ref))
+		}
+		if len(rep.Warnings) != len(refRep.Warnings) {
+			t.Errorf("workers=%d: %d warnings, sequential had %d",
+				workers, len(rep.Warnings), len(refRep.Warnings))
+			continue
+		}
+		for i := range rep.Warnings {
+			if rep.Warnings[i] != refRep.Warnings[i] {
+				t.Errorf("workers=%d: warning %d = %q, sequential %q",
+					workers, i, rep.Warnings[i], refRep.Warnings[i])
+			}
+		}
+	}
+}
+
+func TestConvertByteIdenticalLab2(t *testing.T) {
+	clog := filepath.Join(t.TempDir(), "lab2.clog2")
+	cfg := lab2.Config{W: 5, NUM: 10000, Seed: 3}
+	cfg.Core.Services = "j"
+	cfg.Core.JumpshotPath = clog
+	if _, err := lab2.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	checkByteIdentical(t, clog)
+}
+
+func TestConvertByteIdenticalThumbnail(t *testing.T) {
+	clog := filepath.Join(t.TempDir(), "thumbnail.clog2")
+	cfg := thumbnail.Config{
+		Workers:   9,
+		NumImages: 40,
+		ImageW:    96,
+		ImageH:    64,
+		Seed:      3,
+		Core: core.Config{
+			Services:     "j",
+			CheckLevel:   3,
+			JumpshotPath: clog,
+		},
+	}
+	if _, err := thumbnail.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	checkByteIdentical(t, clog)
+}
+
+func TestConvertByteIdenticalCollisions(t *testing.T) {
+	clog := filepath.Join(t.TempDir(), "collisions.clog2")
+	cfg := collisions.Config{
+		Workers: 4, Rows: 6000, Seed: 3,
+		QueryCost: 10, QuerySleepPerRow: time.Microsecond,
+	}
+	cfg.Core.Services = "j"
+	cfg.Core.JumpshotPath = clog
+	if _, err := collisions.RunFixed(cfg); err != nil {
+		t.Fatal(err)
+	}
+	checkByteIdentical(t, clog)
+}

@@ -1,0 +1,183 @@
+package clog2
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// validFileBytes serialises a small, well-formed two-block file.
+func validFileBytes(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBlock(0, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBlock(1, []Record{{Type: RecBareEvt, Time: 1, Rank: 1, ID: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// corruptHeader returns a valid file with the block's declared record
+// count overwritten by n (little-endian), leaving the payload intact.
+func corruptRecordCount(t testing.TB, n int32) []byte {
+	t.Helper()
+	data := append([]byte(nil), validFileBytes(t)...)
+	// Layout: magic(10) + nranks(4) + rank(4) + nrec(4) + ...
+	off := len(Magic) + 4 + 4
+	binary.LittleEndian.PutUint32(data[off:], uint32(n))
+	return data
+}
+
+// drainBlockReader consumes a stream and returns the blocks read before
+// the first error (io.EOF means a clean end).
+func drainBlockReader(r io.Reader) ([]Block, error) {
+	br, err := NewBlockReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var blocks []Block
+	for {
+		b, err := br.Next()
+		if err == io.EOF {
+			return blocks, nil
+		}
+		if err != nil {
+			return blocks, err
+		}
+		blocks = append(blocks, b)
+	}
+}
+
+// FuzzReadFile feeds arbitrary bytes to every reader entry point. The
+// contract under fuzzing: return errors, never panic, never over-allocate
+// from untrusted length fields — and the streaming BlockReader must agree
+// with Read on what a file contains.
+func FuzzReadFile(f *testing.F) {
+	valid := validFileBytes(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(Magic))                                                // header cut before rank count
+	f.Add(valid[:len(Magic)+4+4])                                       // truncated inside a block header
+	f.Add(valid[:len(valid)-1])                                         // missing end-log marker
+	f.Add(valid[:len(valid)/2])                                         // torn mid-block
+	f.Add(corruptRecordCount(f, -5))                                    // negative record count
+	f.Add(corruptRecordCount(f, 1<<28))                                 // huge record count
+	f.Add(bytes.Replace(valid, []byte(Magic), []byte("XLOG-R0260"), 1)) // bad magic
+	bad := append([]byte(nil), valid...)
+	bad[len(Magic)+4+4+4] = 0xEE // clobber first record's type byte
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		full, err := Read(bytes.NewReader(data))
+		if err == nil && full == nil {
+			t.Fatal("Read returned nil file with nil error")
+		}
+		lenient, complete, lerr := ReadLenient(bytes.NewReader(data))
+		if lerr == nil && lenient == nil {
+			t.Fatal("ReadLenient returned nil file with nil error")
+		}
+		if err == nil && (!complete || lerr != nil) {
+			t.Fatalf("Read succeeded but ReadLenient reported complete=%v err=%v", complete, lerr)
+		}
+		// Streaming reader agrees with Read on parse success and content.
+		blocks, serr := drainBlockReader(bytes.NewReader(data))
+		if (err == nil) != (serr == nil) {
+			t.Fatalf("Read err=%v but BlockReader err=%v", err, serr)
+		}
+		if err == nil {
+			if len(blocks) != len(full.Blocks) {
+				t.Fatalf("BlockReader saw %d blocks, Read saw %d", len(blocks), len(full.Blocks))
+			}
+			for i := range blocks {
+				if !reflect.DeepEqual(blocks[i], full.Blocks[i]) {
+					t.Fatalf("block %d differs between streaming and full read", i)
+				}
+			}
+		}
+	})
+}
+
+// The seed corpus cases, run as a plain test so `go test` covers them
+// without -fuzz.
+func TestReaderRejectsCorruptInputs(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":             {},
+		"magic only":        []byte(Magic),
+		"bad magic":         bytes.Replace(validFileBytes(t), []byte(Magic), []byte("XLOG-R0260"), 1),
+		"torn block header": validFileBytes(t)[:len(Magic)+4+4],
+		"no end-log":        validFileBytes(t)[:len(validFileBytes(t))-1],
+		"torn mid-block":    validFileBytes(t)[:len(validFileBytes(t))/2],
+		"negative count":    corruptRecordCount(t, -1),
+		"huge count":        corruptRecordCount(t, 1<<28),
+	}
+	bad := validFileBytes(t)
+	bad[len(Magic)+4+4+4] = 0xEE
+	cases["bad record type"] = bad
+	for name, data := range cases {
+		if _, err := Read(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: Read succeeded", name)
+		}
+		if _, err := drainBlockReader(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: BlockReader succeeded", name)
+		}
+	}
+}
+
+// A header declaring 2^28 records must not reserve gigabytes before the
+// decoder has seen a single valid record (maxRecordPrealloc caps it).
+func TestReaderNoOverAllocationOnHugeCount(t *testing.T) {
+	data := corruptRecordCount(t, 1<<28)
+	allocs := testing.AllocsPerRun(5, func() {
+		Read(bytes.NewReader(data)) //nolint:errcheck — must fail, cheaply
+	})
+	// The exact number is incidental; the point is it is small: record
+	// structs are ~112 bytes, so a faithful 2^28 prealloc would be one
+	// ~30 GB allocation that either OOMs or dwarfs this bound.
+	if allocs > 100 {
+		t.Fatalf("rejecting a huge record count cost %.0f allocations", allocs)
+	}
+}
+
+// BlockReader.NextReuse recycles the caller's record buffer.
+func TestBlockReaderNextReuse(t *testing.T) {
+	data := validFileBytes(t)
+	br, err := NewBlockReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]Record, 0, 64)
+	b1, err := br.NextReuse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b1.Records, sampleRecords()) {
+		t.Fatalf("first block changed: %+v", b1.Records)
+	}
+	if &b1.Records[0] != &buf[:1][0] {
+		t.Fatal("NextReuse did not reuse the provided buffer")
+	}
+	b2, err := br.NextReuse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Rank != 1 || len(b2.Records) != 1 {
+		t.Fatalf("second block: %+v", b2)
+	}
+	if _, err := br.NextReuse(buf); err != io.EOF {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+	if _, err := br.NextReuse(buf); err != io.EOF {
+		t.Fatalf("want io.EOF on repeat call, got %v", err)
+	}
+}

@@ -17,6 +17,10 @@ type Writer struct {
 	w      *bufio.Writer
 	closed bool
 	err    error
+	// num is the fixed-size field scratch buffer. Local [N]byte arrays
+	// escape to the heap here (they cross the io.Writer interface), which
+	// costs an allocation per record field; a struct field does not.
+	num [8]byte
 }
 
 // NewWriter writes the file header for numRanks ranks onto w.
@@ -147,9 +151,8 @@ func (w *Writer) put32(v int32) {
 	if w.err != nil {
 		return
 	}
-	var buf [4]byte
-	binary.LittleEndian.PutUint32(buf[:], uint32(v))
-	_, err := w.w.Write(buf[:])
+	binary.LittleEndian.PutUint32(w.num[:4], uint32(v))
+	_, err := w.w.Write(w.num[:4])
 	w.fail(err)
 }
 
@@ -157,9 +160,8 @@ func (w *Writer) putF64(v float64) {
 	if w.err != nil {
 		return
 	}
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-	_, err := w.w.Write(buf[:])
+	binary.LittleEndian.PutUint64(w.num[:8], math.Float64bits(v))
+	_, err := w.w.Write(w.num[:8])
 	w.fail(err)
 }
 
@@ -171,9 +173,8 @@ func (w *Writer) putStr(s string) {
 		w.fail(fmt.Errorf("clog2: string of %d bytes exceeds format limit", len(s)))
 		return
 	}
-	var buf [2]byte
-	binary.LittleEndian.PutUint16(buf[:], uint16(len(s)))
-	if _, err := w.w.Write(buf[:]); err != nil {
+	binary.LittleEndian.PutUint16(w.num[:2], uint16(len(s)))
+	if _, err := w.w.Write(w.num[:2]); err != nil {
 		w.fail(err)
 		return
 	}
@@ -197,8 +198,24 @@ func ReadLenient(r io.Reader) (*File, bool, error) {
 	return pf.file, false, nil
 }
 
-// Read parses a complete CLOG-2 file.
-func Read(r io.Reader) (*File, error) {
+// maxRecordPrealloc caps the record-slice capacity reserved from a block
+// header's declared count, so a corrupt or hostile header cannot force a
+// multi-gigabyte allocation before a single record has been decoded.
+const maxRecordPrealloc = 4096
+
+// BlockReader streams a CLOG-2 file one block at a time, without ever
+// materializing File.Blocks: the converter's partitioning phase and the
+// end-of-run merge both consume blocks as they arrive. Next returns io.EOF
+// after the end-log marker.
+type BlockReader struct {
+	d        *decoder
+	numRanks int
+	done     bool
+}
+
+// NewBlockReader reads the file header from r and returns a streaming
+// block iterator.
+func NewBlockReader(r io.Reader) (*BlockReader, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(Magic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -214,45 +231,86 @@ func Read(r io.Reader) (*File, error) {
 	if nranks < 1 || nranks > 1<<20 {
 		return nil, fmt.Errorf("clog2: implausible rank count %d", nranks)
 	}
-	f := &File{NumRanks: int(nranks)}
-	d := &decoder{r: br}
-	partial := func(err error) (*File, error) {
-		return nil, &partialError{file: f, err: err}
+	return &BlockReader{d: &decoder{r: br}, numRanks: int(nranks)}, nil
+}
+
+// NumRanks returns the rank count from the file header.
+func (br *BlockReader) NumRanks() int { return br.numRanks }
+
+// Next returns the next block, or io.EOF after the end-log marker. The
+// returned Records slice is freshly allocated and owned by the caller.
+func (br *BlockReader) Next() (Block, error) { return br.NextReuse(nil) }
+
+// NextReuse is Next reusing buf's backing array for the record slice (buf
+// may be nil). The returned Block.Records aliases buf and is only valid
+// until the next NextReuse call with the same buffer — the zero-allocation
+// path the merge loop uses.
+func (br *BlockReader) NextReuse(buf []Record) (Block, error) {
+	if br.done {
+		return Block{}, io.EOF
 	}
-	for {
-		// Either a block header (rank, nrec) or the end-log marker.
-		t, err := d.peekType()
-		if err != nil {
-			return partial(err)
+	d := br.d
+	// Either a block header (rank, nrec) or the end-log marker.
+	t, err := d.peekType()
+	if err != nil {
+		return Block{}, err
+	}
+	if t == RecEndLog {
+		d.getByte()
+		if d.err != nil {
+			return Block{}, d.err
 		}
-		if t == RecEndLog {
-			d.getByte()
-			if d.err != nil {
-				return partial(d.err)
-			}
+		br.done = true
+		return Block{}, io.EOF
+	}
+	rank := d.get32() - 1 // undo the +1 wire shift
+	n := d.get32()
+	if d.err != nil {
+		return Block{}, d.err
+	}
+	if n < 0 || n > 1<<28 {
+		return Block{}, fmt.Errorf("clog2: implausible record count %d", n)
+	}
+	recs := buf[:0]
+	if cap(recs) == 0 {
+		prealloc := n
+		if prealloc > maxRecordPrealloc {
+			prealloc = maxRecordPrealloc
+		}
+		recs = make([]Record, 0, prealloc)
+	}
+	b := Block{Rank: rank}
+	for i := int32(0); i < n; i++ {
+		rec, err := d.readRecord()
+		if err != nil {
+			return Block{}, err
+		}
+		recs = append(recs, rec)
+	}
+	if tt := RecType(d.getByte()); d.err == nil && tt != RecEndBlock {
+		return Block{}, fmt.Errorf("clog2: block for rank %d not terminated (got %v)", rank, tt)
+	}
+	if d.err != nil {
+		return Block{}, d.err
+	}
+	b.Records = recs
+	return b, nil
+}
+
+// Read parses a complete CLOG-2 file.
+func Read(r io.Reader) (*File, error) {
+	br, err := NewBlockReader(r)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{NumRanks: br.NumRanks()}
+	for {
+		b, err := br.Next()
+		if err == io.EOF {
 			return f, nil
 		}
-		rank := d.get32() - 1 // undo the +1 wire shift
-		n := d.get32()
-		if d.err != nil {
-			return partial(d.err)
-		}
-		if n < 0 || n > 1<<28 {
-			return partial(fmt.Errorf("clog2: implausible record count %d", n))
-		}
-		b := Block{Rank: rank, Records: make([]Record, 0, n)}
-		for i := int32(0); i < n; i++ {
-			rec, err := d.readRecord()
-			if err != nil {
-				return partial(err)
-			}
-			b.Records = append(b.Records, rec)
-		}
-		if tt := RecType(d.getByte()); d.err == nil && tt != RecEndBlock {
-			return partial(fmt.Errorf("clog2: block for rank %d not terminated (got %v)", rank, tt))
-		}
-		if d.err != nil {
-			return partial(d.err)
+		if err != nil {
+			return nil, &partialError{file: f, err: err}
 		}
 		f.Blocks = append(f.Blocks, b)
 	}
@@ -271,6 +329,14 @@ func (e *partialError) Unwrap() error { return e.err }
 type decoder struct {
 	r   *bufio.Reader
 	err error
+	// num is the fixed-size field scratch buffer: local [N]byte arrays
+	// escape to the heap when passed through io.ReadFull, costing an
+	// allocation per record field; a struct field does not.
+	num [8]byte
+	// scratch is the reusable string-read buffer: getStr decodes into it
+	// and allocates only the final string, so record decoding costs one
+	// allocation per non-empty string instead of two.
+	scratch []byte
 }
 
 // peekType distinguishes an end-log byte from a block header. A block
@@ -349,37 +415,40 @@ func (d *decoder) get32() int32 {
 	if d.err != nil {
 		return 0
 	}
-	var buf [4]byte
-	if _, err := io.ReadFull(d.r, buf[:]); err != nil {
+	if _, err := io.ReadFull(d.r, d.num[:4]); err != nil {
 		d.err = fmt.Errorf("clog2: truncated file: %w", err)
 		return 0
 	}
-	return int32(binary.LittleEndian.Uint32(buf[:]))
+	return int32(binary.LittleEndian.Uint32(d.num[:4]))
 }
 
 func (d *decoder) getF64() float64 {
 	if d.err != nil {
 		return 0
 	}
-	var buf [8]byte
-	if _, err := io.ReadFull(d.r, buf[:]); err != nil {
+	if _, err := io.ReadFull(d.r, d.num[:8]); err != nil {
 		d.err = fmt.Errorf("clog2: truncated file: %w", err)
 		return 0
 	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	return math.Float64frombits(binary.LittleEndian.Uint64(d.num[:8]))
 }
 
 func (d *decoder) getStr() string {
 	if d.err != nil {
 		return ""
 	}
-	var buf [2]byte
-	if _, err := io.ReadFull(d.r, buf[:]); err != nil {
+	if _, err := io.ReadFull(d.r, d.num[:2]); err != nil {
 		d.err = fmt.Errorf("clog2: truncated file: %w", err)
 		return ""
 	}
-	n := binary.LittleEndian.Uint16(buf[:])
-	s := make([]byte, n)
+	n := int(binary.LittleEndian.Uint16(d.num[:2]))
+	if n == 0 {
+		return ""
+	}
+	if cap(d.scratch) < n {
+		d.scratch = make([]byte, n)
+	}
+	s := d.scratch[:n]
 	if _, err := io.ReadFull(d.r, s); err != nil {
 		d.err = fmt.Errorf("clog2: truncated file: %w", err)
 		return ""

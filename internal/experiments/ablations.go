@@ -111,7 +111,7 @@ func RunA1(opt Options) (*A1Result, error) {
 			return 0, 0, err
 		}
 		elapsed := time.Since(start) - r.WrapUpTime()
-		_, rep, err := vis.ConvertFile(clogPath, vis.ConvertOptions{})
+		_, rep, err := vis.ConvertFile(clogPath, opt.convertOpts(0))
 		if err != nil {
 			return 0, 0, err
 		}
@@ -157,7 +157,7 @@ func RunA2(opt Options, f1 *F1Result) ([]A2Row, error) {
 	}
 	var rows []A2Row
 	for _, capacity := range []int{16, 64, 256, 1024, 4096} {
-		f, _, err := vis.ConvertFile(f1.CLOGPath, vis.ConvertOptions{FrameCapacity: capacity})
+		f, _, err := vis.ConvertFile(f1.CLOGPath, opt.convertOpts(capacity))
 		if err != nil {
 			return nil, err
 		}
@@ -276,7 +276,7 @@ func RunA3(opt Options) (*A3Result, error) {
 	if err := runA3Program(robustPath, nativePath+".robust", true); err != nil {
 		return nil, err
 	}
-	if f, _, err := vis.ConvertFile(robustPath, vis.ConvertOptions{}); err == nil {
+	if f, _, err := vis.ConvertFile(robustPath, opt.convertOpts(0)); err == nil {
 		out.SalvagedLogUsable = true
 		s, _, _ := f.All()
 		out.SalvagedStates = len(s)

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/thumbnail"
+	"repro/vis"
 )
 
 // Options scales the experiments. The defaults run the whole suite on a
@@ -39,8 +40,16 @@ type Options struct {
 	// rows model stage cost as think time on top of the real codec work
 	// (documented as a substitution in DESIGN.md). Default 8 ms.
 	StageDelay time.Duration
+	// Workers sizes the CLOG-2 → SLOG-2 conversion worker pool
+	// (0 = one per CPU); results are byte-identical at any setting.
+	Workers int
 	// Log receives progress lines (nil = silent).
 	Log io.Writer
+}
+
+// convertOpts builds the conversion options every experiment uses.
+func (o Options) convertOpts(frameCapacity int) vis.ConvertOptions {
+	return vis.ConvertOptions{FrameCapacity: frameCapacity, Workers: o.Workers}
 }
 
 func (o Options) withDefaults() (Options, error) {

@@ -49,7 +49,7 @@ func RunF1(opt Options) (*F1Result, error) {
 	}
 	slog := filepath.Join(opt.OutDir, "fig1.slog2")
 	svg := filepath.Join(opt.OutDir, "fig1.svg")
-	f, rep, err := vis.Pipeline(clog, slog, svg, vis.ConvertOptions{},
+	f, rep, err := vis.Pipeline(clog, slog, svg, opt.convertOpts(0),
 		vis.View{Title: "Fig. 1: thumbnail application, full timeline"})
 	if err != nil {
 		return nil, err
@@ -153,7 +153,7 @@ func RunF3(opt Options) (*F3Result, error) {
 	}
 	svg := filepath.Join(opt.OutDir, "fig3.svg")
 	f, rep, err := vis.Pipeline(clog, filepath.Join(opt.OutDir, "fig3.slog2"), svg,
-		vis.ConvertOptions{}, vis.View{Title: "Fig. 3: lab2 visual log"})
+		opt.convertOpts(0), vis.View{Title: "Fig. 3: lab2 visual log"})
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +224,7 @@ func RunF4(opt Options) (*F4Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	fF, _, err := vis.ConvertFile(cfgF.Core.JumpshotPath, vis.ConvertOptions{})
+	fF, _, err := vis.ConvertFile(cfgF.Core.JumpshotPath, opt.convertOpts(0))
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +234,7 @@ func RunF4(opt Options) (*F4Result, error) {
 		return nil, err
 	}
 	svg := filepath.Join(opt.OutDir, "fig4.svg")
-	fA, _, err := vis.Pipeline(cfgA.Core.JumpshotPath, "", svg, vis.ConvertOptions{},
+	fA, _, err := vis.Pipeline(cfgA.Core.JumpshotPath, "", svg, opt.convertOpts(0),
 		vis.View{Title: "Fig. 4: instance A (serialized queries)"})
 	if err != nil {
 		return nil, err
@@ -308,7 +308,7 @@ func RunF5(opt Options) (*F5Result, error) {
 		return nil, err
 	}
 	svg := filepath.Join(opt.OutDir, "fig5.svg")
-	if _, _, err := vis.Pipeline(cfg.Core.JumpshotPath, "", svg, vis.ConvertOptions{},
+	if _, _, err := vis.Pipeline(cfg.Core.JumpshotPath, "", svg, opt.convertOpts(0),
 		vis.View{Title: "Fig. 5: instance B (sequential initialization)"}); err != nil {
 		return nil, err
 	}

@@ -35,6 +35,20 @@ type EventID int32
 
 const soloBase = 1 << 20 // solo etypes live above all state etypes
 
+// MaxStates is the largest allocatable StateID: state s uses etypes 2s and
+// 2s+1, which must stay below soloBase or they would collide with solo
+// event etypes and silently corrupt the log.
+const MaxStates = soloBase/2 - 1
+
+// MaxEvents is the largest allocatable EventID: soloBase+e must fit int32.
+const MaxEvents = math.MaxInt32 - soloBase
+
+// SyntheticEndCargo marks a state-end record that Finish fabricated for a
+// state still open at wrap-up (a rank that returned early). The converter
+// recognises the marker and counts the state as a nesting error instead of
+// dropping it or desynchronizing its pairing stack.
+const SyntheticEndCargo = "mpe: synthetic end (open at finish)"
+
 func startEtype(s StateID) int32 { return int32(s) * 2 }
 func endEtype(s StateID) int32   { return int32(s)*2 + 1 }
 func soloEtype(e EventID) int32  { return soloBase + int32(e) }
@@ -101,18 +115,27 @@ func (g *Group) Enabled() bool { return g.enabled }
 
 // DescribeState defines a state with display properties and returns its
 // ID. Definitions are shared by all ranks (Pilot defines every state once,
-// during the configuration phase).
+// during the configuration phase). Allocating more than MaxStates states
+// panics: the next ID's etypes would collide with solo event etypes and
+// silently corrupt every log written afterwards.
 func (g *Group) DescribeState(name, color string) StateID {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if len(g.states) >= MaxStates {
+		panic(fmt.Sprintf("mpe: DescribeState(%q): state ID space exhausted (%d states); the next ID's etypes would collide with solo event etypes", name, MaxStates))
+	}
 	g.states = append(g.states, def{name, color})
 	return StateID(len(g.states))
 }
 
-// DescribeEvent defines a solo event and returns its ID.
+// DescribeEvent defines a solo event and returns its ID. Allocating more
+// than MaxEvents events panics: the next solo etype would overflow int32.
 func (g *Group) DescribeEvent(name, color string) EventID {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if len(g.events) >= MaxEvents {
+		panic(fmt.Sprintf("mpe: DescribeEvent(%q): event ID space exhausted (%d events); the next solo etype would overflow", name, MaxEvents))
+	}
 	g.events = append(g.events, def{name, color})
 	return EventID(len(g.events))
 }
@@ -150,11 +173,17 @@ type Logger struct {
 	g    *Group
 	rank *mpi.Rank
 	recs []clog2.Record
+	// openStates mirrors the converter's pairing stack: states started but
+	// not yet ended. Finish closes any leftovers with synthetic ends.
+	openStates []StateID
 
 	sp        *spill
 	spErr     error
 	spChecked bool
 	spPrefix  string
+	// spillArr is the reusable single-record encode buffer for the
+	// write-through spill path, so spilling never allocates per record.
+	spillArr [1]clog2.Record
 }
 
 // Rank returns the MPI rank this logger belongs to.
@@ -187,6 +216,7 @@ func (l *Logger) StateStart(s StateID, cargo string) {
 	if !l.g.enabled {
 		return
 	}
+	l.openStates = append(l.openStates, s)
 	l.append(clog2.Record{Type: clog2.RecCargoEvt, ID: startEtype(s), Text: cargo})
 }
 
@@ -194,6 +224,11 @@ func (l *Logger) StateStart(s StateID, cargo string) {
 func (l *Logger) StateEnd(s StateID, cargo string) {
 	if !l.g.enabled {
 		return
+	}
+	// Pop the innermost open state; a mismatched ID is the converter's
+	// nesting error to report, but the stack depth still shrinks by one.
+	if n := len(l.openStates); n > 0 {
+		l.openStates = l.openStates[:n-1]
 	}
 	l.append(clog2.Record{Type: clog2.RecCargoEvt, ID: endEtype(s), Text: cargo})
 }
@@ -237,8 +272,18 @@ const (
 
 const syncRounds = 4
 
+// bufPool recycles the per-rank encode buffers the merge ships over MPI,
+// and recordBufPool the decode buffers rank 0 streams blocks into — the
+// end-of-run merge reuses both instead of allocating per record.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+var recordBufPool = sync.Pool{New: func() any { return new([]clog2.Record) }}
+
 // Finish is the collective log wrap-up (MPE_Log_sync_clocks followed by
-// MPE_Finish_log): every rank must call it. Clocks are synchronised
+// MPE_Finish_log): every rank must call it. Any state still open (a start
+// with no end, e.g. a rank that returned early) is closed with a synthetic
+// end stamped at log-final time, as clog2TOslog2 does; the converter
+// counts those in Report.NestingErrors. Clocks are synchronised
 // against rank 0 by ping-pong offset estimation, each rank shifts its
 // buffered timestamps onto rank 0's timebase and records a TimeShift,
 // then all buffers travel to rank 0, which writes the single merged
@@ -247,6 +292,13 @@ const syncRounds = 4
 // If the world has aborted, Finish fails and the log is lost — the
 // behaviour the paper documents for PI_Abort.
 func (l *Logger) Finish(w io.Writer) error {
+	// Unwind still-open states innermost-first so the log keeps proper
+	// nesting; all synthetic ends share the rank's log-final timestamp.
+	for i := len(l.openStates) - 1; i >= 0; i-- {
+		l.append(clog2.Record{Type: clog2.RecCargoEvt, ID: endEtype(l.openStates[i]), Text: SyntheticEndCargo})
+	}
+	l.openStates = nil
+
 	offset, err := l.syncClocks()
 	if err != nil {
 		return fmt.Errorf("mpe: clock sync: %w", err)
@@ -262,8 +314,10 @@ func (l *Logger) Finish(w io.Writer) error {
 	})
 
 	if l.rank.ID() != 0 {
-		var buf bytes.Buffer
-		cw, err := clog2.NewWriter(&buf, l.rank.Size())
+		buf := bufPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		defer bufPool.Put(buf)
+		cw, err := clog2.NewWriter(buf, l.rank.Size())
 		if err != nil {
 			return err
 		}
@@ -292,18 +346,33 @@ func (l *Logger) Finish(w io.Writer) error {
 	if err := cw.WriteBlock(0, append(l.g.defRecords(), l.recs...)); err != nil {
 		return err
 	}
+	recBuf := recordBufPool.Get().(*[]clog2.Record)
+	defer recordBufPool.Put(recBuf)
 	for src := 1; src < l.rank.Size(); src++ {
 		m, err := l.rank.RecvCtx(mpi.CtxLog, src, tagCollect)
 		if err != nil {
 			l.closeSpill(false)
 			return fmt.Errorf("mpe: collecting rank %d log: %w", src, err)
 		}
-		sub, err := clog2.Read(bytes.NewReader(m.Data))
+		// Stream blocks from the payload straight into the output writer,
+		// reusing one pooled record buffer across all ranks and blocks.
+		br, err := clog2.NewBlockReader(bytes.NewReader(m.Data))
 		if err != nil {
 			l.closeSpill(false)
 			return fmt.Errorf("mpe: parsing rank %d log: %w", src, err)
 		}
-		for _, b := range sub.Blocks {
+		for {
+			b, err := br.NextReuse(*recBuf)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				l.closeSpill(false)
+				return fmt.Errorf("mpe: parsing rank %d log: %w", src, err)
+			}
+			if cap(b.Records) > cap(*recBuf) {
+				*recBuf = b.Records
+			}
 			if err := cw.WriteBlock(b.Rank, b.Records); err != nil {
 				l.closeSpill(false)
 				return err

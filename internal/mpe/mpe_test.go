@@ -3,6 +3,7 @@ package mpe
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math"
 	"os"
 	"strings"
@@ -314,3 +315,131 @@ func TestFinishFileWritesToDisk(t *testing.T) {
 }
 
 func readFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// Regression at the ID-space boundary: state etypes must never reach
+// soloBase, or starts/ends would collide with solo event etypes and
+// silently corrupt the log.
+func TestDescribeStateBoundaryGuard(t *testing.T) {
+	// The arithmetic the guard protects: the last legal ID's etypes stay
+	// below soloBase, the first illegal ID's start etype IS a solo etype.
+	if e := endEtype(StateID(MaxStates)); e >= soloBase {
+		t.Fatalf("endEtype(MaxStates) = %d, reaches soloBase %d", e, soloBase)
+	}
+	if _, ok := IsSoloEtype(startEtype(StateID(MaxStates + 1))); !ok {
+		t.Fatalf("startEtype(MaxStates+1) = %d should collide with solo etypes", startEtype(StateID(MaxStates+1)))
+	}
+
+	w := mpi.NewWorld(1, mpi.Options{})
+	g := NewGroup(w, true)
+	// Jump to one below the boundary, then allocate the last legal ID.
+	g.states = make([]def, MaxStates-1)
+	sid := g.DescribeState("last-legal", "red")
+	if sid != StateID(MaxStates) {
+		t.Fatalf("last legal StateID = %d, want %d", sid, MaxStates)
+	}
+	if got, ok := IsStartEtype(startEtype(sid)); !ok || got != sid {
+		t.Fatalf("etype roundtrip broken at boundary: %v %v", got, ok)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("DescribeState beyond MaxStates did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "state ID space exhausted") {
+			t.Fatalf("panic message %q lacks a clear explanation", r)
+		}
+	}()
+	g.DescribeState("one-too-many", "red")
+}
+
+func TestDescribeEventBoundary(t *testing.T) {
+	// Materializing MaxEvents defs (~2 billion) is not feasible in a test,
+	// so verify the boundary arithmetic the guard encodes: the last legal
+	// EventID's solo etype is exactly MaxInt32, one more would overflow.
+	if got := soloEtype(EventID(MaxEvents)); got != math.MaxInt32 {
+		t.Fatalf("soloEtype(MaxEvents) = %d, want MaxInt32", got)
+	}
+	if eid, ok := IsSoloEtype(soloEtype(EventID(MaxEvents))); !ok || eid != EventID(MaxEvents) {
+		t.Fatalf("solo etype roundtrip broken at boundary: %v %v", eid, ok)
+	}
+}
+
+// A state left open at Finish (a rank that returns early) must not vanish
+// or desynchronize the converter: Finish emits a synthetic end at
+// log-final time, marked so the converter counts it as a nesting error.
+func TestFinishSyntheticEndForOpenState(t *testing.T) {
+	w := mpi.NewWorld(2, mpi.Options{})
+	g := NewGroup(w, true)
+	sidA := g.DescribeState("A", "red")
+	sidB := g.DescribeState("B", "green")
+	var out bytes.Buffer
+	errs := w.Run(func(r *mpi.Rank) error {
+		l := g.Logger(r.ID())
+		if r.ID() == 1 {
+			// Nested opens, neither ever closed.
+			l.StateStart(sidA, "outer")
+			l.StateStart(sidB, "inner")
+			return l.Finish(nil)
+		}
+		l.StateStart(sidA, "x")
+		l.StateEnd(sidA, "")
+		return l.Finish(&out)
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	f, err := clog2.Read(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var synth []clog2.Record
+	for _, rec := range f.Records() {
+		if rec.Text == SyntheticEndCargo {
+			synth = append(synth, rec)
+		}
+	}
+	if len(synth) != 2 {
+		t.Fatalf("%d synthetic ends, want 2", len(synth))
+	}
+	// Innermost-first: B's end must precede A's end in the block.
+	if sid, ok := IsEndEtype(synth[0].ID); !ok || sid != sidB {
+		t.Fatalf("first synthetic end closes state %v, want inner %v", sid, sidB)
+	}
+	if sid, ok := IsEndEtype(synth[1].ID); !ok || sid != sidA {
+		t.Fatalf("second synthetic end closes state %v, want outer %v", sid, sidA)
+	}
+	if synth[0].Rank != 1 || synth[1].Rank != 1 {
+		t.Fatalf("synthetic ends on wrong rank: %+v", synth)
+	}
+}
+
+// A matched start/end pair must leave no open-state tracking behind, so a
+// clean log gains no synthetic records.
+func TestFinishNoSyntheticEndWhenBalanced(t *testing.T) {
+	w := mpi.NewWorld(1, mpi.Options{})
+	g := NewGroup(w, true)
+	sid := g.DescribeState("A", "red")
+	var out bytes.Buffer
+	errs := w.Run(func(r *mpi.Rank) error {
+		l := g.Logger(0)
+		for i := 0; i < 5; i++ {
+			l.StateStart(sid, "x")
+			l.StateEnd(sid, "")
+		}
+		return l.Finish(&out)
+	})
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	f, err := clog2.Read(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range f.Records() {
+		if rec.Text == SyntheticEndCargo {
+			t.Fatalf("balanced log contains synthetic end: %+v", rec)
+		}
+	}
+}

@@ -112,7 +112,8 @@ func (l *Logger) spillRecord(rec clog2.Record) {
 	if sp == nil || sp.w == nil {
 		return
 	}
-	if err := sp.w.WriteBlock(int32(l.rank.ID()), []clog2.Record{rec}); err != nil {
+	l.spillArr[0] = rec
+	if err := sp.w.WriteBlock(int32(l.rank.ID()), l.spillArr[:]); err != nil {
 		l.spErr = err
 		return
 	}

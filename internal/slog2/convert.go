@@ -2,7 +2,11 @@ package slog2
 
 import (
 	"fmt"
+	"io"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/clog2"
 	"repro/internal/mpe"
@@ -21,6 +25,21 @@ const MaxTreeDepth = 24
 type ConvertOptions struct {
 	// FrameCapacity is the maximum drawable count per frame (0 = default).
 	FrameCapacity int
+	// Workers is the worker-pool size for the per-rank phases (record
+	// partitioning, state/arrow pairing) and for concurrent sibling-frame
+	// construction. 0 means runtime.GOMAXPROCS(0); 1 runs fully
+	// sequentially. The output is byte-identical at every worker count:
+	// drawables are ordered by (rank, time, sequence) before frame
+	// insertion, so parallelism never changes the result.
+	Workers int
+}
+
+// workers resolves the effective worker count.
+func (o ConvertOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Report carries conversion diagnostics, mirroring the chatty output of
@@ -40,19 +59,209 @@ func (r *Report) warnf(format string, args ...any) {
 	r.Warnings = append(r.Warnings, fmt.Sprintf(format, args...))
 }
 
+// partition is the phase-1 product: definition records in file order and
+// each rank's timed records in file order (the per-rank sequence used as
+// the sort tie-break).
+type partition struct {
+	numRanks  int
+	stateDefs []clog2.Record
+	eventDefs []clog2.Record
+	perRank   map[int][]clog2.Record
+}
+
+func newPartition(numRanks int) *partition {
+	return &partition{numRanks: numRanks, perRank: map[int][]clog2.Record{}}
+}
+
+func (p *partition) addBlock(b *clog2.Block) {
+	for _, rec := range b.Records {
+		switch rec.Type {
+		case clog2.RecStateDef:
+			p.stateDefs = append(p.stateDefs, rec)
+			continue
+		case clog2.RecEventDef:
+			p.eventDefs = append(p.eventDefs, rec)
+			continue
+		case clog2.RecConstDef, clog2.RecTimeShift, clog2.RecSrcLoc:
+			continue
+		}
+		p.perRank[int(rec.Rank)] = append(p.perRank[int(rec.Rank)], rec)
+	}
+}
+
 // Convert builds an SLOG-2 file from a parsed CLOG-2 log.
 func Convert(in *clog2.File, opts ConvertOptions) (*File, *Report, error) {
+	p := newPartition(in.NumRanks)
+	for i := range in.Blocks {
+		p.addBlock(&in.Blocks[i])
+	}
+	return convertPartitioned(p, opts)
+}
+
+// ConvertReader streams a CLOG-2 file from r straight into the conversion,
+// one block at a time, without materializing clog2.File.Blocks — the
+// low-memory path used by vis.Convert and the command-line tools.
+func ConvertReader(r io.Reader, opts ConvertOptions) (*File, *Report, error) {
+	br, err := clog2.NewBlockReader(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := newPartition(br.NumRanks())
+	for {
+		b, err := br.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		p.addBlock(&b)
+	}
+	return convertPartitioned(p, opts)
+}
+
+// endpoint is one half of a message: a send or receive instant.
+type endpoint struct {
+	t    float64
+	size int
+}
+
+// msgKey identifies a FIFO message queue per MPE's matching rule.
+type msgKey struct{ src, dst, tag int }
+
+// rankResult is one rank's phase-2 output: paired states, events, message
+// halves and diagnostics, all in deterministic (time, sequence) order.
+type rankResult struct {
+	states   []State
+	events   []Event
+	sends    map[msgKey][]endpoint
+	recvs    map[msgKey][]endpoint
+	nesting  int
+	warnings []string
+}
+
+func (rr *rankResult) warnf(format string, args ...any) {
+	rr.warnings = append(rr.warnings, fmt.Sprintf(format, args...))
+}
+
+// processRank runs the per-rank pairing phase: sort the rank's records by
+// (time, original sequence) and fold start/end pairs into states, solo
+// events into events, and message halves into per-key FIFO queues.
+// stateCat/eventCat are read-only shared tables, so many processRank calls
+// may run concurrently.
+func processRank(rank int, recs []clog2.Record, stateCat map[mpe.StateID]int, eventCat map[mpe.EventID]int) *rankResult {
+	// Index sort: ties on Time resolve to original record sequence, so a
+	// state-end and the next state-start logged at an identical (coarse-
+	// resolution) timestamp can never reorder and desynchronize the
+	// pairing stack.
+	order := make([]int, len(recs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := &recs[order[a]], &recs[order[b]]
+		if ra.Time != rb.Time {
+			return ra.Time < rb.Time
+		}
+		return order[a] < order[b]
+	})
+
+	rr := &rankResult{}
+	type open struct {
+		sid   mpe.StateID
+		start float64
+		cargo string
+	}
+	var stack []open
+	for _, i := range order {
+		rec := &recs[i]
+		switch rec.Type {
+		case clog2.RecBareEvt, clog2.RecCargoEvt:
+			if sid, ok := mpe.IsStartEtype(rec.ID); ok {
+				stack = append(stack, open{sid: sid, start: rec.Time, cargo: rec.Text})
+				continue
+			}
+			if sid, ok := mpe.IsEndEtype(rec.ID); ok {
+				if len(stack) == 0 {
+					rr.nesting++
+					rr.warnf("rank %d: end of state %d at %v with no open state", rank, sid, rec.Time)
+					continue
+				}
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if top.sid != sid {
+					rr.nesting++
+					rr.warnf("rank %d: state %d closed while %d open at %v", rank, sid, top.sid, rec.Time)
+				}
+				if rec.Text == mpe.SyntheticEndCargo {
+					// The logger closed this state for us at wrap-up; it is
+					// still a nesting error in the program being debugged.
+					rr.nesting++
+					rr.warnf("rank %d: state %d left open, closed synthetically at %v", rank, sid, rec.Time)
+				}
+				cat, ok := stateCat[top.sid]
+				if !ok {
+					rr.warnf("rank %d: state %d has no definition", rank, top.sid)
+					continue
+				}
+				rr.states = append(rr.states, State{
+					Rank: rank, Cat: cat,
+					Start: top.start, End: rec.Time,
+					StartCargo: top.cargo, EndCargo: rec.Text,
+				})
+				continue
+			}
+			if eid, ok := mpe.IsSoloEtype(rec.ID); ok {
+				cat, ok := eventCat[eid]
+				if !ok {
+					rr.warnf("rank %d: event %d has no definition", rank, eid)
+					continue
+				}
+				rr.events = append(rr.events, Event{Rank: rank, Cat: cat, Time: rec.Time, Cargo: rec.Text})
+				continue
+			}
+			rr.warnf("rank %d: unclassifiable etype %d", rank, rec.ID)
+
+		case clog2.RecMsgEvt:
+			if rec.Dir == clog2.DirSend {
+				k := msgKey{src: rank, dst: int(rec.Aux1), tag: int(rec.Aux2)}
+				if rr.sends == nil {
+					rr.sends = map[msgKey][]endpoint{}
+				}
+				rr.sends[k] = append(rr.sends[k], endpoint{t: rec.Time, size: int(rec.Aux3)})
+			} else {
+				k := msgKey{src: int(rec.Aux1), dst: rank, tag: int(rec.Aux2)}
+				if rr.recvs == nil {
+					rr.recvs = map[msgKey][]endpoint{}
+				}
+				rr.recvs[k] = append(rr.recvs[k], endpoint{t: rec.Time, size: int(rec.Aux3)})
+			}
+		}
+	}
+	for _, o := range stack {
+		rr.nesting++
+		rr.warnf("rank %d: state %d opened at %v never closed", rank, o.sid, o.start)
+	}
+	return rr
+}
+
+// convertPartitioned runs phases 2..4: per-rank pairing on a worker pool,
+// the cross-rank arrow join, and the frame-tree build. Every merge step
+// iterates ranks and message keys in sorted order, so the output — down to
+// warning order — is identical at any worker count.
+func convertPartitioned(p *partition, opts ConvertOptions) (*File, *Report, error) {
 	capacity := opts.FrameCapacity
 	if capacity <= 0 {
 		capacity = DefaultFrameCapacity
 	}
+	workers := opts.workers()
 	rep := &Report{}
 
 	// Category table: states first, then events, keyed by their etypes.
 	var cats []Category
 	stateCat := map[mpe.StateID]int{} // state id -> category index
 	eventCat := map[mpe.EventID]int{} // event id -> category index
-	for _, d := range in.StateDefs() {
+	for _, d := range p.stateDefs {
 		sid, ok := mpe.IsStartEtype(d.Aux1)
 		if !ok {
 			return nil, nil, fmt.Errorf("slog2: state def %q has non-start etype %d", d.Name, d.Aux1)
@@ -60,7 +269,7 @@ func Convert(in *clog2.File, opts ConvertOptions) (*File, *Report, error) {
 		stateCat[sid] = len(cats)
 		cats = append(cats, Category{Name: d.Name, Color: d.Color, Kind: KindState})
 	}
-	for _, d := range in.EventDefs() {
+	for _, d := range p.eventDefs {
 		eid, ok := mpe.IsSoloEtype(d.ID)
 		if !ok {
 			return nil, nil, fmt.Errorf("slog2: event def %q has non-solo etype %d", d.Name, d.ID)
@@ -69,107 +278,91 @@ func Convert(in *clog2.File, opts ConvertOptions) (*File, *Report, error) {
 		cats = append(cats, Category{Name: d.Name, Color: d.Color, Kind: KindEvent})
 	}
 
-	// Gather per-rank record streams in time order.
-	perRank := map[int][]clog2.Record{}
-	for _, b := range in.Blocks {
-		for _, rec := range b.Records {
-			switch rec.Type {
-			case clog2.RecStateDef, clog2.RecEventDef, clog2.RecConstDef,
-				clog2.RecTimeShift, clog2.RecSrcLoc:
-				continue
-			}
-			perRank[int(rec.Rank)] = append(perRank[int(rec.Rank)], rec)
-		}
+	// Phase 2: per-rank pairing, fanned out over the worker pool. Ranks
+	// are processed in any order but collected in ascending rank order.
+	ranks := make([]int, 0, len(p.perRank))
+	for rank := range p.perRank {
+		ranks = append(ranks, rank)
 	}
-	for rank := range perRank {
-		recs := perRank[rank]
-		sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time < recs[j].Time })
+	sort.Ints(ranks)
+	results := make([]*rankResult, len(ranks))
+	if w := len(ranks); workers > w {
+		workers = w
+	}
+	if workers <= 1 {
+		for i, rank := range ranks {
+			results[i] = processRank(rank, p.perRank[rank], stateCat, eventCat)
+		}
+	} else {
+		var next int64 = -1
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= len(ranks) {
+						return
+					}
+					rank := ranks[i]
+					results[i] = processRank(rank, p.perRank[rank], stateCat, eventCat)
+				}
+			}()
+		}
+		wg.Wait()
 	}
 
+	// Merge rank results in rank order. Per-rank slices are already in
+	// (time, sequence) order, so concatenation yields the global
+	// (rank, time, sequence) order required for deterministic frames.
 	var states []State
 	var events []Event
-	type sendRec struct {
-		t    float64
-		size int
-	}
-	type msgKey struct{ src, dst, tag int }
-	sendQ := map[msgKey][]sendRec{}
-	type recvRec struct {
-		t    float64
-		size int
-	}
-	recvQ := map[msgKey][]recvRec{}
-
-	type open struct {
-		sid   mpe.StateID
-		start float64
-		cargo string
-	}
-	for rank, recs := range perRank {
-		var stack []open
-		for _, rec := range recs {
-			switch rec.Type {
-			case clog2.RecBareEvt, clog2.RecCargoEvt:
-				if sid, ok := mpe.IsStartEtype(rec.ID); ok {
-					stack = append(stack, open{sid: sid, start: rec.Time, cargo: rec.Text})
-					continue
-				}
-				if sid, ok := mpe.IsEndEtype(rec.ID); ok {
-					if len(stack) == 0 {
-						rep.NestingErrors++
-						rep.warnf("rank %d: end of state %d at %v with no open state", rank, sid, rec.Time)
-						continue
-					}
-					top := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					if top.sid != sid {
-						rep.NestingErrors++
-						rep.warnf("rank %d: state %d closed while %d open at %v", rank, sid, top.sid, rec.Time)
-					}
-					cat, ok := stateCat[top.sid]
-					if !ok {
-						rep.warnf("rank %d: state %d has no definition", rank, top.sid)
-						continue
-					}
-					states = append(states, State{
-						Rank: rank, Cat: cat,
-						Start: top.start, End: rec.Time,
-						StartCargo: top.cargo, EndCargo: rec.Text,
-					})
-					continue
-				}
-				if eid, ok := mpe.IsSoloEtype(rec.ID); ok {
-					cat, ok := eventCat[eid]
-					if !ok {
-						rep.warnf("rank %d: event %d has no definition", rank, eid)
-						continue
-					}
-					events = append(events, Event{Rank: rank, Cat: cat, Time: rec.Time, Cargo: rec.Text})
-					continue
-				}
-				rep.warnf("rank %d: unclassifiable etype %d", rank, rec.ID)
-
-			case clog2.RecMsgEvt:
-				if rec.Dir == clog2.DirSend {
-					k := msgKey{src: rank, dst: int(rec.Aux1), tag: int(rec.Aux2)}
-					sendQ[k] = append(sendQ[k], sendRec{t: rec.Time, size: int(rec.Aux3)})
-				} else {
-					k := msgKey{src: int(rec.Aux1), dst: rank, tag: int(rec.Aux2)}
-					recvQ[k] = append(recvQ[k], recvRec{t: rec.Time, size: int(rec.Aux3)})
-				}
-			}
+	sendQ := map[msgKey][]endpoint{}
+	recvQ := map[msgKey][]endpoint{}
+	for _, rr := range results {
+		states = append(states, rr.states...)
+		events = append(events, rr.events...)
+		rep.NestingErrors += rr.nesting
+		rep.Warnings = append(rep.Warnings, rr.warnings...)
+		// A send key's src and a recv key's dst are the logging rank, so
+		// no two ranks ever contribute to the same map entry.
+		for k, v := range rr.sends {
+			sendQ[k] = v
 		}
-		for _, o := range stack {
-			rep.NestingErrors++
-			rep.warnf("rank %d: state %d opened at %v never closed", rank, o.sid, o.start)
+		for k, v := range rr.recvs {
+			recvQ[k] = v
 		}
 	}
 
-	// Pair sends with receives FIFO per (src, dst, tag) — MPE's matching
-	// rule ("called in pairs with matching tag number and length").
+	// Phase 3 — the only cross-rank join: pair sends with receives FIFO
+	// per (src, dst, tag), MPE's matching rule ("called in pairs with
+	// matching tag number and length"). Keys are visited in sorted order
+	// so arrows and warnings come out deterministically.
+	keySet := map[msgKey]struct{}{}
+	for k := range sendQ {
+		keySet[k] = struct{}{}
+	}
+	for k := range recvQ {
+		keySet[k] = struct{}{}
+	}
+	keys := make([]msgKey, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		return a.tag < b.tag
+	})
 	var arrows []Arrow
-	for k, sends := range sendQ {
-		recvs := recvQ[k]
+	for _, k := range keys {
+		sends, recvs := sendQ[k], recvQ[k]
 		n := len(sends)
 		if len(recvs) < n {
 			n = len(recvs)
@@ -190,8 +383,8 @@ func Convert(in *clog2.File, opts ConvertOptions) (*File, *Report, error) {
 			rep.warnf("message %d->%d tag %d: %d send(s) without receive", k.src, k.dst, k.tag, extra)
 		}
 	}
-	for k, recvs := range recvQ {
-		if extra := len(recvs) - len(sendQ[k]); extra > 0 {
+	for _, k := range keys {
+		if extra := len(recvQ[k]) - len(sendQ[k]); extra > 0 {
 			rep.UnmatchedRecvs += extra
 			rep.warnf("message %d->%d tag %d: %d receive(s) without send", k.src, k.dst, k.tag, extra)
 		}
@@ -203,13 +396,15 @@ func Convert(in *clog2.File, opts ConvertOptions) (*File, *Report, error) {
 	// Time bounds.
 	minT, maxT := bounds(states, arrows, events)
 	f := &File{
-		NumRanks:   in.NumRanks,
+		NumRanks:   p.numRanks,
 		Start:      minT,
 		End:        maxT,
 		Categories: cats,
 		Warnings:   rep.Warnings,
 	}
-	f.Root = buildFrame(minT, maxT, states, arrows, events, capacity, 0)
+	fb := newFrameBuilder(capacity, workers)
+	f.Root = fb.build(minT, maxT, states, arrows, events, 0)
+	fb.wait()
 	computePreviews(f.Root)
 
 	rep.States = len(states)
@@ -289,12 +484,31 @@ func countEqualDrawables(states []State, arrows []Arrow, events []Event, rep *Re
 	return count
 }
 
-// buildFrame constructs the bounding-box tree. Drawables fully inside a
+// frameBuilder constructs the bounding-box tree, building sibling subtrees
+// concurrently when spare worker tokens are available. The tree's shape
+// and contents depend only on its inputs, never on scheduling.
+type frameBuilder struct {
+	capacity int
+	sem      chan struct{} // spare-worker tokens (nil/empty = sequential)
+	wg       sync.WaitGroup
+}
+
+func newFrameBuilder(capacity, workers int) *frameBuilder {
+	fb := &frameBuilder{capacity: capacity}
+	if workers > 1 {
+		fb.sem = make(chan struct{}, workers-1)
+	}
+	return fb
+}
+
+func (fb *frameBuilder) wait() { fb.wg.Wait() }
+
+// build constructs the subtree for [start, end]. Drawables fully inside a
 // half go down; spanners stay at this node.
-func buildFrame(start, end float64, states []State, arrows []Arrow, events []Event, capacity, depth int) *Frame {
+func (fb *frameBuilder) build(start, end float64, states []State, arrows []Arrow, events []Event, depth int) *Frame {
 	fr := &Frame{Start: start, End: end}
 	total := len(states) + len(arrows) + len(events)
-	if total <= capacity || depth >= MaxTreeDepth || end <= start {
+	if total <= fb.capacity || depth >= MaxTreeDepth || end <= start {
 		fr.States, fr.Arrows, fr.Events = states, arrows, events
 		return fr
 	}
@@ -334,11 +548,28 @@ func buildFrame(start, end float64, states []State, arrows []Arrow, events []Eve
 		}
 	}
 	fr.States, fr.Arrows = here, hereA
-	if len(lStates)+len(lArrows)+len(lEvents) > 0 {
-		fr.Left = buildFrame(start, mid, lStates, lArrows, lEvents, capacity, depth+1)
+	left := len(lStates)+len(lArrows)+len(lEvents) > 0
+	right := len(rStates)+len(rArrows)+len(rEvents) > 0
+	buildLeft := func() { fr.Left = fb.build(start, mid, lStates, lArrows, lEvents, depth+1) }
+	if left && right && fb.sem != nil {
+		// Both siblings have work: hand the left one to a spare worker if
+		// a token is free, otherwise build inline.
+		select {
+		case fb.sem <- struct{}{}:
+			fb.wg.Add(1)
+			go func() {
+				defer fb.wg.Done()
+				defer func() { <-fb.sem }()
+				buildLeft()
+			}()
+		default:
+			buildLeft()
+		}
+	} else if left {
+		buildLeft()
 	}
-	if len(rStates)+len(rArrows)+len(rEvents) > 0 {
-		fr.Right = buildFrame(mid, end, rStates, rArrows, rEvents, capacity, depth+1)
+	if right {
+		fr.Right = fb.build(mid, end, rStates, rArrows, rEvents, depth+1)
 	}
 	return fr
 }

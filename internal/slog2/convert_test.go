@@ -1,0 +1,258 @@
+package slog2
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/clog2"
+	"repro/internal/mpe"
+)
+
+// randomCLOG builds a messy multi-rank log: states, events, fan-out
+// messages, duplicate timestamps, and a few nesting errors — everything
+// the converter has diagnostics for.
+func randomCLOG(seed int64, nranks int) *clog2.File {
+	rng := rand.New(rand.NewSource(seed))
+	b := newCLOG(nranks)
+	b.defState(1, "PI_Write", "green")
+	b.defState(2, "PI_Read", "red")
+	b.defState(3, "Compute", "gray")
+	b.defEvent(1, "MsgArrival", "yellow")
+	n := 200 + rng.Intn(400)
+	for i := 0; i < n; i++ {
+		rank := int32(rng.Intn(nranks))
+		t0 := float64(rng.Intn(500)) / 50 // coarse clock: lots of ties
+		b.state(rank, int32(rng.Intn(3)+1), t0, t0+float64(rng.Intn(10))/50, "cargo")
+		if rng.Intn(4) == 0 {
+			b.event(rank, 1, t0, "ev")
+		}
+		if nranks > 1 && rng.Intn(3) == 0 {
+			src := rank
+			dst := int32(rng.Intn(nranks))
+			if dst == src {
+				dst = (dst + 1) % int32(nranks)
+			}
+			tag := int32(rng.Intn(4))
+			b.send(src, dst, tag, t0, 8)
+			if rng.Intn(5) != 0 { // some sends stay unmatched
+				b.recv(dst, src, tag, t0+0.01, 8)
+			}
+		}
+	}
+	// A dangling end and an unclosed start exercise the error paths.
+	b.blocks[0] = append(b.blocks[0],
+		clog2.Record{Type: clog2.RecCargoEvt, Time: 99, Rank: 0, ID: 3},
+		clog2.Record{Type: clog2.RecCargoEvt, Time: 99.5, Rank: 0, ID: 2},
+	)
+	return b.file()
+}
+
+func encodeSLOG(t *testing.T, f *File) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The tentpole guarantee: parallel conversion output is byte-identical to
+// sequential output, including warning order, at every worker count.
+func TestConvertParallelByteIdentical(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		cf := randomCLOG(seed, 1+int(seed))
+		ref, refRep, err := Convert(cf, ConvertOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		refBytes := encodeSLOG(t, ref)
+		for _, workers := range []int{2, 4, 8} {
+			got, gotRep, err := Convert(cf, ConvertOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if gotRep.States != refRep.States || gotRep.Arrows != refRep.Arrows ||
+				gotRep.Events != refRep.Events || gotRep.NestingErrors != refRep.NestingErrors ||
+				gotRep.UnmatchedSends != refRep.UnmatchedSends || gotRep.UnmatchedRecvs != refRep.UnmatchedRecvs ||
+				gotRep.EqualDrawables != refRep.EqualDrawables {
+				t.Fatalf("seed %d workers %d: report %+v != %+v", seed, workers, gotRep, refRep)
+			}
+			if len(gotRep.Warnings) != len(refRep.Warnings) {
+				t.Fatalf("seed %d workers %d: %d warnings != %d", seed, workers, len(gotRep.Warnings), len(refRep.Warnings))
+			}
+			for i := range gotRep.Warnings {
+				if gotRep.Warnings[i] != refRep.Warnings[i] {
+					t.Fatalf("seed %d workers %d: warning %d %q != %q", seed, workers, i, gotRep.Warnings[i], refRep.Warnings[i])
+				}
+			}
+			if !bytes.Equal(encodeSLOG(t, got), refBytes) {
+				t.Fatalf("seed %d workers %d: serialized output differs from sequential", seed, workers)
+			}
+			if err := got.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+		}
+	}
+}
+
+// Sequential conversion itself must be deterministic run to run (the old
+// map-iteration code was not): convert the same log twice, compare bytes.
+func TestConvertDeterministicAcrossRuns(t *testing.T) {
+	cf := randomCLOG(42, 5)
+	a, repA, err := Convert(cf, ConvertOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, repB, err := Convert(cf, ConvertOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeSLOG(t, a), encodeSLOG(t, b)) {
+		t.Fatal("two sequential conversions of the same log differ")
+	}
+	if len(repA.Warnings) != len(repB.Warnings) {
+		t.Fatalf("warning counts differ: %d vs %d", len(repA.Warnings), len(repB.Warnings))
+	}
+	for i := range repA.Warnings {
+		if repA.Warnings[i] != repB.Warnings[i] {
+			t.Fatalf("warning %d differs: %q vs %q", i, repA.Warnings[i], repB.Warnings[i])
+		}
+	}
+}
+
+// ConvertReader (streaming blocks from the wire format) must agree with
+// Convert over the parsed file, byte for byte.
+func TestConvertReaderMatchesConvert(t *testing.T) {
+	cf := randomCLOG(7, 4)
+	// Serialize the clog to its wire format.
+	var wire bytes.Buffer
+	w, err := clog2.NewWriter(&wire, cf.NumRanks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, blk := range cf.Blocks {
+		if err := w.WriteBlock(blk.Rank, blk.Records); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fromFile, repF, err := Convert(cf, ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromStream, repS, err := ConvertReader(&wire, ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repF.States != repS.States || repF.Arrows != repS.Arrows || repF.Events != repS.Events {
+		t.Fatalf("reports differ: %+v vs %+v", repF, repS)
+	}
+	if !bytes.Equal(encodeSLOG(t, fromFile), encodeSLOG(t, fromStream)) {
+		t.Fatal("streaming conversion differs from in-memory conversion")
+	}
+}
+
+// Regression for the coarse-clock tie-break: a state-end and the next
+// state-start logged at an identical timestamp must keep their original
+// record order, or pairing desynchronizes and reports spurious nesting
+// errors and Equal Drawables.
+func TestConvertCoarseClockTieBreak(t *testing.T) {
+	b := newCLOG(1)
+	b.defState(1, "S", "red")
+	// 100 back-to-back states on a clock so coarse that each end shares
+	// its timestamp with the next start (and several full states collapse
+	// to the same instant pair).
+	const n = 100
+	for i := 0; i < n; i++ {
+		t0 := float64(i / 4) // plateaus of 4 states per tick
+		t1 := float64((i + 1) / 4)
+		b.blocks[0] = append(b.blocks[0],
+			clog2.Record{Type: clog2.RecCargoEvt, Time: t0, Rank: 0, ID: 2},
+			clog2.Record{Type: clog2.RecCargoEvt, Time: t1, Rank: 0, ID: 3},
+		)
+	}
+	f, rep, err := Convert(b.file(), ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NestingErrors != 0 {
+		t.Fatalf("coarse clock produced %d spurious nesting errors: %v", rep.NestingErrors, rep.Warnings)
+	}
+	if rep.States != n {
+		t.Fatalf("states = %d, want %d", rep.States, n)
+	}
+	states, _, _ := f.All()
+	for _, s := range states {
+		if s.End < s.Start {
+			t.Fatalf("inverted state [%v,%v]", s.Start, s.End)
+		}
+	}
+}
+
+// Same tie-break, cross-checked at several worker counts: identical
+// timestamps must not let the parallel path reorder records either.
+func TestConvertCoarseClockTieBreakParallel(t *testing.T) {
+	b := newCLOG(4)
+	b.defState(1, "S", "red")
+	for rank := int32(0); rank < 4; rank++ {
+		for i := 0; i < 50; i++ {
+			tick := float64(i / 5)
+			b.blocks[rank] = append(b.blocks[rank],
+				clog2.Record{Type: clog2.RecCargoEvt, Time: tick, Rank: rank, ID: 2},
+				clog2.Record{Type: clog2.RecCargoEvt, Time: tick, Rank: rank, ID: 3},
+			)
+		}
+	}
+	for _, workers := range []int{1, 2, 8} {
+		_, rep, err := Convert(b.file(), ConvertOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.NestingErrors != 0 {
+			t.Fatalf("workers=%d: %d spurious nesting errors: %v", workers, rep.NestingErrors, rep.Warnings[:min(3, len(rep.Warnings))])
+		}
+		if rep.States != 200 {
+			t.Fatalf("workers=%d: states = %d, want 200", workers, rep.States)
+		}
+	}
+}
+
+// A synthetic end fabricated by mpe.Logger.Finish closes the state but
+// still counts as a nesting error — the program being debugged left it
+// open.
+func TestConvertSyntheticEndCounted(t *testing.T) {
+	b := newCLOG(1)
+	b.defState(1, "S", "red")
+	b.blocks[0] = append(b.blocks[0],
+		clog2.Record{Type: clog2.RecCargoEvt, Time: 1, Rank: 0, ID: 2, Text: "line: 5"},
+		clog2.Record{Type: clog2.RecCargoEvt, Time: 9, Rank: 0, ID: 3, Text: mpe.SyntheticEndCargo},
+	)
+	f, rep, err := Convert(b.file(), ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.States != 1 {
+		t.Fatalf("states = %d, want the synthetically closed state kept", rep.States)
+	}
+	if rep.NestingErrors != 1 {
+		t.Fatalf("NestingErrors = %d, want 1 for the synthetic close", rep.NestingErrors)
+	}
+	found := false
+	for _, w := range rep.Warnings {
+		if strings.Contains(w, "closed synthetically") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no synthetic-close warning in %v", rep.Warnings)
+	}
+	states, _, _ := f.All()
+	if len(states) != 1 || states[0].Start != 1 || states[0].End != 9 {
+		t.Fatalf("state %+v", states)
+	}
+}

@@ -13,7 +13,6 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/clog2"
 	"repro/internal/jumpshot"
 	"repro/internal/slog2"
 )
@@ -22,7 +21,8 @@ import (
 type (
 	// File is a parsed SLOG-2 visualization log.
 	File = slog2.File
-	// ConvertOptions tunes CLOG-2 → SLOG-2 conversion (frame size).
+	// ConvertOptions tunes CLOG-2 → SLOG-2 conversion (frame size, worker
+	// count; output is byte-identical at any worker count).
 	ConvertOptions = slog2.ConvertOptions
 	// Report carries conversion diagnostics (Equal Drawables and friends).
 	Report = slog2.Report
@@ -38,13 +38,12 @@ type (
 	SearchOptions = jumpshot.SearchOptions
 )
 
-// Convert turns a CLOG-2 stream into an SLOG-2 file.
+// Convert turns a CLOG-2 stream into an SLOG-2 file. Blocks are streamed
+// from r one at a time (clog2.BlockReader), so the raw log is never fully
+// materialized; the per-rank pairing phases run on a worker pool sized by
+// opts.Workers (0 = GOMAXPROCS).
 func Convert(r io.Reader, opts ConvertOptions) (*File, *Report, error) {
-	cf, err := clog2.Read(r)
-	if err != nil {
-		return nil, nil, err
-	}
-	return slog2.Convert(cf, opts)
+	return slog2.ConvertReader(r, opts)
 }
 
 // ConvertFile converts the CLOG-2 file at path.
