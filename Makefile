@@ -27,6 +27,7 @@ ci: build vet race
 # wrap-up merge.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkConvertParallel|BenchmarkMPE_FinishMerge|BenchmarkF1_ConvertCLOGToSLOG' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkMailbox' -benchmem ./internal/mpi/
 
 # Short fuzz pass over the CLOG-2 reader (seed corpus runs in plain
 # `make test` as well).

@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/mpi"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 		images  = flag.Int("images", 120, "thumbnail batch size (paper: 1058)")
 		rows    = flag.Int("rows", 60000, "collision dataset rows")
 		workers = flag.Int("workers", 0, "CLOG-2 -> SLOG-2 conversion worker-pool size (0 = one per CPU)")
+		faults  = flag.String("faults", "", "fault-injection plan, e.g. 'seed=7;delay:rank=*,prob=0.1,dur=2ms;crash:rank=2,op=40'")
 	)
 	flag.Parse()
 	opt := experiments.Options{
@@ -47,6 +49,14 @@ func main() {
 		Rows:    *rows,
 		Workers: *workers,
 		Log:     os.Stdout,
+	}
+	if *faults != "" {
+		plan, err := mpi.ParseFaultPlan(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pilot-bench: bad -faults spec: %v\n", err)
+			os.Exit(2)
+		}
+		opt.Faults = plan
 	}
 
 	want := map[string]bool{}

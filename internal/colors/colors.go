@@ -73,6 +73,8 @@ var (
 	Yellow      = Color{"yellow", 0xff, 0xff, 0x00}
 	White       = Color{"white", 0xff, 0xff, 0xff}
 	Black       = Color{"black", 0x00, 0x00, 0x00}
+	Orange      = Color{"orange", 0xff, 0xa5, 0x00}
+	Magenta     = Color{"magenta", 0xff, 0x00, 0xff}
 )
 
 // StateColors maps each displayable Pilot state name to its colour.
@@ -93,6 +95,15 @@ var StateColors = map[string]Color{
 // EventColor is the colour for solo-event bubbles (message arrivals,
 // PI_Log, PI_TrySelect and friends).
 var EventColor = Yellow
+
+// FaultEventColor marks injected-fault bubbles: orange is reserved so a
+// stall, delay, crash or clock jump planted by an mpi.FaultPlan stands
+// apart from ordinary yellow events in the timeline.
+var FaultEventColor = Orange
+
+// DeadlockEventColor marks the detector's deadlock report bubble on the
+// service timeline — the one event you most want to be able to point at.
+var DeadlockEventColor = Magenta
 
 // ArrowColor is the colour for message arrows between timelines.
 var ArrowColor = White
@@ -115,6 +126,8 @@ var Categories = map[string]Category{
 	"PI_EndTime":        Other,
 	"PI_SetName":        Other,
 	"PI_Abort":          Other,
+	"FaultInjected":     Other,
+	"Deadlock":          Other,
 }
 
 // StateColor returns the colour assigned to a state name, defaulting to

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/mpi"
 )
 
 // Service letters accepted in Config.Services, matching Pilot's -pisvc=
@@ -88,6 +89,16 @@ type Config struct {
 	// EagerLimit is passed to the MPI substrate (0 = default).
 	EagerLimit int
 
+	// Faults installs a deterministic fault-injection plan into the MPI
+	// substrate (nil = none); see mpi.FaultPlan and mpi.ParseFaultPlan
+	// for the spec grammar. The runtime threads every injected fault into
+	// the active logs as a FaultInjected solo event, and resolves
+	// mpi.CrashAuto to CrashStop when the deadlock detector is on (the
+	// crash becomes a diagnosed deadlock) and CrashAbort otherwise (a
+	// clean ErrAborted unwind) — an injected crash never leaves a silent
+	// hang.
+	Faults *mpi.FaultPlan
+
 	// DeadlockGrace is how long the detector waits for late completion
 	// events before trusting a suspected deadlock (default 50 ms).
 	DeadlockGrace time.Duration
@@ -147,6 +158,7 @@ func (c Config) needsSvcRank() bool {
 //	-pisvc=LETTERS   enable services, e.g. -pisvc=cj
 //	-picheck=N       set the error-check level 0-3
 //	-piprocs=N       world size (stands in for mpirun -np N)
+//	-pifaults=SPEC   install a fault-injection plan (mpi.ParseFaultPlan)
 //
 // Unknown arguments pass through untouched, as PI_Configure leaves the
 // application's own flags alone.
@@ -168,6 +180,12 @@ func ParseArgs(cfg *Config, args []string) ([]string, error) {
 				return nil, errorf("PI_Configure", "", "bad -piprocs value %q", a)
 			}
 			cfg.NumProcs = n
+		case strings.HasPrefix(a, "-pifaults="):
+			plan, err := mpi.ParseFaultPlan(a[len("-pifaults="):])
+			if err != nil {
+				return nil, errorf("PI_Configure", "", "bad -pifaults value %q: %v", a, err)
+			}
+			cfg.Faults = plan
 		default:
 			rest = append(rest, a)
 		}

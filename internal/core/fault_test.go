@@ -1,0 +1,229 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/vis"
+)
+
+// crashRing builds main -> w1 -> main token passing where w1's crash
+// strands PI_MAIN reading from the dead rank. It runs off the test
+// goroutine, so setup failures are returned, not fataled.
+func crashRing(cfg Config) error {
+	r, err := NewRuntime(cfg)
+	if err != nil {
+		return err
+	}
+	var toW, fromW *Channel
+	p, err := r.CreateProcess(func(self *Self, index int, arg any) int {
+		for {
+			var v int
+			if err := toW.Read("%d", &v); err != nil {
+				return 1
+			}
+			if err := fromW.Write("%d", v+1); err != nil {
+				return 1
+			}
+		}
+	}, 0, nil)
+	if err != nil {
+		return err
+	}
+	if toW, err = r.CreateChannel(r.MainProc(), p); err != nil {
+		return err
+	}
+	if fromW, err = r.CreateChannel(p, r.MainProc()); err != nil {
+		return err
+	}
+	if _, err := r.StartAll(); err != nil {
+		return err
+	}
+	for i := 0; i < 10; i++ {
+		if err := toW.Write("%d", i); err != nil {
+			break
+		}
+		var v int
+		if err := fromW.Read("%d", &v); err != nil {
+			break
+		}
+	}
+	return r.StopMain(0)
+}
+
+// An injected crash with the detector on must end in a diagnosed
+// deadlock, never a silent hang: the crashed rank drops out, PI_MAIN
+// blocks reading from it, and the detector names the stranded process.
+func TestInjectedCrashDiagnosedByDetector(t *testing.T) {
+	cfg, errBuf := testConfig(t, 3, "d")
+	cfg.DeadlockGrace = 30 * time.Millisecond
+	cfg.Faults = &mpi.FaultPlan{Seed: 5, Rules: []mpi.FaultRule{{Kind: mpi.FaultCrash, Rank: 1, Op: 4}}}
+	done := make(chan error, 1)
+	go func() { done <- crashRing(cfg) }()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("undiagnosed hang: crash with detector on never terminated")
+	}
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("StopMain: %v, want deadlock diagnosis", err)
+	}
+	if !strings.Contains(errBuf.String(), "DEADLOCK") {
+		t.Errorf("no deadlock diagnostic on stderr: %q", errBuf.String())
+	}
+}
+
+// Without the detector, CrashAuto resolves to whole-world teardown: the
+// run ends in a clean ErrAborted unwind with the fault abort code.
+func TestInjectedCrashWithoutDetectorAborts(t *testing.T) {
+	cfg, _ := testConfig(t, 2, "")
+	cfg.Faults = &mpi.FaultPlan{Seed: 5, Rules: []mpi.FaultRule{{Kind: mpi.FaultCrash, Rank: 1, Op: 4}}}
+	done := make(chan error, 1)
+	go func() { done <- crashRing(cfg) }()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("undiagnosed hang: crash without detector never terminated")
+	}
+	if err == nil || !strings.Contains(err.Error(), "aborted") {
+		t.Fatalf("StopMain: %v, want abort", err)
+	}
+	if !strings.Contains(err.Error(), "137") {
+		t.Fatalf("StopMain: %v, want fault abort code 137", err)
+	}
+}
+
+// Injected faults must be visible in the converted timeline: orange
+// FaultInjected solo events, one per fired fault.
+func TestFaultEventsVisibleInTimeline(t *testing.T) {
+	cfg, _ := testConfig(t, 2, "j")
+	cfg.Faults = &mpi.FaultPlan{Seed: 11, Rules: []mpi.FaultRule{
+		{Kind: mpi.FaultStall, Rank: 1, Op: 2, Delay: time.Millisecond},
+		{Kind: mpi.FaultDelay, Rank: 0, Op: 3, Delay: time.Millisecond},
+	}}
+	r := mustRuntime(t, cfg)
+	var toW, fromW *Channel
+	p, err := r.CreateProcess(func(self *Self, index int, arg any) int {
+		for i := 0; i < 4; i++ {
+			var v int
+			if err := toW.Read("%d", &v); err != nil {
+				return 1
+			}
+			if err := fromW.Write("%d", v+1); err != nil {
+				return 1
+			}
+		}
+		return 0
+	}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toW, err = r.CreateChannel(r.MainProc(), p); err != nil {
+		t.Fatal(err)
+	}
+	if fromW, err = r.CreateChannel(p, r.MainProc()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := toW.Write("%d", i); err != nil {
+			t.Fatal(err)
+		}
+		var v int
+		if err := fromW.Read("%d", &v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.StopMain(0); err != nil {
+		t.Fatal(err)
+	}
+	injected := r.World().FaultEvents()
+	if len(injected) != 2 {
+		t.Fatalf("injected %d faults, want 2: %v", len(injected), injected)
+	}
+
+	f, _, err := vis.ConvertFile(cfg.JumpshotPath, vis.ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := f.CategoryIndex("FaultInjected")
+	if cat < 0 {
+		t.Fatal("converted log has no FaultInjected category")
+	}
+	if got := f.Categories[cat].Color; got != "orange" {
+		t.Errorf("FaultInjected colour = %q, want orange", got)
+	}
+	_, _, events := f.All()
+	var bubbles []string
+	for _, e := range events {
+		if e.Cat == cat {
+			bubbles = append(bubbles, e.Cargo)
+		}
+	}
+	if len(bubbles) != len(injected) {
+		t.Fatalf("timeline shows %d fault bubbles (%v), want %d", len(bubbles), bubbles, len(injected))
+	}
+	for i, ev := range injected {
+		want := ev.String()
+		found := false
+		for _, b := range bubbles {
+			if strings.HasPrefix(want, strings.TrimRight(b, "\x00")) || strings.HasPrefix(b, want) || b == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("fault %d (%s) has no matching bubble in %v", i, want, bubbles)
+		}
+	}
+}
+
+// With RobustLog, the deadlock report itself survives the abort as a
+// magenta solo event on the service timeline of the salvaged log.
+func TestDeadlockReportEventSalvaged(t *testing.T) {
+	cfg, _ := testConfig(t, 3, "dj")
+	cfg.RobustLog = true
+	cfg.DeadlockGrace = 30 * time.Millisecond
+	cfg.Faults = &mpi.FaultPlan{Seed: 5, Rules: []mpi.FaultRule{{Kind: mpi.FaultCrash, Rank: 1, Op: 4}}}
+	done := make(chan error, 1)
+	go func() { done <- crashRing(cfg) }()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("undiagnosed hang")
+	}
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("StopMain: %v, want deadlock diagnosis", err)
+	}
+	f, _, err := vis.ConvertFile(cfg.JumpshotPath, vis.ConvertOptions{})
+	if err != nil {
+		t.Fatalf("salvaged log unusable: %v", err)
+	}
+	cat := f.CategoryIndex("Deadlock")
+	if cat < 0 {
+		t.Fatal("salvaged log has no Deadlock category")
+	}
+	if got := f.Categories[cat].Color; got != "magenta" {
+		t.Errorf("Deadlock colour = %q, want magenta", got)
+	}
+	_, _, events := f.All()
+	n := 0
+	for _, e := range events {
+		if e.Cat == cat {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("salvaged log has %d Deadlock events, want 1", n)
+	}
+	if fc := f.CategoryIndex("FaultInjected"); fc < 0 {
+		t.Error("salvaged log lost the FaultInjected category")
+	}
+}

@@ -113,7 +113,38 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		}
 		r.svcRank = cfg.NumProcs - 1
 	}
-	r.world = mpi.NewWorld(cfg.NumProcs, mpi.Options{Clocks: cfg.Clocks, EagerLimit: cfg.EagerLimit})
+	var faults *mpi.FaultPlan
+	if cfg.Faults != nil {
+		// Private copy: the runtime rewrites Mode and OnFault, and the
+		// caller may reuse its plan for a replay.
+		p := *cfg.Faults
+		p.Rules = append([]mpi.FaultRule(nil), cfg.Faults.Rules...)
+		if p.Mode == mpi.CrashAuto {
+			if cfg.HasService(SvcDeadlock) {
+				// Let the crashed rank drop out quietly; the detector sees
+				// its exit notice and diagnoses the stranded peers.
+				p.Mode = mpi.CrashStop
+			} else {
+				// Without a detector a stopped rank would strand its peers
+				// in a silent hang, so tear the whole world down instead.
+				p.Mode = mpi.CrashAbort
+			}
+		}
+		userCB := p.OnFault
+		p.OnFault = func(ev mpi.FaultEvent) {
+			// Runs on the faulting rank's own goroutine, so the per-rank
+			// MPE logger is safe to use directly.
+			if r.jlog {
+				r.logger(ev.Rank).Event(r.events["FaultInjected"], truncTo(ev.String(), 40))
+			}
+			r.nativeLog(ev.Rank, "FAULT "+ev.String())
+			if userCB != nil {
+				userCB(ev)
+			}
+		}
+		faults = &p
+	}
+	r.world = mpi.NewWorld(cfg.NumProcs, mpi.Options{Clocks: cfg.Clocks, EagerLimit: cfg.EagerLimit, Faults: faults})
 
 	r.jlog = cfg.HasService(SvcJumpshot)
 	if r.jlog && cfg.NoMPE {
@@ -141,6 +172,10 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		"PI_TrySelect", "PI_ChannelHasData", "PI_StartTime", "PI_EndTime"} {
 		r.events[name] = r.mpe.DescribeEvent(name, colors.EventColor.Name)
 	}
+	// Faults and deadlock reports get their own bubble colours so failure
+	// modes are visible at a glance in the converted timeline.
+	r.events["FaultInjected"] = r.mpe.DescribeEvent("FaultInjected", colors.FaultEventColor.Name)
+	r.events["Deadlock"] = r.mpe.DescribeEvent("Deadlock", colors.DeadlockEventColor.Name)
 
 	if r.jlog && cfg.RobustLog {
 		if err := r.mpe.SpillDefs(); err != nil {

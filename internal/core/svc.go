@@ -217,6 +217,11 @@ func (s *svcServer) maybeReport() {
 		s.r.setDeadlockReport(rep)
 		s.r.warnf("pilot: %s", rep.String())
 		s.writeLine("DEADLOCK " + rep.String())
+		if s.r.jlog {
+			// Drop the report bubble before aborting: with RobustLog the
+			// spill files preserve it for the salvaged timeline.
+			s.r.logger(s.r.svcRank).Event(s.r.events["Deadlock"], truncTo(fmt.Sprintf("procs: %v", rep.Procs), 40))
+		}
 		s.rank.Abort(AbortCodeDeadlock)
 		s.quit = true
 	}

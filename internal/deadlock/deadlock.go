@@ -125,7 +125,11 @@ func (g *Graph) Check() *Report {
 			if canMove[p] {
 				continue
 			}
-			ok := !w.AnyOf && len(w.Peers) > 0
+			// An all-of wait with no peers is vacuously satisfied — a wait
+			// on nobody resolves immediately and must never be reported as
+			// deadlocked. An any-of wait with no peers is the opposite: no
+			// peer can ever act, so it stays unjustified (and stuck).
+			ok := !w.AnyOf
 			if w.AnyOf {
 				for _, q := range w.Peers {
 					if peerCanMove(q) {

@@ -231,3 +231,31 @@ func TestSingleWaitChainsProperty(t *testing.T) {
 		}
 	}
 }
+
+// Regression: an all-of wait with an empty Peers list is a wait on nobody
+// — it resolves immediately and must not be reported as deadlocked. Before
+// the fix, Check marked every empty-peer non-AnyOf wait permanently
+// unjustifiable.
+func TestEmptyPeersAllOfNotDeadlocked(t *testing.T) {
+	g := New()
+	g.SetWait(1, Wait{Op: "PI_Write", Peers: nil})
+	if rep := g.Check(); rep != nil {
+		t.Fatalf("empty all-of wait reported deadlocked:\n%s", rep)
+	}
+	// And it must still justify processes waiting on it transitively.
+	g.SetWait(2, Wait{Op: "PI_Read", Peers: []int{1}})
+	if rep := g.Check(); rep != nil {
+		t.Fatalf("wait on an empty-wait process reported deadlocked:\n%s", rep)
+	}
+}
+
+// An any-of wait with no peers can never be resolved by anyone: it is a
+// PI_Select over nothing and stays stuck.
+func TestEmptyPeersAnyOfIsDeadlocked(t *testing.T) {
+	g := New()
+	g.SetWait(1, Wait{Op: "PI_Select", Peers: nil, AnyOf: true})
+	rep := g.Check()
+	if rep == nil || len(rep.Procs) != 1 || rep.Procs[0] != 1 {
+		t.Fatalf("empty any-of wait: got %v, want P1 stuck", rep)
+	}
+}

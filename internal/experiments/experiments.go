@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/mpi"
 	"repro/internal/thumbnail"
 	"repro/vis"
 )
@@ -43,6 +44,10 @@ type Options struct {
 	// Workers sizes the CLOG-2 → SLOG-2 conversion worker pool
 	// (0 = one per CPU); results are byte-identical at any setting.
 	Workers int
+	// Faults optionally installs a deterministic fault-injection plan
+	// into every workload run (pilot-bench's -faults flag; see
+	// mpi.ParseFaultPlan for the spec grammar).
+	Faults *mpi.FaultPlan
 	// Log receives progress lines (nil = silent).
 	Log io.Writer
 }
@@ -157,6 +162,7 @@ func (o Options) thumbCfg(workProcs int, mode string, level int, clogPath string
 			CheckLevel:   level,
 			JumpshotPath: clogPath,
 			NativePath:   clogPath + ".native.log",
+			Faults:       o.Faults,
 		},
 	}
 	switch mode {

@@ -147,6 +147,7 @@ func RunF3(opt Options) (*F3Result, error) {
 	cfg.Core.Services = "j"
 	cfg.Core.CheckLevel = 3
 	cfg.Core.JumpshotPath = clog
+	cfg.Core.Faults = opt.Faults
 	res, err := lab2.Run(cfg)
 	if err != nil {
 		return nil, err

@@ -332,7 +332,8 @@ func renderInlineLegend(f *slog2.File, width, height int) string {
 func hexOf(name string) string {
 	for _, c := range []colors.Color{colors.Red, colors.Green, colors.ForestGreen,
 		colors.DarkGreen, colors.IndianRed, colors.Firebrick, colors.Salmon,
-		colors.Bisque, colors.Gray, colors.Yellow, colors.White} {
+		colors.Bisque, colors.Gray, colors.Yellow, colors.White,
+		colors.Orange, colors.Magenta} {
 		if c.Name == name {
 			return c.Hex()
 		}

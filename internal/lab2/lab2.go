@@ -122,6 +122,17 @@ func Run(cfg Config) (*Result, error) {
 		expected += numbers[i]
 	}
 
+	res := &Result{Expected: expected, Runtime: r}
+	// A mid-run channel error means the world aborted (PI_Abort, injected
+	// crash, or a diagnosed deadlock). Still run StopMain so the workers
+	// and service process are joined and the diagnosis — not the bare
+	// channel error — is what the caller sees.
+	fail := func(err error) (*Result, error) {
+		if stopErr := r.StopMain(0); stopErr != nil {
+			err = stopErr
+		}
+		return res, err
+	}
 	for i := 0; i < cfg.W; i++ {
 		portion := cfg.NUM / cfg.W
 		if i == cfg.W-1 {
@@ -130,23 +141,22 @@ func Run(cfg Config) (*Result, error) {
 		share := numbers[i*(cfg.NUM/cfg.W) : i*(cfg.NUM/cfg.W)+portion]
 		if cfg.UseCaret {
 			if err := toWorker[i].Write("%^d", share); err != nil {
-				return nil, err
+				return fail(err)
 			}
 		} else {
 			if err := toWorker[i].Write("%d", portion); err != nil {
-				return nil, err
+				return fail(err)
 			}
 			if err := toWorker[i].Write("%*d", portion, share); err != nil {
-				return nil, err
+				return fail(err)
 			}
 		}
 	}
 
-	res := &Result{Expected: expected, Runtime: r}
 	for i := 0; i < cfg.W; i++ {
 		var sum int
 		if err := result[i].Read("%d", &sum); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		res.Subtotals = append(res.Subtotals, sum)
 		res.Total += sum

@@ -1,0 +1,374 @@
+package mpi
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFaultPlan(t *testing.T) {
+	plan, err := ParseFaultPlan("seed=42;mode=stop;delay:prob=0.25,dur=2ms;crash:rank=2,op=40;jump:rank=1,op=10,sec=0.5;rendezvous:prob=1;stall:rank=*,op=3,dur=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 42 || plan.Mode != CrashStop || len(plan.Rules) != 5 {
+		t.Fatalf("bad plan: %+v", plan)
+	}
+	want := []FaultRule{
+		{Kind: FaultDelay, Rank: AnyRank, Prob: 0.25, Delay: 2 * time.Millisecond},
+		{Kind: FaultCrash, Rank: 2, Op: 40},
+		{Kind: FaultClockJump, Rank: 1, Op: 10, JumpSec: 0.5},
+		{Kind: FaultRendezvous, Rank: AnyRank, Prob: 1},
+		{Kind: FaultStall, Rank: AnyRank, Op: 3, Delay: time.Millisecond},
+	}
+	if !reflect.DeepEqual(plan.Rules, want) {
+		t.Fatalf("rules:\n got %+v\nwant %+v", plan.Rules, want)
+	}
+}
+
+func TestParseFaultPlanErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",                          // no rules
+		"seed=7",                    // still no rules
+		"seed=x;crash:op=1",         // bad seed
+		"mode=frob;crash:op=1",      // bad mode
+		"explode:op=1",              // unknown kind
+		"crash:op=1,frob=2",         // unknown param
+		"crash",                     // needs op or prob
+		"crash:prob=1.5",            // prob out of range
+		"crash:op=-1",               // negative op
+		"delay:op=1",                // needs dur
+		"stall:op=1,dur=0s",         // dur must be positive
+		"jump:op=1",                 // needs sec
+		"delay:prob=0.5,dur=banana", // bad duration
+	} {
+		if _, err := ParseFaultPlan(spec); err == nil {
+			t.Errorf("ParseFaultPlan(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+// pingRing pushes rounds tokens around a ring of ranks; every rank does
+// the same counted op sequence regardless of goroutine scheduling.
+func pingRing(w *World, rounds int) []error {
+	return w.Run(func(r *Rank) error {
+		next := (r.ID() + 1) % r.Size()
+		prev := (r.ID() + r.Size() - 1) % r.Size()
+		for i := 0; i < rounds; i++ {
+			if r.ID() == 0 {
+				if err := r.Send(next, i, []byte("tok")); err != nil {
+					return err
+				}
+				if _, err := r.Recv(prev, i); err != nil {
+					return err
+				}
+			} else {
+				if _, err := r.Recv(prev, i); err != nil {
+					return err
+				}
+				if err := r.Send(next, i, []byte("tok")); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestFaultDeterminismReplay(t *testing.T) {
+	plan, err := ParseFaultPlan("seed=9;delay:prob=0.4,dur=500us;rendezvous:prob=0.3;stall:rank=1,op=4,dur=300us;jump:rank=2,op=2,sec=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []FaultEvent {
+		w := NewWorld(3, Options{Faults: plan})
+		for i, err := range pingRing(w, 10) {
+			if err != nil {
+				t.Fatalf("rank %d: %v", i, err)
+			}
+		}
+		return w.FaultEvents()
+	}
+	first := run()
+	if len(first) == 0 {
+		t.Fatal("plan injected no faults; determinism check is vacuous")
+	}
+	for i := 0; i < 3; i++ {
+		if again := run(); !reflect.DeepEqual(first, again) {
+			t.Fatalf("replay %d diverged:\n got %v\nwant %v", i, again, first)
+		}
+	}
+}
+
+func TestCrashStopOnlyCrashedRankFails(t *testing.T) {
+	// Rank 1 crashes at its 2nd op; rank 0 only consumes what rank 1
+	// already sent, so nobody blocks on the dead rank.
+	plan := &FaultPlan{Seed: 1, Mode: CrashStop, Rules: []FaultRule{{Kind: FaultCrash, Rank: 1, Op: 2}}}
+	w := NewWorld(2, Options{Faults: plan})
+	errs := w.Run(func(r *Rank) error {
+		if r.ID() == 1 {
+			if err := r.Send(0, 0, []byte("a")); err != nil {
+				return err
+			}
+			return r.Send(0, 1, []byte("b")) // op 2: crash
+		}
+		_, err := r.Recv(1, 0)
+		return err
+	})
+	if !errors.Is(errs[1], ErrRankCrashed) {
+		t.Fatalf("rank 1: got %v, want ErrRankCrashed", errs[1])
+	}
+	if errs[0] != nil {
+		t.Fatalf("rank 0: got %v, want nil", errs[0])
+	}
+	if w.Aborted() {
+		t.Fatal("CrashStop must not abort the world")
+	}
+	// The dead rank can do nothing in the user world.
+	r1 := w.Rank(1)
+	if _, err := r1.Recv(0, 9); !errors.Is(err, ErrRankCrashed) {
+		t.Fatalf("post-crash Recv: %v", err)
+	}
+	if err := r1.Send(0, 9, nil); !errors.Is(err, ErrRankCrashed) {
+		t.Fatalf("post-crash Send: %v", err)
+	}
+	if _, _, err := r1.Iprobe(0, 9); !errors.Is(err, ErrRankCrashed) {
+		t.Fatalf("post-crash Iprobe: %v", err)
+	}
+}
+
+func TestCrashAbortTearsDownWorld(t *testing.T) {
+	plan := &FaultPlan{Seed: 1, Mode: CrashAbort, Rules: []FaultRule{{Kind: FaultCrash, Rank: 1, Op: 1}}}
+	w := NewWorld(2, Options{Faults: plan})
+	errs := w.Run(func(r *Rank) error {
+		if r.ID() == 1 {
+			return r.Send(0, 0, nil) // op 1: crash -> abort
+		}
+		_, err := r.Recv(1, 0) // blocks, then unwinds on abort
+		return err
+	})
+	if !errors.Is(errs[1], ErrRankCrashed) {
+		t.Fatalf("rank 1: got %v, want ErrRankCrashed", errs[1])
+	}
+	if !errors.Is(errs[0], ErrAborted) {
+		t.Fatalf("rank 0: got %v, want ErrAborted", errs[0])
+	}
+	if !w.Aborted() || w.AbortCode() != FaultAbortCode {
+		t.Fatalf("aborted=%v code=%d, want true/%d", w.Aborted(), w.AbortCode(), FaultAbortCode)
+	}
+}
+
+func TestCrashRankZeroAbortsEvenInStopMode(t *testing.T) {
+	plan := &FaultPlan{Seed: 1, Mode: CrashStop, Rules: []FaultRule{{Kind: FaultCrash, Rank: 0, Op: 1}}}
+	w := NewWorld(2, Options{Faults: plan})
+	errs := w.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			return r.Send(1, 0, nil)
+		}
+		_, err := r.Recv(0, 0)
+		return err
+	})
+	if !errors.Is(errs[0], ErrRankCrashed) {
+		t.Fatalf("rank 0: got %v, want ErrRankCrashed", errs[0])
+	}
+	if !w.Aborted() {
+		t.Fatal("rank 0 crash must abort the world even in CrashStop mode")
+	}
+}
+
+func TestStallDelaysOperation(t *testing.T) {
+	const stall = 40 * time.Millisecond
+	plan := &FaultPlan{Seed: 1, Rules: []FaultRule{{Kind: FaultStall, Rank: 0, Op: 1, Delay: stall}}}
+	w := NewWorld(2, Options{Faults: plan})
+	var elapsed time.Duration
+	errs := w.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			t0 := time.Now()
+			err := r.Send(1, 0, nil)
+			elapsed = time.Since(t0)
+			return err
+		}
+		_, err := r.Recv(0, 0)
+		return err
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	if elapsed < stall/2 {
+		t.Fatalf("stalled op took %v, want >= %v", elapsed, stall/2)
+	}
+}
+
+func TestDelaySlowsMessage(t *testing.T) {
+	const dur = 40 * time.Millisecond
+	plan := &FaultPlan{Seed: 1, Rules: []FaultRule{{Kind: FaultDelay, Rank: 0, Op: 1, Delay: dur}}}
+	w := NewWorld(2, Options{Faults: plan})
+	var elapsed time.Duration
+	errs := w.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			t0 := time.Now()
+			err := r.Send(1, 0, nil)
+			elapsed = time.Since(t0)
+			return err
+		}
+		_, err := r.Recv(0, 0)
+		return err
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	// The drawn delay is uniform in [dur/2, dur].
+	if elapsed < dur/4 {
+		t.Fatalf("delayed send took %v, want >= %v", elapsed, dur/4)
+	}
+}
+
+func TestForcedRendezvousBlocksSender(t *testing.T) {
+	const lag = 50 * time.Millisecond
+	plan := &FaultPlan{Seed: 1, Rules: []FaultRule{{Kind: FaultRendezvous, Rank: 0, Op: 1}}}
+	w := NewWorld(2, Options{Faults: plan})
+	var elapsed time.Duration
+	errs := w.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			t0 := time.Now()
+			err := r.Send(1, 0, []byte("x")) // tiny: eager without the fault
+			elapsed = time.Since(t0)
+			return err
+		}
+		time.Sleep(lag)
+		_, err := r.Recv(0, 0)
+		return err
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	if elapsed < lag/2 {
+		t.Fatalf("forced-rendezvous send returned in %v, want >= %v (sender must wait for the match)", elapsed, lag/2)
+	}
+}
+
+func TestClockJumpShiftsWtime(t *testing.T) {
+	plan := &FaultPlan{Seed: 1, Rules: []FaultRule{{Kind: FaultClockJump, Rank: 0, Op: 1, JumpSec: 5}}}
+	w := NewWorld(2, Options{Faults: plan})
+	var before, after float64
+	errs := w.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			before = r.Wtime()
+			if err := r.Send(1, 0, nil); err != nil {
+				return err
+			}
+			after = r.Wtime()
+			return nil
+		}
+		_, err := r.Recv(0, 0)
+		return err
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	if after-before < 5 {
+		t.Fatalf("clock advanced %g s across the jump, want >= 5", after-before)
+	}
+}
+
+func TestNegativeClockJumpStaysMonotonic(t *testing.T) {
+	plan := &FaultPlan{Seed: 1, Rules: []FaultRule{{Kind: FaultClockJump, Rank: 0, Op: 1, JumpSec: -3600}}}
+	w := NewWorld(2, Options{Faults: plan})
+	errs := w.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			prev := r.Wtime()
+			if err := r.Send(1, 0, nil); err != nil {
+				return err
+			}
+			for i := 0; i < 100; i++ {
+				now := r.Wtime()
+				if now < prev {
+					return invariantErrorf(t, "clock ran backwards: %g -> %g", prev, now)
+				}
+				prev = now
+			}
+			return nil
+		}
+		_, err := r.Recv(0, 0)
+		return err
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+}
+
+// invariantErrorf lets a work function report a failed assertion without
+// calling t.Fatalf off the test goroutine.
+func invariantErrorf(t *testing.T, format string, args ...any) error {
+	t.Helper()
+	err := errors.New("assertion failed")
+	t.Errorf(format, args...)
+	return err
+}
+
+func TestRunRecoversWorkFunctionPanic(t *testing.T) {
+	w := NewWorld(2, Options{})
+	errs := w.Run(func(r *Rank) error {
+		if r.ID() == 1 {
+			panic("boom")
+		}
+		_, err := r.Recv(1, 0) // blocks until the panic aborts the world
+		return err
+	})
+	if errs[1] == nil || !w.Aborted() || w.AbortCode() != PanicAbortCode {
+		t.Fatalf("panicking rank: err=%v aborted=%v code=%d", errs[1], w.Aborted(), w.AbortCode())
+	}
+	if !errors.Is(errs[0], ErrAborted) {
+		t.Fatalf("sibling rank: got %v, want ErrAborted", errs[0])
+	}
+}
+
+func TestRunRepanicsInvariantFailures(t *testing.T) {
+	// The re-panic happens on a rank goroutine, so it takes the process
+	// down — exactly the point. Verify in a subprocess.
+	if os.Getenv("MPI_TEST_INVARIANT_PANIC") == "1" {
+		w := NewWorld(1, Options{})
+		w.Run(func(r *Rank) error {
+			panic(invariantf("internal invariant broken"))
+		})
+		return
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestRunRepanicsInvariantFailures")
+	cmd.Env = append(os.Environ(), "MPI_TEST_INVARIANT_PANIC=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("subprocess exited cleanly; invariant panic was swallowed:\n%s", out)
+	}
+	if !strings.Contains(string(out), "internal invariant broken") {
+		t.Fatalf("subprocess output missing the invariant message:\n%s", out)
+	}
+}
+
+func TestFaultEventsOrderIsSchedulingIndependent(t *testing.T) {
+	plan := &FaultPlan{Seed: 3, Rules: []FaultRule{{Kind: FaultDelay, Rank: AnyRank, Prob: 1, Delay: time.Microsecond}}}
+	w := NewWorld(4, Options{Faults: plan})
+	if errs := pingRing(w, 5); errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	evs := w.FaultEvents()
+	for i := 1; i < len(evs); i++ {
+		a, b := evs[i-1], evs[i]
+		if a.Rank > b.Rank || (a.Rank == b.Rank && a.Op > b.Op) {
+			t.Fatalf("events not sorted by (rank, op): %v before %v", a, b)
+		}
+	}
+}

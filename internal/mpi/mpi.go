@@ -63,6 +63,9 @@ type Options struct {
 	// EagerLimit overrides DefaultEagerLimit when non-zero. A negative
 	// value forces every send to rendezvous.
 	EagerLimit int
+	// Faults installs a deterministic fault-injection plan (nil = none).
+	// See FaultPlan.
+	Faults *FaultPlan
 }
 
 // World is a simulated MPI job of a fixed number of ranks.
@@ -76,6 +79,8 @@ type World struct {
 	abortOnce sync.Once
 	abortCode int
 
+	faults *faultState
+
 	barrier barrierState
 
 	// Per-rank traffic counters (user context only), maintained with
@@ -87,7 +92,7 @@ type World struct {
 // ranks is a programming error, not a runtime condition.
 func NewWorld(n int, opts Options) *World {
 	if n < 1 {
-		panic(fmt.Sprintf("mpi: NewWorld with %d ranks", n))
+		panic(invariantf("mpi: NewWorld with %d ranks", n))
 	}
 	eager := opts.EagerLimit
 	switch {
@@ -120,6 +125,16 @@ func NewWorld(n int, opts Options) *World {
 	w.sentBytes = make([]atomic.Int64, n)
 	w.recvd = make([]atomic.Int64, n)
 	w.recvdBytes = make([]atomic.Int64, n)
+	if opts.Faults != nil {
+		w.faults = newFaultState(*opts.Faults, n)
+		if opts.Faults.hasKind(FaultClockJump) {
+			// Per-rank shims so a jump on one rank never moves a clock
+			// shared with its siblings.
+			for i := range w.clocks {
+				w.clocks[i] = &faultClock{base: w.clocks[i]}
+			}
+		}
+	}
 	return w
 }
 
@@ -159,10 +174,26 @@ func (w *World) Size() int { return w.size }
 // Rank returns the handle for rank id. It panics on an out-of-range id.
 func (w *World) Rank(id int) *Rank {
 	if id < 0 || id >= w.size {
-		panic(fmt.Sprintf("mpi: Rank(%d) out of range [0,%d)", id, w.size))
+		panic(invariantf("mpi: Rank(%d) out of range [0,%d)", id, w.size))
 	}
 	return &Rank{w: w, id: id}
 }
+
+// invariantError is the panic payload for mpi-internal invariant
+// violations. Run re-panics these instead of converting them to per-rank
+// errors: a broken runtime must never be masked as an application fault.
+type invariantError string
+
+// Error implements the error interface.
+func (e invariantError) Error() string { return string(e) }
+
+func invariantf(format string, args ...any) invariantError {
+	return invariantError(fmt.Sprintf(format, args...))
+}
+
+// PanicAbortCode is the abort code used when a rank's work function
+// panics under Run.
+const PanicAbortCode = 1
 
 // Aborted reports whether Abort has been called.
 func (w *World) Aborted() bool {
@@ -184,6 +215,12 @@ func (w *World) AbortCode() int {
 
 // Run executes f concurrently on every rank and returns the per-rank
 // results once all have finished.
+//
+// A panic in f is recovered and converted into that rank's error plus an
+// Abort(PanicAbortCode), mirroring real MPI job teardown: one crashing
+// rank must not take the whole process down with its siblings' state
+// undumped. Panics raised by the mpi runtime itself (invariant failures)
+// are re-panicked.
 func (w *World) Run(f func(r *Rank) error) []error {
 	errs := make([]error, w.size)
 	var wg sync.WaitGroup
@@ -191,6 +228,17 @@ func (w *World) Run(f func(r *Rank) error) []error {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			defer func() {
+				rec := recover()
+				if rec == nil {
+					return
+				}
+				if inv, ok := rec.(invariantError); ok {
+					panic(inv)
+				}
+				errs[id] = fmt.Errorf("mpi: rank %d panicked: %v", id, rec)
+				w.abort(PanicAbortCode)
+			}()
 			errs[id] = f(w.Rank(id))
 		}(i)
 	}
@@ -267,8 +315,18 @@ func (r *Rank) SendCtx(ctx, dst, tag int, data []byte) error {
 	if r.w.Aborted() {
 		return ErrAborted
 	}
+	delay, forceRdv, err := r.w.faultOp(r.id, ctx, true)
+	if err != nil {
+		return err
+	}
+	if delay > 0 {
+		r.w.faultSleep(delay)
+		if r.w.Aborted() {
+			return ErrAborted
+		}
+	}
 	env := &envelope{ctx: ctx, src: r.id, tag: tag, data: cloneBytes(data)}
-	rendezvous := r.w.eagerLimit < 0 || len(data) > r.w.eagerLimit
+	rendezvous := r.w.eagerLimit < 0 || len(data) > r.w.eagerLimit || forceRdv
 	if rendezvous {
 		env.done = make(chan struct{})
 	}
@@ -300,6 +358,9 @@ func (r *Rank) RecvCtx(ctx, src, tag int) (Message, error) {
 	if err := r.checkWildPeer(src); err != nil {
 		return Message{}, err
 	}
+	if _, _, err := r.w.faultOp(r.id, ctx, false); err != nil {
+		return Message{}, err
+	}
 	env, ok := r.w.boxes[r.id].take(ctx, src, tag)
 	if !ok {
 		return Message{}, ErrAborted
@@ -329,6 +390,9 @@ func (r *Rank) Probe(src, tag int) (Status, error) {
 	if err := r.checkWildPeer(src); err != nil {
 		return Status{}, err
 	}
+	if err := r.w.crashedErr(r.id, CtxUser); err != nil {
+		return Status{}, err
+	}
 	st, ok := r.w.boxes[r.id].probe(CtxUser, src, tag, true)
 	if !ok {
 		return Status{}, ErrAborted
@@ -350,12 +414,19 @@ func (r *Rank) IprobeCtx(ctx, src, tag int) (Status, bool, error) {
 	if r.w.Aborted() {
 		return Status{}, false, ErrAborted
 	}
+	if err := r.w.crashedErr(r.id, ctx); err != nil {
+		return Status{}, false, err
+	}
 	st, ok := r.w.boxes[r.id].iprobe(ctx, src, tag)
 	return st, ok, nil
 }
 
-// Barrier blocks until every rank in the world has entered it.
+// Barrier blocks until every rank in the world has entered it. Barriers
+// count as collective operations for fault injection.
 func (r *Rank) Barrier() error {
+	if _, _, err := r.w.faultOp(r.id, CtxColl, false); err != nil {
+		return err
+	}
 	b := &r.w.barrier
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -428,27 +499,66 @@ type envelope struct {
 // mailbox is a per-rank queue of in-flight messages with matched receives.
 // Queue order is arrival order, which yields MPI's non-overtaking guarantee
 // for any fixed (context, source, tag).
+//
+// Blocked take/probe calls register a waiter carrying their match pattern
+// instead of sleeping on a shared condition variable. put checks each new
+// envelope against the registered patterns — O(waiters), which is O(1) in
+// practice since only the owning rank receives — and hands the envelope
+// directly to the first matching take. The previous cond.Broadcast design
+// woke every blocked caller to rescan the whole queue on every arrival:
+// O(n²) thundering herd under an unmatched backlog (see
+// BenchmarkMailboxBacklog).
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []*envelope
-	closed bool
+	mu      sync.Mutex
+	queue   []*envelope
+	waiters []*waiter
+	closed  bool
+}
+
+// waiter is one blocked take or probe call. ready is buffered so put
+// never blocks delivering; close(ready) signals world abort.
+type waiter struct {
+	ctx, src, tag int
+	take          bool // take removes the message; probe only observes it
+	ready         chan *envelope
 }
 
 func newMailbox() *mailbox {
-	b := &mailbox{}
-	b.cond = sync.NewCond(&b.mu)
-	return b
+	return &mailbox{}
 }
 
 func (b *mailbox) put(env *envelope) bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.closed {
+		b.mu.Unlock()
 		return false
 	}
-	b.queue = append(b.queue, env)
-	b.cond.Broadcast()
+	// Wake exactly the waiters whose pattern matches: probes observe the
+	// envelope, the first matching take consumes it (FIFO among waiters,
+	// preserving non-overtaking order — a registered taker found no
+	// earlier match when it scanned the queue).
+	taken := false
+	if len(b.waiters) > 0 {
+		kept := b.waiters[:0]
+		for _, w := range b.waiters {
+			if (taken && w.take) || !match(env, w.ctx, w.src, w.tag) {
+				kept = append(kept, w)
+				continue
+			}
+			w.ready <- env
+			if w.take {
+				taken = true
+			}
+		}
+		for i := len(kept); i < len(b.waiters); i++ {
+			b.waiters[i] = nil
+		}
+		b.waiters = kept
+	}
+	if !taken {
+		b.queue = append(b.queue, env)
+	}
+	b.mu.Unlock()
 	return true
 }
 
@@ -462,38 +572,52 @@ func match(env *envelope, ctx, src, tag int) bool {
 // arrives. ok=false means the world aborted.
 func (b *mailbox) take(ctx, src, tag int) (*envelope, bool) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	for {
-		if b.closed {
-			return nil, false
-		}
-		for i, env := range b.queue {
-			if match(env, ctx, src, tag) {
-				b.queue = append(b.queue[:i], b.queue[i+1:]...)
-				return env, true
-			}
-		}
-		b.cond.Wait()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, false
 	}
+	for i, env := range b.queue {
+		if match(env, ctx, src, tag) {
+			b.queue = append(b.queue[:i], b.queue[i+1:]...)
+			b.mu.Unlock()
+			return env, true
+		}
+	}
+	w := &waiter{ctx: ctx, src: src, tag: tag, take: true, ready: make(chan *envelope, 1)}
+	b.waiters = append(b.waiters, w)
+	b.mu.Unlock()
+	env, ok := <-w.ready
+	if !ok {
+		return nil, false
+	}
+	return env, true
 }
 
 func (b *mailbox) probe(ctx, src, tag int, block bool) (Status, bool) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	for {
-		if b.closed {
-			return Status{}, false
-		}
-		for _, env := range b.queue {
-			if match(env, ctx, src, tag) {
-				return Status{Source: env.src, Tag: env.tag, Len: len(env.data)}, true
-			}
-		}
-		if !block {
-			return Status{}, false
-		}
-		b.cond.Wait()
+	if b.closed {
+		b.mu.Unlock()
+		return Status{}, false
 	}
+	for _, env := range b.queue {
+		if match(env, ctx, src, tag) {
+			st := Status{Source: env.src, Tag: env.tag, Len: len(env.data)}
+			b.mu.Unlock()
+			return st, true
+		}
+	}
+	if !block {
+		b.mu.Unlock()
+		return Status{}, false
+	}
+	w := &waiter{ctx: ctx, src: src, tag: tag, ready: make(chan *envelope, 1)}
+	b.waiters = append(b.waiters, w)
+	b.mu.Unlock()
+	env, ok := <-w.ready
+	if !ok {
+		return Status{}, false
+	}
+	return Status{Source: env.src, Tag: env.tag, Len: len(env.data)}, true
 }
 
 func (b *mailbox) iprobe(ctx, src, tag int) (Status, bool) {
@@ -513,6 +637,9 @@ func (b *mailbox) iprobe(ctx, src, tag int) (Status, bool) {
 func (b *mailbox) close() {
 	b.mu.Lock()
 	b.closed = true
-	b.cond.Broadcast()
+	for _, w := range b.waiters {
+		close(w.ready)
+	}
+	b.waiters = nil
 	b.mu.Unlock()
 }
