@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench fuzz clean
+.PHONY: all build vet test race ci bench bench-compare fuzz clean
 
 all: ci
 
@@ -22,12 +22,20 @@ race:
 
 ci: build vet race
 
-# Conversion and merge benchmarks with allocation counts: the parallel
-# CLOG-2 -> SLOG-2 pipeline at several worker counts, plus the MPE
-# wrap-up merge.
+# The logging-overhead harness (ns/op, B/op, allocs/op per Pilot call,
+# with and without logging — BENCH_overhead.json), then the conversion
+# and merge benchmarks: the parallel CLOG-2 -> SLOG-2 pipeline at
+# several worker counts, plus the MPE wrap-up merge.
 bench:
+	$(GO) run ./cmd/pilot-bench -overhead -overhead-out BENCH_overhead.json
 	$(GO) test -run '^$$' -bench 'BenchmarkConvertParallel|BenchmarkMPE_FinishMerge|BenchmarkF1_ConvertCLOGToSLOG' -benchmem .
 	$(GO) test -run '^$$' -bench 'BenchmarkMailbox' -benchmem ./internal/mpi/
+
+# Re-measure the logging hot path and diff against the committed
+# BENCH_overhead.json baseline; fails when a micro row's ns/op regressed
+# by more than 20%.
+bench-compare:
+	$(GO) run ./cmd/pilot-bench -overhead -overhead-out out/BENCH_overhead.json -compare BENCH_overhead.json
 
 # Short fuzz pass over the CLOG-2 reader (seed corpus runs in plain
 # `make test` as well).

@@ -75,7 +75,7 @@ func formatRecord(r clog2.Record) string {
 	case clog2.RecBareEvt:
 		return fmt.Sprintf("%s etype=%d", base, r.ID)
 	case clog2.RecCargoEvt:
-		return fmt.Sprintf("%s etype=%d cargo=%q", base, r.ID, r.Text)
+		return fmt.Sprintf("%s etype=%d cargo=%q", base, r.ID, r.CargoText())
 	case clog2.RecMsgEvt:
 		dir := "send"
 		if r.Dir == clog2.DirRecv {

@@ -16,9 +16,17 @@
 // machine; pilot-bench prints shape checks against the paper's
 // qualitative claims.
 //
+// pilot-bench -overhead runs the logging-overhead harness instead: micro
+// benchmarks of single MPE calls plus ping-pong workload cells at
+// increasing rank/message counts, with logging on and off, written as
+// BENCH_overhead.json (-overhead-out). With -compare baseline.json it
+// also diffs against a committed baseline and exits 1 when a micro row's
+// ns/op regressed by more than 20%.
+//
 // Usage:
 //
 //	pilot-bench [-exp all|t1|f1|f2|f3|f4|f5|a1|a2|a3] [-out out] [-runs 5] [-images 120] [-rows 60000] [-workers 0]
+//	pilot-bench -overhead [-overhead-out BENCH_overhead.json] [-compare BENCH_overhead.json]
 package main
 
 import (
@@ -40,6 +48,10 @@ func main() {
 		rows    = flag.Int("rows", 60000, "collision dataset rows")
 		workers = flag.Int("workers", 0, "CLOG-2 -> SLOG-2 conversion worker-pool size (0 = one per CPU)")
 		faults  = flag.String("faults", "", "fault-injection plan, e.g. 'seed=7;delay:rank=*,prob=0.1,dur=2ms;crash:rank=2,op=40'")
+
+		overhead    = flag.Bool("overhead", false, "run the logging-overhead harness and write a BENCH_overhead.json report")
+		overheadOut = flag.String("overhead-out", "BENCH_overhead.json", "output path for the -overhead report")
+		compare     = flag.String("compare", "", "baseline BENCH_overhead.json to diff against (exit 1 on >20% micro ns/op regression)")
 	)
 	flag.Parse()
 	opt := experiments.Options{
@@ -57,6 +69,11 @@ func main() {
 			os.Exit(2)
 		}
 		opt.Faults = plan
+	}
+
+	if *overhead {
+		runOverhead(opt, *overheadOut, *compare)
+		return
 	}
 
 	want := map[string]bool{}
@@ -173,6 +190,41 @@ func main() {
 			fmt.Sprintf("%d states recovered", r.SalvagedStates))
 	}
 	fmt.Printf("outputs in %s\n", *outDir)
+}
+
+// runOverhead runs the logging-overhead harness, writes the JSON report,
+// and optionally diffs it against a committed baseline.
+func runOverhead(opt experiments.Options, outPath, comparePath string) {
+	fmt.Println("== overhead: logging hot-path micro/workload harness ==")
+	rep, err := experiments.RunOverhead(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := rep.WriteJSON(outPath); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("report written to %s\n", outPath)
+	if comparePath == "" {
+		return
+	}
+	baseline, err := experiments.ReadOverheadReport(comparePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pilot-bench: reading baseline: %v\n", err)
+		os.Exit(1)
+	}
+	const tolPct = 20
+	fmt.Printf("-- vs baseline %s (micro rows gated at +%d%% ns/op) --\n", comparePath, tolPct)
+	deltas, regressed := experiments.CompareOverhead(baseline, rep, tolPct)
+	for _, d := range deltas {
+		fmt.Println(d)
+	}
+	if regressed {
+		fmt.Fprintln(os.Stderr, "pilot-bench: logging hot path regressed beyond tolerance")
+		os.Exit(1)
+	}
+	fmt.Println("no regression beyond tolerance")
 }
 
 func verdict(name string, ok bool, detail string) {

@@ -7,10 +7,14 @@ package repro_test
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
+	"regexp"
 	"testing"
 	"time"
 
+	"repro/internal/clock"
+	"repro/internal/clog2"
 	"repro/internal/collisions"
 	"repro/internal/core"
 	"repro/internal/lab2"
@@ -94,6 +98,104 @@ func TestConvertByteIdenticalThumbnail(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkByteIdentical(t, clog)
+}
+
+// With virtual clocks pinned, the whole logging path — cargo builders,
+// chunked record arenas, the block-chunk encoder, clock sync, and the
+// rank-0 merge — must produce byte-identical CLOG-2 and SLOG-2 output
+// run after run. This is the in-tree form of the acceptance gate that
+// the builder rewrite left the log bytes unchanged.
+func TestLogBytesDeterministicAcrossRuns(t *testing.T) {
+	runOnce := func(clog string) []byte {
+		t.Helper()
+		cfg := lab2.Config{W: 4, NUM: 5000, Seed: 7}
+		cfg.Core.Services = "j"
+		cfg.Core.JumpshotPath = clog
+		// One Manual clock per rank: every timestamp is reproducible, so
+		// any byte difference between runs is a logging-path bug, not
+		// scheduling noise.
+		cfg.Core.Clocks = make([]clock.Source, 6)
+		for i := range cfg.Core.Clocks {
+			cfg.Core.Clocks[i] = clock.NewManual(float64(i))
+		}
+		if _, err := lab2.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(clog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	dir := t.TempDir()
+	a := runOnce(filepath.Join(dir, "a.clog2"))
+	b := runOnce(filepath.Join(dir, "b.clog2"))
+	if !bytes.Equal(a, b) {
+		t.Errorf("CLOG-2 bytes differ between identical runs (%d vs %d bytes)", len(a), len(b))
+	}
+	sa, _ := convertBytes(t, filepath.Join(dir, "a.clog2"), 1)
+	sb, _ := convertBytes(t, filepath.Join(dir, "b.clog2"), 1)
+	if !bytes.Equal(sa, sb) {
+		t.Errorf("SLOG-2 bytes differ between identical runs")
+	}
+}
+
+// Every cargo the builders emit on a real run must still follow the
+// legacy Sprintf shapes the popups and tests rely on — the end-to-end
+// check that no call-site migration changed the cargo text format.
+func TestCargoShapesOnRealRun(t *testing.T) {
+	clog := filepath.Join(t.TempDir(), "lab2.clog2")
+	cfg := lab2.Config{W: 3, NUM: 2000, Seed: 5}
+	cfg.Core.Services = "j"
+	cfg.Core.JumpshotPath = clog
+	if _, err := lab2.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(clog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	log, complete, err := clog2.ReadLenient(f)
+	if err != nil || !complete {
+		t.Fatalf("read clog: complete=%v err=%v", complete, err)
+	}
+	shapes := []*regexp.Regexp{
+		regexp.MustCompile(`^$`),
+		regexp.MustCompile(`^phase: configuration$`),
+		regexp.MustCompile(`^proc: \S+( idx: -?\d+)?$`),
+		regexp.MustCompile(`^status: -?\d+$`),
+		regexp.MustCompile(`^line: \S+\.go:\d+( proc: \S+)?( idx: -?\d+| bund: \S+)?`),
+		regexp.MustCompile(`^chan: \S+ (msg|part): \d+/\d+$`),
+		regexp.MustCompile(`^chan: \S+ (val|len|has|first)`),
+		regexp.MustCompile(`^t: -?\d+\.\d{6} line: \S+`),
+		regexp.MustCompile(`^ready: -?\d+$`),
+		regexp.MustCompile(`^bund: \S+ ready: -?\d+ line: `),
+		regexp.MustCompile(`^mpe: synthetic end`),
+	}
+	checked := 0
+	for _, blk := range log.Blocks {
+		for _, rec := range blk.Records {
+			if rec.Type != clog2.RecCargoEvt {
+				continue
+			}
+			cargo := rec.CargoText()
+			ok := false
+			for _, re := range shapes {
+				if re.MatchString(cargo) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("cargo %q matches no known call-site shape", cargo)
+			}
+			checked++
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d cargo records checked; lab2 run looks wrong", checked)
+	}
 }
 
 func TestConvertByteIdenticalCollisions(t *testing.T) {

@@ -13,6 +13,8 @@
 // two-step pipeline.
 package clog2
 
+import "unicode/utf8"
+
 // RecType identifies a record's body layout.
 type RecType uint8
 
@@ -69,14 +71,75 @@ type Record struct {
 	Aux3 int32
 	Dir  uint8
 
-	// Color and Name are used by definitions; Text carries event cargo
-	// (truncated to MaxCargo on write) and the filename for SrcLoc.
+	// Color and Name are used by definitions; Text carries the filename
+	// for SrcLoc records. Event cargo lives in the fixed Cargo buffer (see
+	// SetCargo) so the per-event hot path carries no heap strings.
 	Color string
 	Name  string
 	Text  string
 
+	// Cargo holds the first CargoLen bytes of a cargo event's text,
+	// in-record, matching MPE's fixed 40-byte field. Use SetCargo /
+	// SetCargoBytes to fill it and CargoBytes / CargoText to read it.
+	Cargo    [MaxCargo]byte
+	CargoLen uint8
+
 	// Shift is the timeshift value for RecTimeShift records.
 	Shift float64
+}
+
+// SetCargo stores cargo text in the record's fixed buffer, truncating
+// rune-safely at MaxCargo bytes.
+func (r *Record) SetCargo(s string) {
+	r.CargoLen = uint8(copy(r.Cargo[:], Trunc(s, MaxCargo)))
+}
+
+// SetCargoBytes is SetCargo for an already-assembled byte slice.
+func (r *Record) SetCargoBytes(b []byte) {
+	r.CargoLen = uint8(copy(r.Cargo[:], TruncBytes(b, MaxCargo)))
+}
+
+// CargoBytes returns the cargo text as a view into the record; the slice
+// is only valid while the record is.
+func (r *Record) CargoBytes() []byte { return r.Cargo[:r.CargoLen] }
+
+// CargoText returns the cargo text as a string (allocating; meant for the
+// converter and tools, not the logging hot path).
+func (r *Record) CargoText() string { return string(r.Cargo[:r.CargoLen]) }
+
+// Trunc returns s truncated to at most n bytes without splitting a
+// multi-byte UTF-8 rune at the boundary: a rune that straddles byte n is
+// dropped whole. Invalid UTF-8 falls back to a plain byte cut.
+func Trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if !utf8.RuneStart(s[n]) {
+		// Byte n continues a rune that started before the boundary:
+		// back up to the rune's start and drop it whole. Garbage that
+		// never reaches a start byte gets a plain byte cut.
+		for cut := n - 1; cut >= 0 && cut > n-utf8.UTFMax; cut-- {
+			if utf8.RuneStart(s[cut]) {
+				return s[:cut]
+			}
+		}
+	}
+	return s[:n]
+}
+
+// TruncBytes is Trunc for byte slices.
+func TruncBytes(b []byte, n int) []byte {
+	if len(b) <= n {
+		return b
+	}
+	if !utf8.RuneStart(b[n]) {
+		for cut := n - 1; cut >= 0 && cut > n-utf8.UTFMax; cut-- {
+			if utf8.RuneStart(b[cut]) {
+				return b[:cut]
+			}
+		}
+	}
+	return b[:n]
 }
 
 // File is a parsed CLOG-2 file.

@@ -10,17 +10,19 @@ import (
 )
 
 func sampleRecords() []Record {
-	return []Record{
+	recs := []Record{
 		{Type: RecStateDef, Time: 0, Rank: 0, ID: 1, Aux1: 2, Aux2: 3, Color: "red", Name: "PI_Read"},
 		{Type: RecEventDef, Time: 0, Rank: 0, ID: 100, Color: "yellow", Name: "MsgArrival"},
 		{Type: RecConstDef, Time: 0, Rank: 0, ID: 7, Aux1: 42, Name: "answer"},
 		{Type: RecBareEvt, Time: 1.5, Rank: 0, ID: 2},
-		{Type: RecCargoEvt, Time: 2.25, Rank: 0, ID: 3, Text: "line: 17 proc: P3"},
+		{Type: RecCargoEvt, Time: 2.25, Rank: 0, ID: 3},
 		{Type: RecMsgEvt, Time: 2.5, Rank: 0, Dir: DirSend, Aux1: 1, Aux2: 9, Aux3: 800},
 		{Type: RecMsgEvt, Time: 2.75, Rank: 0, Dir: DirRecv, Aux1: 1, Aux2: 9, Aux3: 800},
 		{Type: RecTimeShift, Time: 3, Rank: 0, Shift: -0.001},
 		{Type: RecSrcLoc, Time: 3.5, Rank: 0, Aux1: 99, Text: "lab2.go"},
 	}
+	recs[4].SetCargo("line: 17 proc: P3")
+	return recs
 }
 
 func TestRoundtripSingleBlock(t *testing.T) {
@@ -114,16 +116,86 @@ func TestEmptyBlocksAndEmptyFile(t *testing.T) {
 func TestCargoTruncatedToMPELimit(t *testing.T) {
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf, 1)
-	long := strings.Repeat("x", 100)
-	w.WriteBlock(0, []Record{{Type: RecCargoEvt, ID: 1, Text: long}})
+	var rec Record
+	rec.Type, rec.ID = RecCargoEvt, 1
+	rec.SetCargo(strings.Repeat("x", 100))
+	w.WriteBlock(0, []Record{rec})
 	w.Close()
 	f, err := Read(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := f.Blocks[0].Records[0].Text
+	got := f.Blocks[0].Records[0].CargoText()
 	if len(got) != MaxCargo {
 		t.Fatalf("cargo length %d, want %d", len(got), MaxCargo)
+	}
+}
+
+// Truncation at the cargo limit must not split a multi-byte UTF-8 rune:
+// a rune straddling byte 40 is dropped whole.
+func TestCargoTruncationRuneSafe(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{strings.Repeat("x", 39) + "é", strings.Repeat("x", 39)},        // 2-byte rune at 39..40
+		{strings.Repeat("x", 38) + "世界", strings.Repeat("x", 38)},       // 3-byte rune at 38..40
+		{strings.Repeat("x", 37) + "🙂ab", strings.Repeat("x", 37) + ""}, // 4-byte rune at 37..40
+		{strings.Repeat("x", 36) + "🙂ab", strings.Repeat("x", 36) + "🙂"},
+		{strings.Repeat("x", 40) + "é", strings.Repeat("x", 40)}, // boundary on a rune edge
+		{strings.Repeat("é", 20), strings.Repeat("é", 20)},       // exactly 40 bytes
+	}
+	for _, c := range cases {
+		if got := Trunc(c.in, MaxCargo); got != c.want {
+			t.Errorf("Trunc(%q) = %q, want %q", c.in, got, c.want)
+		}
+		if got := string(TruncBytes([]byte(c.in), MaxCargo)); got != c.want {
+			t.Errorf("TruncBytes(%q) = %q, want %q", c.in, got, c.want)
+		}
+		var rec Record
+		rec.SetCargo(c.in)
+		if rec.CargoText() != c.want {
+			t.Errorf("SetCargo(%q) kept %q, want %q", c.in, rec.CargoText(), c.want)
+		}
+	}
+	// Garbage with no rune start near the boundary falls back to a byte cut.
+	junk := strings.Repeat("x", 36) + "\x80\x80\x80\x80\x80\x80"
+	if got := Trunc(junk, MaxCargo); len(got) != MaxCargo {
+		t.Errorf("Trunc(junk) kept %d bytes, want %d", len(got), MaxCargo)
+	}
+}
+
+// WriteBlockChunks must produce bytes identical to WriteBlock over the
+// concatenated records, however the records are split into chunks.
+func TestWriteBlockChunksMatchesWriteBlock(t *testing.T) {
+	recs := sampleRecords()
+	flat := func() []byte {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf, 2)
+		w.WriteBlock(1, recs)
+		w.Close()
+		return buf.Bytes()
+	}()
+	for split := 0; split <= len(recs); split++ {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf, 2)
+		if err := w.WriteBlockChunks(1, recs[:split], recs[split:]); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		if !bytes.Equal(buf.Bytes(), flat) {
+			t.Fatalf("split at %d: chunked bytes differ from flat WriteBlock", split)
+		}
+	}
+	// Empty and nil chunks contribute nothing.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 2)
+	if err := w.WriteBlockChunks(1, nil, recs, nil, []Record{}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if !bytes.Equal(buf.Bytes(), flat) {
+		t.Fatal("nil/empty chunks changed the output")
 	}
 }
 
@@ -229,7 +301,7 @@ func TestRoundtripProperty(t *testing.T) {
 			r.ID = int32(rng.Intn(1000))
 		case RecCargoEvt:
 			r.ID = int32(rng.Intn(1000))
-			r.Text = str(MaxCargo)
+			r.SetCargo(str(MaxCargo))
 		case RecMsgEvt:
 			r.Dir = []uint8{DirSend, DirRecv}[rng.Intn(2)]
 			r.Aux1, r.Aux2, r.Aux3 = int32(rng.Intn(16)), int32(rng.Intn(100)), rng.Int31()

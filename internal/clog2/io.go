@@ -40,6 +40,15 @@ func NewWriter(w io.Writer, numRanks int) (*Writer, error) {
 
 // WriteBlock appends one rank's block of records.
 func (w *Writer) WriteBlock(rank int32, recs []Record) error {
+	return w.WriteBlockChunks(rank, recs)
+}
+
+// WriteBlockChunks appends one rank block whose records arrive in
+// consecutive chunks (as handed out by the mpe record arenas), producing
+// exactly the bytes WriteBlock would for the concatenated records: one
+// header carrying the total count, every record in chunk order, then the
+// end-block marker.
+func (w *Writer) WriteBlockChunks(rank int32, chunks ...[]Record) error {
 	if w.err != nil {
 		return w.err
 	}
@@ -49,12 +58,18 @@ func (w *Writer) WriteBlock(rank int32, recs []Record) error {
 	if rank < 0 {
 		return fmt.Errorf("clog2: block with negative rank %d", rank)
 	}
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
 	// Ranks are shifted by +1 on the wire so a block header's first byte
 	// can never equal the RecEndLog marker (see decoder.peekType).
 	w.put32(rank + 1)
-	w.put32(int32(len(recs)))
-	for i := range recs {
-		w.writeRecord(&recs[i])
+	w.put32(int32(total))
+	for _, c := range chunks {
+		for i := range c {
+			w.writeRecord(&c[i])
+		}
 	}
 	w.putType(RecEndBlock)
 	return w.err
@@ -109,7 +124,7 @@ func (w *Writer) writeRecord(r *Record) {
 		w.put32(r.ID)
 	case RecCargoEvt:
 		w.put32(r.ID)
-		w.putStr(truncCargo(r.Text))
+		w.putBytes(r.CargoBytes())
 	case RecMsgEvt:
 		w.putByte(r.Dir)
 		w.put32(r.Aux1)
@@ -123,13 +138,6 @@ func (w *Writer) writeRecord(r *Record) {
 	default:
 		w.fail(fmt.Errorf("clog2: cannot write record type %v", r.Type))
 	}
-}
-
-func truncCargo(s string) string {
-	if len(s) > MaxCargo {
-		return s[:MaxCargo]
-	}
-	return s
 }
 
 func (w *Writer) fail(err error) {
@@ -162,6 +170,23 @@ func (w *Writer) putF64(v float64) {
 	}
 	binary.LittleEndian.PutUint64(w.num[:8], math.Float64bits(v))
 	_, err := w.w.Write(w.num[:8])
+	w.fail(err)
+}
+
+func (w *Writer) putBytes(b []byte) {
+	if w.err != nil {
+		return
+	}
+	if len(b) > math.MaxUint16 {
+		w.fail(fmt.Errorf("clog2: string of %d bytes exceeds format limit", len(b)))
+		return
+	}
+	binary.LittleEndian.PutUint16(w.num[:2], uint16(len(b)))
+	if _, err := w.w.Write(w.num[:2]); err != nil {
+		w.fail(err)
+		return
+	}
+	_, err := w.w.Write(b)
 	w.fail(err)
 }
 
@@ -337,6 +362,11 @@ type decoder struct {
 	// and allocates only the final string, so record decoding costs one
 	// allocation per non-empty string instead of two.
 	scratch []byte
+	// cargo is the cargo-read staging buffer: reading straight into
+	// r.Cargo[:n] would slice the caller's record through the io.Reader
+	// interface and force the whole Record to escape, one heap
+	// allocation per cargo record on the merge path.
+	cargo [MaxCargo]byte
 }
 
 // peekType distinguishes an end-log byte from a block header. A block
@@ -380,7 +410,7 @@ func (d *decoder) readRecord() (Record, error) {
 		r.ID = d.get32()
 	case RecCargoEvt:
 		r.ID = d.get32()
-		r.Text = d.getStr()
+		d.getCargo(&r)
 	case RecMsgEvt:
 		r.Dir = d.getByte()
 		r.Aux1 = d.get32()
@@ -431,6 +461,36 @@ func (d *decoder) getF64() float64 {
 		return 0
 	}
 	return math.Float64frombits(binary.LittleEndian.Uint64(d.num[:8]))
+}
+
+// getCargo reads a length-prefixed cargo string straight into the
+// record's fixed buffer — no per-record string allocation. Our writer
+// never emits more than MaxCargo bytes, but a hostile file may declare
+// more; the excess is consumed and dropped.
+func (d *decoder) getCargo(r *Record) {
+	if d.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(d.r, d.num[:2]); err != nil {
+		d.err = fmt.Errorf("clog2: truncated file: %w", err)
+		return
+	}
+	n := int(binary.LittleEndian.Uint16(d.num[:2]))
+	keep := n
+	if keep > MaxCargo {
+		keep = MaxCargo
+	}
+	if _, err := io.ReadFull(d.r, d.cargo[:keep]); err != nil {
+		d.err = fmt.Errorf("clog2: truncated file: %w", err)
+		return
+	}
+	copy(r.Cargo[:], d.cargo[:keep])
+	r.CargoLen = uint8(keep)
+	if n > keep {
+		if _, err := d.r.Discard(n - keep); err != nil {
+			d.err = fmt.Errorf("clog2: truncated file: %w", err)
+		}
+	}
 }
 
 func (d *decoder) getStr() string {

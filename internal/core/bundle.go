@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/fmtspec"
+	"repro/internal/mpe"
 )
 
 // BundleUsage declares what collective operation a bundle serves, fixed at
@@ -178,11 +179,14 @@ func (b *Bundle) startCollective(op, loc string) func() {
 	r := b.r
 	log := r.logger(b.endpoint.rank)
 	if log.Enabled() {
-		log.StateStart(r.states[op], truncTo(fmt.Sprintf(
-			"line: %s proc: %s bund: %s", loc, b.endpoint.Name(), b.Name()), 40))
+		var cb mpe.Cargo
+		log.StateStartBytes(r.states[op], cb.KV("line", loc).
+			KV("proc", b.endpoint.Name()).KV("bund", b.Name()).Bytes())
 	}
-	r.nativeLog(b.endpoint.rank, fmt.Sprintf("%s %s bundle %s %s",
-		b.endpoint.Name(), op, b.Name(), loc))
+	if r.nativeOn() {
+		r.nativeLog(b.endpoint.rank, fmt.Sprintf("%s %s bundle %s %s",
+			b.endpoint.Name(), op, b.Name(), loc))
+	}
 	return func() {
 		if log.Enabled() {
 			log.StateEnd(r.states[op], "")
@@ -321,8 +325,9 @@ func (b *Bundle) Gather(format string, args ...any) error {
 		}
 		if log.Enabled() {
 			log.LogRecv(c.from.rank, c.id, len(m.Data))
-			log.Event(r.events["MsgArrival"], truncTo(
-				fmt.Sprintf("chan: %s part: %d/%d", c.Name(), ci+1, len(b.chans)), 40))
+			var cb mpe.Cargo
+			log.EventBytes(r.events["MsgArrival"], cb.KV("chan", c.Name()).
+				Str(" part: ").Int(ci+1).Str("/").Int(len(b.chans)).Bytes())
 		}
 		if r.cfg.CheckLevel >= 2 {
 			if err := checkWireFormat(wireFmt, fmtspec.Spec{Kind: spec.Kind, Mode: fmtspec.Star}); err != nil {
@@ -370,15 +375,19 @@ func (b *Bundle) Select() (int, error) {
 	}
 	log := r.logger(b.endpoint.rank)
 	if log.Enabled() {
-		log.StateStart(r.states[op], truncTo(fmt.Sprintf(
-			"line: %s proc: %s bund: %s", loc, b.endpoint.Name(), b.Name()), 40))
+		var cb mpe.Cargo
+		log.StateStartBytes(r.states[op], cb.KV("line", loc).
+			KV("proc", b.endpoint.Name()).KV("bund", b.Name()).Bytes())
 	}
-	r.nativeLog(b.endpoint.rank, fmt.Sprintf("%s PI_Select bundle %s %s",
-		b.endpoint.Name(), b.Name(), loc))
+	if r.nativeOn() {
+		r.nativeLog(b.endpoint.rank, fmt.Sprintf("%s PI_Select bundle %s %s",
+			b.endpoint.Name(), b.Name(), loc))
+	}
 
 	idx, err := b.pollReady(op, loc, true)
 	if log.Enabled() {
-		log.StateEnd(r.states[op], truncTo(fmt.Sprintf("ready: %d", idx), 40))
+		var cb mpe.Cargo
+		log.StateEndBytes(r.states[op], cb.Str("ready: ").Int(idx).Bytes())
 	}
 	return idx, err
 }
@@ -398,10 +407,15 @@ func (b *Bundle) TrySelect() (int, error) {
 	if err != nil {
 		return -1, errorf(op, loc, "%v", err)
 	}
-	r.logger(b.endpoint.rank).Event(r.events["PI_TrySelect"], truncTo(
-		fmt.Sprintf("bund: %s ready: %d line: %s", b.Name(), idx, loc), 40))
-	r.nativeLog(b.endpoint.rank, fmt.Sprintf("%s PI_TrySelect bundle %s -> %d %s",
-		b.endpoint.Name(), b.Name(), idx, loc))
+	if log := r.logger(b.endpoint.rank); log.Enabled() {
+		var cb mpe.Cargo
+		log.EventBytes(r.events["PI_TrySelect"], cb.KV("bund", b.Name()).
+			Str(" ready: ").Int(idx).KV("line", loc).Bytes())
+	}
+	if r.nativeOn() {
+		r.nativeLog(b.endpoint.rank, fmt.Sprintf("%s PI_TrySelect bundle %s -> %d %s",
+			b.endpoint.Name(), b.Name(), idx, loc))
+	}
 	return idx, nil
 }
 

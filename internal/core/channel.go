@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/fmtspec"
+	"repro/internal/mpe"
 	"repro/internal/mpi"
 )
 
@@ -134,12 +135,15 @@ func (c *Channel) write(op, loc, format string, args []any) error {
 	}
 	log := r.logger(c.from.rank)
 	if log.Enabled() {
-		log.StateStart(r.states[op], truncTo(fmt.Sprintf(
-			"line: %s proc: %s idx: %d", loc, c.from.Name(), c.from.index), 40))
+		var cb mpe.Cargo
+		log.StateStartBytes(r.states[op], cb.KV("line", loc).
+			KV("proc", c.from.Name()).Str(" idx: ").Int(c.from.index).Bytes())
 		defer log.StateEnd(r.states[op], "")
 	}
-	r.nativeLog(c.from.rank, fmt.Sprintf("%s %s chan %s fmt %q %s",
-		c.from.Name(), op, c.Name(), format, loc))
+	if r.nativeOn() {
+		r.nativeLog(c.from.rank, fmt.Sprintf("%s %s chan %s fmt %q %s",
+			c.from.Name(), op, c.Name(), format, loc))
+	}
 
 	i := 0
 	for _, spec := range specs {
@@ -168,8 +172,10 @@ func (c *Channel) sendOne(op, loc string, spec fmtspec.Spec, payload []byte, log
 	log := r.logger(c.from.rank)
 	if logOn {
 		log.LogSend(c.to.rank, c.id, len(msg))
-		log.Event(r.events["MsgDeparture"], truncTo(
-			fmt.Sprintf("chan: %s %s", c.Name(), fmtspec.Describe(spec, payload)), 40))
+		var db [fmtspec.DescribeMax]byte
+		var cb mpe.Cargo
+		log.EventBytes(r.events["MsgDeparture"], cb.KV("chan", c.Name()).
+			Str(" ").Raw(fmtspec.AppendDescribe(db[:0], spec, payload)).Bytes())
 	}
 	r.svcWait(c.from.rank, op, []int{c.to.rank}, false, loc)
 	err := r.world.Rank(c.from.rank).Send(c.to.rank, c.id, msg)
@@ -204,12 +210,15 @@ func (c *Channel) read(op, loc, format string, args []any) error {
 	}
 	log := r.logger(c.to.rank)
 	if log.Enabled() {
-		log.StateStart(r.states[op], truncTo(fmt.Sprintf(
-			"line: %s proc: %s idx: %d", loc, c.to.Name(), c.to.index), 40))
+		var cb mpe.Cargo
+		log.StateStartBytes(r.states[op], cb.KV("line", loc).
+			KV("proc", c.to.Name()).Str(" idx: ").Int(c.to.index).Bytes())
 		defer log.StateEnd(r.states[op], "")
 	}
-	r.nativeLog(c.to.rank, fmt.Sprintf("%s %s chan %s fmt %q %s",
-		c.to.Name(), op, c.Name(), format, loc))
+	if r.nativeOn() {
+		r.nativeLog(c.to.rank, fmt.Sprintf("%s %s chan %s fmt %q %s",
+			c.to.Name(), op, c.Name(), format, loc))
+	}
 
 	i := 0
 	for si, spec := range specs {
@@ -223,8 +232,9 @@ func (c *Channel) read(op, loc, format string, args []any) error {
 		}
 		if log.Enabled() {
 			log.LogRecv(c.from.rank, c.id, len(m.Data))
-			log.Event(r.events["MsgArrival"], truncTo(
-				fmt.Sprintf("chan: %s msg: %d/%d", c.Name(), si+1, len(specs)), 40))
+			var cb mpe.Cargo
+			log.EventBytes(r.events["MsgArrival"], cb.KV("chan", c.Name()).
+				Str(" msg: ").Int(si+1).Str("/").Int(len(specs)).Bytes())
 		}
 		if r.cfg.CheckLevel >= 2 {
 			if err := checkWireFormat(wireFmt, spec); err != nil {
@@ -290,10 +300,15 @@ func (c *Channel) HasData() (bool, error) {
 	if err != nil {
 		return false, errorf("PI_ChannelHasData", loc, "%v", err)
 	}
-	r.logger(c.to.rank).Event(r.events["PI_ChannelHasData"], truncTo(
-		fmt.Sprintf("chan: %s has: %v line: %s", c.Name(), ok, loc), 40))
-	r.nativeLog(c.to.rank, fmt.Sprintf("%s PI_ChannelHasData chan %s -> %v %s",
-		c.to.Name(), c.Name(), ok, loc))
+	if log := r.logger(c.to.rank); log.Enabled() {
+		var cb mpe.Cargo
+		log.EventBytes(r.events["PI_ChannelHasData"], cb.KV("chan", c.Name()).
+			Str(" has: ").Bool(ok).KV("line", loc).Bytes())
+	}
+	if r.nativeOn() {
+		r.nativeLog(c.to.rank, fmt.Sprintf("%s PI_ChannelHasData chan %s -> %v %s",
+			c.to.Name(), c.Name(), ok, loc))
+	}
 	return ok, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/fmtspec"
+	"repro/internal/mpe"
 )
 
 // ReduceOp selects the combining operation for PI_Reduce, mirroring
@@ -80,8 +81,9 @@ func (b *Bundle) Reduce(op ReduceOp, format string, args ...any) error {
 			}
 			if log.Enabled() {
 				log.LogRecv(c.from.rank, c.id, len(m.Data))
-				log.Event(r.events["MsgArrival"], truncTo(
-					fmt.Sprintf("chan: %s part: %d/%d", c.Name(), ci+1, len(b.chans)), 40))
+				var cb mpe.Cargo
+				log.EventBytes(r.events["MsgArrival"], cb.KV("chan", c.Name()).
+					Str(" part: ").Int(ci+1).Str("/").Int(len(b.chans)).Bytes())
 			}
 			if r.cfg.CheckLevel >= 2 {
 				if err := checkWireFormat(wireFmt, spec); err != nil {

@@ -5,6 +5,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -133,11 +134,14 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		userCB := p.OnFault
 		p.OnFault = func(ev mpi.FaultEvent) {
 			// Runs on the faulting rank's own goroutine, so the per-rank
-			// MPE logger is safe to use directly.
+			// MPE logger is safe to use directly. Event truncates the
+			// cargo to clog2.MaxCargo on the write side.
 			if r.jlog {
-				r.logger(ev.Rank).Event(r.events["FaultInjected"], truncTo(ev.String(), 40))
+				r.logger(ev.Rank).Event(r.events["FaultInjected"], ev.String())
 			}
-			r.nativeLog(ev.Rank, "FAULT "+ev.String())
+			if r.nativeOn() {
+				r.nativeLog(ev.Rank, "FAULT "+ev.String())
+			}
 			if userCB != nil {
 				userCB(ev)
 			}
@@ -333,7 +337,11 @@ func (r *Runtime) workerMain(p *Process) {
 	defer r.wgAll.Done()
 	self := &Self{r: r, proc: p}
 	log := r.logger(p.rank)
-	log.StateStart(r.states["Compute"], fmt.Sprintf("proc: %s idx: %d", p.Name(), p.index))
+	if log.Enabled() {
+		var cb mpe.Cargo
+		log.StateStartBytes(r.states["Compute"],
+			cb.KV("proc", p.Name()).Str(" idx: ").Int(p.index).Bytes())
+	}
 
 	func() {
 		defer func() {
@@ -365,7 +373,10 @@ func (r *Runtime) StopMain(status int) error {
 	if err := r.requirePhase("PI_StopMain", loc, phaseRunning); err != nil {
 		return err
 	}
-	r.logger(0).StateEnd(r.states["Compute"], fmt.Sprintf("status: %d", status))
+	if log := r.logger(0); log.Enabled() {
+		var cb mpe.Cargo
+		log.StateEndBytes(r.states["Compute"], cb.Str("status: ").Int(status).Bytes())
+	}
 
 	r.wgWork.Wait()
 
@@ -438,12 +449,33 @@ func (r *Runtime) salvageLog() error {
 	return nil
 }
 
+// locCache memoises callerLoc results by program counter. A Pilot
+// program calls the API from a fixed set of source lines, so after
+// warm-up every call is a read-locked map hit returning a shared string
+// — the runtime.FuncForPC walk and the "file.go:123" formatting happen
+// once per call site instead of once per call.
+var (
+	locMu    sync.RWMutex
+	locCache = map[uintptr]string{}
+)
+
 // callerLoc returns "file.go:123" for the caller skip+1 frames up.
 func callerLoc(skip int) string {
-	_, file, line, ok := runtime.Caller(skip + 1)
-	if !ok {
+	var pcs [1]uintptr
+	// runtime.Callers(skip) counts itself at skip 0 where runtime.Caller
+	// counts its caller, hence +2 to keep the old skip semantics.
+	if runtime.Callers(skip+2, pcs[:]) == 0 {
 		return ""
 	}
+	pc := pcs[0]
+	locMu.RLock()
+	loc, ok := locCache[pc]
+	locMu.RUnlock()
+	if ok {
+		return loc
+	}
+	frame, _ := runtime.CallersFrames(pcs[:]).Next()
+	file, line := frame.File, frame.Line
 	// Trim the path to the base name, as Pilot reports "the line number
 	// where it is called in the original .c file".
 	for i := len(file) - 1; i >= 0; i-- {
@@ -452,5 +484,9 @@ func callerLoc(skip int) string {
 			break
 		}
 	}
-	return fmt.Sprintf("%s:%d", file, line)
+	loc = file + ":" + strconv.Itoa(line)
+	locMu.Lock()
+	locCache[pc] = loc
+	locMu.Unlock()
+	return loc
 }

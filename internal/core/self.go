@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/mpe"
+)
 
 // Self is the process-context handle passed to every work function (and
 // returned for PI_MAIN by StartAll). It carries the operations whose
@@ -33,29 +37,46 @@ func (s *Self) IsLogging(service rune) bool {
 }
 
 // Log is PI_Log: an arbitrary text entry in whichever logs are active —
-// a bubble in the visual log, a line in the native log.
+// a bubble in the visual log, a line in the native log. With neither log
+// active the call does no formatting work at all.
 func (s *Self) Log(text string) error {
+	log := s.r.logger(s.proc.rank)
+	natOn := s.r.nativeOn()
+	if !log.Enabled() && !natOn {
+		return nil
+	}
 	loc := callerLoc(1)
-	s.r.logger(s.proc.rank).Event(s.r.events["PI_Log"], truncTo(fmt.Sprintf("line: %s %s", loc, text), 40))
-	s.r.nativeLog(s.proc.rank, fmt.Sprintf("%s PI_Log %q %s", s.proc.Name(), text, loc))
+	if log.Enabled() {
+		var cb mpe.Cargo
+		log.EventBytes(s.r.events["PI_Log"], cb.KV("line", loc).Str(" ").Str(text).Bytes())
+	}
+	if natOn {
+		s.r.nativeLog(s.proc.rank, fmt.Sprintf("%s PI_Log %q %s", s.proc.Name(), text, loc))
+	}
 	return nil
 }
 
 // StartTime is PI_StartTime: it returns the caller's wallclock in seconds
 // and drops a bubble in the visual log.
 func (s *Self) StartTime() float64 {
-	loc := callerLoc(1)
 	t := s.r.world.Rank(s.proc.rank).Wtime()
-	s.r.logger(s.proc.rank).Event(s.r.events["PI_StartTime"], truncTo(fmt.Sprintf("t: %.6f line: %s", t, loc), 40))
+	if log := s.r.logger(s.proc.rank); log.Enabled() {
+		var cb mpe.Cargo
+		log.EventBytes(s.r.events["PI_StartTime"],
+			cb.Str("t: ").Float(t, 6).KV("line", callerLoc(1)).Bytes())
+	}
 	return t
 }
 
 // EndTime is PI_EndTime: identical to StartTime but logged distinctly so
 // the pair brackets a user-timed region in the display.
 func (s *Self) EndTime() float64 {
-	loc := callerLoc(1)
 	t := s.r.world.Rank(s.proc.rank).Wtime()
-	s.r.logger(s.proc.rank).Event(s.r.events["PI_EndTime"], truncTo(fmt.Sprintf("t: %.6f line: %s", t, loc), 40))
+	if log := s.r.logger(s.proc.rank); log.Enabled() {
+		var cb mpe.Cargo
+		log.EventBytes(s.r.events["PI_EndTime"],
+			cb.Str("t: ").Float(t, 6).KV("line", callerLoc(1)).Bytes())
+	}
 	return t
 }
 
@@ -66,13 +87,8 @@ func (s *Self) Abort(code int, msg string) {
 	loc := callerLoc(1)
 	s.r.warnf("pilot: PI_Abort at %s by %s (rank %d), code %d: %s",
 		loc, s.proc.Name(), s.proc.rank, code, msg)
-	s.r.nativeLog(s.proc.rank, fmt.Sprintf("%s PI_Abort code=%d %q %s", s.proc.Name(), code, msg, loc))
-	s.r.world.Rank(s.proc.rank).Abort(code)
-}
-
-func truncTo(s string, n int) string {
-	if len(s) <= n {
-		return s
+	if s.r.nativeOn() {
+		s.r.nativeLog(s.proc.rank, fmt.Sprintf("%s PI_Abort code=%d %q %s", s.proc.Name(), code, msg, loc))
 	}
-	return s[:n]
+	s.r.world.Rank(s.proc.rank).Abort(code)
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/deadlock"
 	"repro/internal/mpi"
+	"repro/internal/nativelog"
 )
 
 // Service-process message kinds (first byte of every CtxSvc payload).
@@ -43,10 +44,17 @@ func (r *Runtime) svcSend(kind byte, from int, body []byte) error {
 // recorded the moment of arrival of API events at a central logging
 // process".
 func (r *Runtime) nativeLog(rank int, text string) {
-	if r.svcRank < 0 || !r.cfg.HasService(SvcNativeLog) {
+	if !r.nativeOn() {
 		return
 	}
 	_ = r.svcSend(svcMsgLog, rank, []byte(text))
+}
+
+// nativeOn reports whether native-log lines are being collected. Call
+// sites check it before formatting their line so a disabled native log
+// costs no fmt work at all.
+func (r *Runtime) nativeOn() bool {
+	return r.svcRank >= 0 && r.cfg.HasService(SvcNativeLog)
 }
 
 func (r *Runtime) detectorOn() bool {
@@ -121,7 +129,10 @@ type svcServer struct {
 	graph *deadlock.Graph
 	logw  *bufio.Writer
 	logf  *os.File
-	quit  bool
+	// lineBuf is reused across writeLine calls so stamping a line
+	// allocates nothing once it has grown to the longest line seen.
+	lineBuf []byte
+	quit    bool
 	// confirming suppresses nested deadlock confirmation while draining
 	// in-flight events during the grace period.
 	confirming bool
@@ -165,7 +176,8 @@ func (s *svcServer) writeLine(text string) {
 	}
 	// Arrival timestamp, as in Pilot's original facility. Flushed per
 	// entry so the native log survives an abort.
-	fmt.Fprintf(s.logw, "[%12.6f] %s\n", s.rank.Wtime(), text)
+	s.lineBuf = nativelog.AppendLine(s.lineBuf[:0], s.rank.Wtime(), text)
+	s.logw.Write(s.lineBuf)
 	s.logw.Flush()
 }
 
@@ -220,7 +232,8 @@ func (s *svcServer) maybeReport() {
 		if s.r.jlog {
 			// Drop the report bubble before aborting: with RobustLog the
 			// spill files preserve it for the salvaged timeline.
-			s.r.logger(s.r.svcRank).Event(s.r.events["Deadlock"], truncTo(fmt.Sprintf("procs: %v", rep.Procs), 40))
+			// Event truncates to clog2.MaxCargo on the write side.
+			s.r.logger(s.r.svcRank).Event(s.r.events["Deadlock"], fmt.Sprintf("procs: %v", rep.Procs))
 		}
 		s.rank.Abort(AbortCodeDeadlock)
 		s.quit = true

@@ -1,0 +1,462 @@
+// The logging-overhead harness behind `pilot-bench -overhead`: the
+// Section III.E question ("what does logging cost per call?") answered
+// at micro scale. Where RunT1 times whole table cells, RunOverhead
+// isolates the per-Pilot-call cost — ns/op, B/op, allocs/op — of the
+// logging hot path itself, with logging on and off, at increasing rank
+// and message counts, and writes the result as BENCH_overhead.json so
+// `make bench-compare` can hold future changes to it.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mpe"
+	"repro/internal/mpi"
+)
+
+// prePRNsOp records the pre-optimisation ns/op of the micro rows,
+// measured on the reference machine (single-core Xeon 2.10 GHz,
+// -benchtime 200x) before the fixed-cargo records, chunked arenas and
+// append-style cargo builders landed. They ride along in the JSON so a
+// fresh run shows the improvement without digging through git history.
+// Pre-PR allocation figures for the same rows: state_start_end 651 B/op,
+// finish_merge_8x1000 5,929,805 B/op and 14,579 allocs/op.
+var prePRNsOp = map[string]float64{
+	"mpe/state_start_end|on":     182.1,
+	"mpe/state_start_end|off":    4.715,
+	"mpe/finish_merge_8x1000|on": 5636040,
+}
+
+// OverheadRow is one measured cell: a micro benchmark of a single
+// logging call, or a ping-pong workload cell where every op folds
+// CallsPerOp Pilot calls (the ns/op is already divided down to one
+// call).
+type OverheadRow struct {
+	// Name identifies the benchmark ("mpe/state_start_end", "pingpong").
+	Name string `json:"name"`
+	// Logging is "on" (MPE buffers records) or "off" (the no-service
+	// baseline the paper's table compares against).
+	Logging string `json:"logging"`
+	// Ranks and Messages scale the workload rows (0 for micro rows).
+	Ranks    int `json:"ranks,omitempty"`
+	Messages int `json:"messages,omitempty"`
+	// CallsPerOp is how many Pilot calls one op covers; NsPerOp, BPerOp
+	// and AllocsPerOp are already per single call.
+	CallsPerOp  int     `json:"calls_per_op,omitempty"`
+	NsPerOp     float64 `json:"ns_op"`
+	BPerOp      float64 `json:"b_op"`
+	AllocsPerOp float64 `json:"allocs_op"`
+	// PrePRNsPerOp and ImprovementPct compare against the recorded
+	// pre-optimisation numbers, where they exist.
+	PrePRNsPerOp   float64 `json:"pre_pr_ns_op,omitempty"`
+	ImprovementPct float64 `json:"improvement_pct,omitempty"`
+}
+
+func (r OverheadRow) key() string { return r.Name + "|" + r.Logging }
+
+// String renders the row for the pilot-bench console output.
+func (r OverheadRow) String() string {
+	s := fmt.Sprintf("%-28s log=%-3s %12.1f ns/op %10.1f B/op %8.2f allocs/op",
+		r.Name, r.Logging, r.NsPerOp, r.BPerOp, r.AllocsPerOp)
+	if r.Ranks > 0 {
+		s = fmt.Sprintf("%-28s log=%-3s %12.1f ns/call %9.1f B/call %7.2f allocs/call  (W=%d M=%d)",
+			r.Name, r.Logging, r.NsPerOp, r.BPerOp, r.AllocsPerOp, r.Ranks, r.Messages)
+	}
+	if r.PrePRNsPerOp > 0 {
+		s += fmt.Sprintf("  pre-PR %.1f (%+.0f%%)", r.PrePRNsPerOp, -r.ImprovementPct)
+	}
+	return s
+}
+
+// OverheadReport is the BENCH_overhead.json schema.
+type OverheadReport struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	// Micro rows are single logging calls; Workload rows are ping-pong
+	// table cells with the ns/op divided down to one Pilot call.
+	Micro    []OverheadRow `json:"micro"`
+	Workload []OverheadRow `json:"workload"`
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *OverheadReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadOverheadReport loads a BENCH_overhead.json.
+func ReadOverheadReport(path string) (*OverheadReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r OverheadReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// finish fills an OverheadRow from a benchmark result, dividing down to
+// one Pilot call and attaching the pre-PR baseline if recorded.
+func finishRow(row OverheadRow, res testing.BenchmarkResult) OverheadRow {
+	calls := row.CallsPerOp
+	if calls <= 0 {
+		calls = 1
+	}
+	n := float64(res.N) * float64(calls)
+	row.NsPerOp = float64(res.T.Nanoseconds()) / n
+	row.BPerOp = float64(res.MemBytes) / n
+	row.AllocsPerOp = float64(res.MemAllocs) / n
+	if pre, ok := prePRNsOp[row.key()]; ok {
+		row.PrePRNsPerOp = pre
+		if pre > 0 {
+			row.ImprovementPct = (pre - row.NsPerOp) / pre * 100
+		}
+	}
+	return row
+}
+
+// microLogger builds a one-rank logger for the micro rows.
+func microLogger(enabled bool) (*mpe.Logger, mpe.StateID, mpe.EventID) {
+	w := mpi.NewWorld(1, mpi.Options{})
+	g := mpe.NewGroup(w, enabled)
+	sid := g.DescribeState("PI_Write", "green")
+	eid := g.DescribeEvent("MsgDeparture", "white")
+	return g.Logger(0), sid, eid
+}
+
+// discardEvery bounds arena growth during open-ended benchmark loops:
+// recycling the chunks every 1024 iterations is the steady state a real
+// run reaches through Finish, at a per-op cost in the noise.
+const discardEvery = 1024
+
+func benchStatePair(enabled bool) testing.BenchmarkResult {
+	l, sid, _ := microLogger(enabled)
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l.StateStart(sid, "line: x.go:1")
+			l.StateEnd(sid, "")
+			if i%discardEvery == discardEvery-1 {
+				l.Discard()
+			}
+		}
+	})
+}
+
+func benchEventBytes() testing.BenchmarkResult {
+	l, _, eid := microLogger(true)
+	var cb mpe.Cargo
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l.EventBytes(eid, cb.Reset().KV("chan", "C1").Str(" val: ").Int(42).Bytes())
+			if i%discardEvery == discardEvery-1 {
+				l.Discard()
+			}
+		}
+	})
+}
+
+func benchLogSend() testing.BenchmarkResult {
+	l, _, _ := microLogger(true)
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l.LogSend(1, 2, 64)
+			if i%discardEvery == discardEvery-1 {
+				l.Discard()
+			}
+		}
+	})
+}
+
+func benchFinishMerge() testing.BenchmarkResult {
+	const ranks = 8
+	const recsPerRank = 1000
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w := mpi.NewWorld(ranks, mpi.Options{})
+			g := mpe.NewGroup(w, true)
+			sid := g.DescribeState("PI_Write", "green")
+			errs := w.Run(func(r *mpi.Rank) error {
+				l := g.Logger(r.ID())
+				for j := 0; j < recsPerRank; j++ {
+					l.StateStart(sid, "line: bench.go:1")
+					l.StateEnd(sid, "cargo")
+				}
+				if r.ID() == 0 {
+					return l.Finish(discardWriter{})
+				}
+				return l.Finish(nil)
+			})
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func benchSpillStatePair(dir string, batch int) (testing.BenchmarkResult, error) {
+	w := mpi.NewWorld(1, mpi.Options{})
+	g := mpe.NewGroup(w, true)
+	g.EnableSpill(filepath.Join(dir, fmt.Sprintf("spill-batch%d.clog2", batch)))
+	g.SetSpillBatch(batch)
+	sid := g.DescribeState("PI_Write", "green")
+	if err := g.SpillDefs(); err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	l := g.Logger(0)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l.StateStart(sid, "line: x.go:1")
+			l.StateEnd(sid, "")
+			if i%discardEvery == discardEvery-1 {
+				l.Discard()
+			}
+		}
+	})
+	return res, l.SpillError()
+}
+
+// benchPingPong times one overhead-table-style cell: workers parallel
+// round trips, msgs messages per worker, 4 Pilot calls per message
+// (main PI_Write + worker PI_Read + worker PI_Write + main PI_Read).
+// One benchmark op is a whole run including runtime setup and teardown;
+// finishRow divides the result down to a single call.
+func benchPingPong(workers, msgs int, services, dir string) (testing.BenchmarkResult, error) {
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := core.Config{
+				NumProcs:     workers + 1,
+				Services:     services,
+				CheckLevel:   3,
+				JumpshotPath: filepath.Join(dir, "pingpong.clog2"),
+			}
+			r, err := core.NewRuntime(cfg)
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			to := make([]*core.Channel, workers)
+			from := make([]*core.Channel, workers)
+			worker := func(self *core.Self, index int, arg any) int {
+				var v int
+				for j := 0; j < msgs; j++ {
+					if err := to[index].Read("%d", &v); err != nil {
+						return 1
+					}
+					if err := from[index].Write("%d", v+1); err != nil {
+						return 1
+					}
+				}
+				return 0
+			}
+			for wi := 0; wi < workers; wi++ {
+				p, err := r.CreateProcess(worker, wi, nil)
+				if err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+				if to[wi], err = r.CreateChannel(r.MainProc(), p); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+				if from[wi], err = r.CreateChannel(p, r.MainProc()); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+			if _, err := r.StartAll(); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			for j := 0; j < msgs; j++ {
+				for wi := 0; wi < workers; wi++ {
+					if err := to[wi].Write("%d", j); err != nil {
+						benchErr = err
+						b.FailNow()
+					}
+				}
+				for wi := 0; wi < workers; wi++ {
+					var v int
+					if err := from[wi].Read("%d", &v); err != nil {
+						benchErr = err
+						b.FailNow()
+					}
+					if v != j+1 {
+						benchErr = fmt.Errorf("pingpong: got %d, want %d", v, j+1)
+						b.FailNow()
+					}
+				}
+			}
+			if err := r.StopMain(0); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return res, benchErr
+}
+
+// RunOverhead measures the logging hot path: micro rows time single MPE
+// calls (state pair, solo event via the cargo builder, message-arrow
+// half, the 8-rank Finish merge, and the spill write-through at batch 1
+// vs 64); workload rows time ping-pong cells at increasing rank and
+// message counts with logging on and off, divided down to ns per Pilot
+// call. The report carries the recorded pre-optimisation ns/op so the
+// improvement is visible in the JSON itself.
+func RunOverhead(opt Options) (*OverheadReport, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rep := &OverheadReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+
+	addMicro := func(row OverheadRow, res testing.BenchmarkResult) {
+		row = finishRow(row, res)
+		rep.Micro = append(rep.Micro, row)
+		opt.logf("OV %s", row)
+	}
+	addMicro(OverheadRow{Name: "mpe/state_start_end", Logging: "on", CallsPerOp: 2}, benchStatePair(true))
+	addMicro(OverheadRow{Name: "mpe/state_start_end", Logging: "off", CallsPerOp: 2}, benchStatePair(false))
+	addMicro(OverheadRow{Name: "mpe/event_bytes", Logging: "on"}, benchEventBytes())
+	addMicro(OverheadRow{Name: "mpe/log_send", Logging: "on"}, benchLogSend())
+	addMicro(OverheadRow{Name: "mpe/finish_merge_8x1000", Logging: "on"}, benchFinishMerge())
+	for _, batch := range []int{1, 64} {
+		res, err := benchSpillStatePair(opt.OutDir, batch)
+		if err != nil {
+			return nil, fmt.Errorf("spill batch %d: %w", batch, err)
+		}
+		addMicro(OverheadRow{
+			Name: fmt.Sprintf("mpe/spill_state_pair/batch=%d", batch), Logging: "on", CallsPerOp: 2,
+		}, res)
+	}
+
+	cells := []struct{ workers, msgs int }{
+		{2, 500}, {4, 500}, {8, 500}, {4, 2000},
+	}
+	for _, c := range cells {
+		for _, services := range []string{"", "j"} {
+			logging := "off"
+			if services == "j" {
+				logging = "on"
+			}
+			res, err := benchPingPong(c.workers, c.msgs, services, opt.OutDir)
+			if err != nil {
+				return nil, fmt.Errorf("pingpong W=%d M=%d log=%s: %w", c.workers, c.msgs, logging, err)
+			}
+			row := finishRow(OverheadRow{
+				Name: "pingpong", Logging: logging,
+				Ranks: c.workers, Messages: c.msgs,
+				CallsPerOp: 4 * c.workers * c.msgs,
+			}, res)
+			rep.Workload = append(rep.Workload, row)
+			opt.logf("OV %s", row)
+		}
+	}
+	return rep, nil
+}
+
+// OverheadDelta is one row's baseline-vs-fresh comparison.
+type OverheadDelta struct {
+	Name    string
+	Logging string
+	// OldNs and NewNs are ns/op (per Pilot call for workload rows).
+	OldNs, NewNs float64
+	// Pct is the relative change, positive = slower.
+	Pct float64
+	// Gated marks micro rows, the ones a regression fails on; workload
+	// cells carry scheduler noise and are reported but not gated.
+	Gated bool
+	// Regressed is set when a gated row got slower than the tolerance.
+	Regressed bool
+}
+
+func (d OverheadDelta) String() string {
+	verdict := "ok  "
+	if d.Regressed {
+		verdict = "FAIL"
+	} else if !d.Gated {
+		verdict = "info"
+	}
+	return fmt.Sprintf("%s %-32s log=%-3s %12.1f -> %10.1f ns/op (%+.1f%%)",
+		verdict, d.Name, d.Logging, d.OldNs, d.NewNs, d.Pct)
+}
+
+// CompareOverhead diffs a fresh report against a baseline: micro rows
+// whose ns/op regressed by more than tolPct percent fail; workload rows
+// are informational. Rows present on only one side are skipped.
+func CompareOverhead(baseline, fresh *OverheadReport, tolPct float64) (deltas []OverheadDelta, regressed bool) {
+	index := func(rows []OverheadRow) map[string]OverheadRow {
+		m := make(map[string]OverheadRow, len(rows))
+		for _, r := range rows {
+			key := r.key()
+			if r.Ranks > 0 {
+				key = fmt.Sprintf("%s|%d|%d", key, r.Ranks, r.Messages)
+			}
+			m[key] = r
+		}
+		return m
+	}
+	diff := func(old, new map[string]OverheadRow, gated bool) {
+		for key, b := range old {
+			f, ok := new[key]
+			if !ok || b.NsPerOp <= 0 {
+				continue
+			}
+			d := OverheadDelta{
+				Name: b.Name, Logging: b.Logging,
+				OldNs: b.NsPerOp, NewNs: f.NsPerOp,
+				Pct:   (f.NsPerOp - b.NsPerOp) / b.NsPerOp * 100,
+				Gated: gated,
+			}
+			d.Regressed = gated && d.Pct > tolPct
+			if d.Regressed {
+				regressed = true
+			}
+			deltas = append(deltas, d)
+		}
+	}
+	diff(index(baseline.Micro), index(fresh.Micro), true)
+	diff(index(baseline.Workload), index(fresh.Workload), false)
+	sort.Slice(deltas, func(i, j int) bool {
+		a, b := deltas[i], deltas[j]
+		if a.Gated != b.Gated {
+			return a.Gated
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Logging < b.Logging
+	})
+	return deltas, regressed
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func overheadFixture(stateNs, pingNs float64) *OverheadReport {
+	return &OverheadReport{
+		GoVersion: "go1.x", GOOS: "linux", GOARCH: "amd64", CPUs: 1,
+		Micro: []OverheadRow{
+			{Name: "mpe/state_start_end", Logging: "on", CallsPerOp: 2, NsPerOp: stateNs},
+			{Name: "mpe/state_start_end", Logging: "off", CallsPerOp: 2, NsPerOp: 2.1},
+		},
+		Workload: []OverheadRow{
+			{Name: "pingpong", Logging: "on", Ranks: 4, Messages: 500, CallsPerOp: 8000, NsPerOp: pingNs},
+		},
+	}
+}
+
+func TestCompareOverheadGatesMicroRows(t *testing.T) {
+	base := overheadFixture(100, 1000)
+
+	// Within tolerance: no failure.
+	deltas, regressed := CompareOverhead(base, overheadFixture(115, 1150), 20)
+	if regressed {
+		t.Errorf("15%% drift regressed: %v", deltas)
+	}
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3", len(deltas))
+	}
+
+	// A micro row past tolerance fails.
+	_, regressed = CompareOverhead(base, overheadFixture(130, 1000), 20)
+	if !regressed {
+		t.Error("30% micro regression not flagged")
+	}
+
+	// The same drift on a workload row is informational only.
+	deltas, regressed = CompareOverhead(base, overheadFixture(100, 2000), 20)
+	if regressed {
+		t.Error("workload drift gated the comparison")
+	}
+	var sawWorkload bool
+	for _, d := range deltas {
+		if d.Name == "pingpong" {
+			sawWorkload = true
+			if d.Gated || d.Regressed {
+				t.Errorf("workload delta gated: %+v", d)
+			}
+		}
+	}
+	if !sawWorkload {
+		t.Error("workload delta missing from comparison")
+	}
+
+	// Getting faster never fails.
+	if _, regressed = CompareOverhead(base, overheadFixture(40, 400), 20); regressed {
+		t.Error("improvement flagged as regression")
+	}
+}
+
+func TestCompareOverheadSkipsUnmatchedRows(t *testing.T) {
+	base := overheadFixture(100, 1000)
+	fresh := overheadFixture(100, 1000)
+	fresh.Micro = fresh.Micro[:1] // "off" row missing from the fresh run
+	deltas, regressed := CompareOverhead(base, fresh, 20)
+	if regressed {
+		t.Error("missing row treated as regression")
+	}
+	for _, d := range deltas {
+		if d.Logging == "off" && d.Name == "mpe/state_start_end" {
+			t.Errorf("unmatched row compared: %+v", d)
+		}
+	}
+}
+
+func TestOverheadReportJSONRoundTrip(t *testing.T) {
+	rep := overheadFixture(123.4, 987.6)
+	rep.Micro[0].PrePRNsPerOp = 182.1
+	rep.Micro[0].ImprovementPct = 32.2
+	path := filepath.Join(t.TempDir(), "BENCH_overhead.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadOverheadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Micro) != len(rep.Micro) || len(got.Workload) != len(rep.Workload) {
+		t.Fatalf("round trip lost rows: %+v", got)
+	}
+	if got.Micro[0] != rep.Micro[0] || got.Workload[0] != rep.Workload[0] {
+		t.Errorf("round trip changed rows:\n got %+v\nwant %+v", got.Micro[0], rep.Micro[0])
+	}
+	if got.Micro[0].PrePRNsPerOp != 182.1 {
+		t.Errorf("pre-PR baseline lost: %+v", got.Micro[0])
+	}
+}

@@ -1,0 +1,133 @@
+package fmtspec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// legacyDescribe is the fmt.Sprintf implementation AppendDescribe
+// replaced; the golden tests pin the new path to its exact bytes.
+func legacyDescribe(s Spec, payload []byte) string {
+	es := s.Kind.ElemSize()
+	switch {
+	case s.Kind == KindString:
+		str := string(payload)
+		if len(str) > 8 {
+			str = str[:8] + "…"
+		}
+		return fmt.Sprintf("len: %d first: %q", len(payload), str)
+	case s.Mode == Scalar:
+		return "val: " + legacyFirstElem(s.Kind, payload)
+	case s.Mode == Caret:
+		if len(payload) < 4 {
+			return "len: 0"
+		}
+		n := int(binary.LittleEndian.Uint32(payload))
+		return fmt.Sprintf("len: %d first: %s", n, legacyFirstElem(s.Kind, payload[4:]))
+	default:
+		n := 0
+		if es > 0 {
+			n = len(payload) / es
+		}
+		return fmt.Sprintf("len: %d first: %s", n, legacyFirstElem(s.Kind, payload))
+	}
+}
+
+func legacyFirstElem(k Kind, payload []byte) string {
+	es := k.ElemSize()
+	if len(payload) < es || es == 0 {
+		return "-"
+	}
+	switch k {
+	case KindChar:
+		return fmt.Sprintf("%q", payload[0])
+	case KindInt16:
+		return fmt.Sprint(int16(binary.LittleEndian.Uint16(payload)))
+	case KindUint16:
+		return fmt.Sprint(binary.LittleEndian.Uint16(payload))
+	case KindInt, KindInt64:
+		return fmt.Sprint(int64(binary.LittleEndian.Uint64(payload)))
+	case KindUint, KindUint64:
+		return fmt.Sprint(binary.LittleEndian.Uint64(payload))
+	case KindFloat32:
+		return fmt.Sprintf("%g", math.Float32frombits(binary.LittleEndian.Uint32(payload)))
+	case KindFloat64:
+		return fmt.Sprintf("%g", math.Float64frombits(binary.LittleEndian.Uint64(payload)))
+	}
+	return "-"
+}
+
+// Every kind and mode, scalar/array/caret/empty/short payloads: the
+// append path must match the fmt path byte for byte.
+func TestAppendDescribeMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	kinds := []Kind{KindChar, KindInt16, KindUint16, KindInt, KindInt64,
+		KindUint, KindUint64, KindFloat32, KindFloat64}
+	modes := []Mode{Scalar, Fixed, Star, Caret}
+	check := func(s Spec, payload []byte) {
+		t.Helper()
+		want := legacyDescribe(s, payload)
+		got := string(AppendDescribe(nil, s, payload))
+		if got != want {
+			t.Errorf("AppendDescribe(%v, %d bytes) = %q, want %q", s, len(payload), got, want)
+		}
+		if d := Describe(s, payload); d != want {
+			t.Errorf("Describe(%v, %d bytes) = %q, want %q", s, len(payload), d, want)
+		}
+		if len(want) > DescribeMax {
+			t.Errorf("Describe(%v) output %d bytes exceeds DescribeMax", s, len(want))
+		}
+	}
+	for _, k := range kinds {
+		es := k.ElemSize()
+		for _, m := range modes {
+			for trial := 0; trial < 50; trial++ {
+				n := rng.Intn(5)
+				body := make([]byte, n*es)
+				rng.Read(body)
+				payload := body
+				if m == Caret {
+					payload = make([]byte, 4+len(body))
+					binary.LittleEndian.PutUint32(payload, uint32(n))
+					copy(payload[4:], body)
+				}
+				check(Spec{Kind: k, Mode: m, N: n}, payload)
+			}
+			// Degenerate payloads: empty and shorter than one element.
+			check(Spec{Kind: k, Mode: m}, nil)
+			check(Spec{Kind: k, Mode: m}, make([]byte, es/2))
+		}
+	}
+	// Strings: short, exactly at the 8-byte preview, truncated, with
+	// escapes, and with a multibyte rune straddling the preview cut.
+	for _, s := range []string{"", "hi", "12345678", "123456789",
+		"tab\tand\x00nul", "héllo wörld", "日本語テキスト"} {
+		check(Spec{Kind: KindString, Mode: Scalar}, []byte(s))
+	}
+	// Special floats.
+	for _, f := range []float64{0, math.Inf(1), math.Inf(-1), math.NaN(), 1e300, -1.5e-10} {
+		var p [8]byte
+		binary.LittleEndian.PutUint64(p[:], math.Float64bits(f))
+		check(Spec{Kind: KindFloat64, Mode: Scalar}, p[:])
+	}
+}
+
+// The MsgDeparture hot path hands AppendDescribe a stack buffer; the
+// append must stay inside it and allocate nothing.
+func TestAppendDescribeAllocFree(t *testing.T) {
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], 42)
+	spec := Spec{Kind: KindInt, Mode: Scalar}
+	if n := testing.AllocsPerRun(200, func() {
+		var buf [DescribeMax]byte
+		out := AppendDescribe(buf[:0], spec, p[:])
+		if len(out) == 0 {
+			t.Fatal("empty describe")
+		}
+	}); n != 0 {
+		t.Errorf("AppendDescribe allocates %.1f per run, want 0", n)
+	}
+}

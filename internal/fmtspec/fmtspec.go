@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 )
 
@@ -742,59 +743,91 @@ func fillElems(k Kind, n int, payload []byte, set func(i int, src []byte) error)
 	return nil
 }
 
+// DescribeMax bounds the length of any Describe summary: "len: " plus a
+// 20-digit count, " first: ", and a worst-case quoted 8-byte prefix
+// (4 bytes per escaped byte, the quotes, and the ellipsis) stay well
+// under it, so callers can hand AppendDescribe a stack buffer of this
+// size and know the append never spills to the heap.
+const DescribeMax = 96
+
 // Describe summarises an encoded payload for a log-bubble popup: the data
 // length and the value of the first element, as in the paper's PI_Write
 // bubbles. The returned text begins with literal words — the paper's
 // Jumpshot popup workaround ("Lines: %d" rather than "%d lines").
 func Describe(s Spec, payload []byte) string {
+	var buf [DescribeMax]byte
+	return string(AppendDescribe(buf[:0], s, payload))
+}
+
+// AppendDescribe appends Describe's summary to dst, byte-identical to the
+// fmt-based formatting but without allocating: Pilot's MsgDeparture
+// bubble builds its cargo through here on every PI_Write, so the hot
+// path must not pay fmt's interface boxing.
+func AppendDescribe(dst []byte, s Spec, payload []byte) []byte {
 	es := s.Kind.ElemSize()
 	switch {
 	case s.Kind == KindString:
-		return fmt.Sprintf("len: %d first: %q", len(payload), truncStr(string(payload), 8))
+		dst = append(dst, "len: "...)
+		dst = strconv.AppendInt(dst, int64(len(payload)), 10)
+		dst = append(dst, " first: "...)
+		return appendQuotedPrefix(dst, payload, 8)
 	case s.Mode == Scalar:
-		return "val: " + firstElem(s.Kind, payload)
+		dst = append(dst, "val: "...)
+		return appendFirstElem(dst, s.Kind, payload)
 	case s.Mode == Caret:
 		if len(payload) < 4 {
-			return "len: 0"
+			return append(dst, "len: 0"...)
 		}
 		n := int(binary.LittleEndian.Uint32(payload))
-		return fmt.Sprintf("len: %d first: %s", n, firstElem(s.Kind, payload[4:]))
+		dst = append(dst, "len: "...)
+		dst = strconv.AppendInt(dst, int64(n), 10)
+		dst = append(dst, " first: "...)
+		return appendFirstElem(dst, s.Kind, payload[4:])
 	default:
 		n := 0
 		if es > 0 {
 			n = len(payload) / es
 		}
-		return fmt.Sprintf("len: %d first: %s", n, firstElem(s.Kind, payload))
+		dst = append(dst, "len: "...)
+		dst = strconv.AppendInt(dst, int64(n), 10)
+		dst = append(dst, " first: "...)
+		return appendFirstElem(dst, s.Kind, payload)
 	}
 }
 
-func firstElem(k Kind, payload []byte) string {
+// appendQuotedPrefix quotes at most max bytes of b as fmt's %q would
+// quote truncStr(string(b), max): the whole value when it fits, else the
+// prefix with an ellipsis inside the quotes.
+func appendQuotedPrefix(dst, b []byte, max int) []byte {
+	if len(b) <= max {
+		return strconv.AppendQuote(dst, string(b))
+	}
+	var tmp [16]byte // max prefix bytes + the 3-byte ellipsis
+	n := copy(tmp[:], b[:max])
+	n += copy(tmp[n:], "…")
+	return strconv.AppendQuote(dst, string(tmp[:n]))
+}
+
+func appendFirstElem(dst []byte, k Kind, payload []byte) []byte {
 	es := k.ElemSize()
 	if len(payload) < es || es == 0 {
-		return "-"
+		return append(dst, '-')
 	}
 	switch k {
 	case KindChar:
-		return fmt.Sprintf("%q", payload[0])
+		return strconv.AppendQuoteRune(dst, rune(payload[0]))
 	case KindInt16:
-		return fmt.Sprint(int16(binary.LittleEndian.Uint16(payload)))
+		return strconv.AppendInt(dst, int64(int16(binary.LittleEndian.Uint16(payload))), 10)
 	case KindUint16:
-		return fmt.Sprint(binary.LittleEndian.Uint16(payload))
+		return strconv.AppendUint(dst, uint64(binary.LittleEndian.Uint16(payload)), 10)
 	case KindInt, KindInt64:
-		return fmt.Sprint(int64(binary.LittleEndian.Uint64(payload)))
+		return strconv.AppendInt(dst, int64(binary.LittleEndian.Uint64(payload)), 10)
 	case KindUint, KindUint64:
-		return fmt.Sprint(binary.LittleEndian.Uint64(payload))
+		return strconv.AppendUint(dst, binary.LittleEndian.Uint64(payload), 10)
 	case KindFloat32:
-		return fmt.Sprintf("%g", math.Float32frombits(binary.LittleEndian.Uint32(payload)))
+		return strconv.AppendFloat(dst, float64(math.Float32frombits(binary.LittleEndian.Uint32(payload))), 'g', -1, 32)
 	case KindFloat64:
-		return fmt.Sprintf("%g", math.Float64frombits(binary.LittleEndian.Uint64(payload)))
+		return strconv.AppendFloat(dst, math.Float64frombits(binary.LittleEndian.Uint64(payload)), 'g', -1, 64)
 	}
-	return "-"
-}
-
-func truncStr(s string, n int) string {
-	if len(s) <= n {
-		return s
-	}
-	return s[:n] + "…"
+	return append(dst, '-')
 }

@@ -12,6 +12,12 @@ import (
 // makeLog builds a small SLOG-2 file directly (bypassing conversion):
 // Compute [0,10] on ranks 0 and 1, a Read nested [2,3] on rank 1, a Write
 // [2,2.5] on rank 0, one arrow 0->1, and one event bubble.
+func cargoRec(time float64, rank, id int32, cargo string) clog2.Record {
+	r := clog2.Record{Type: clog2.RecCargoEvt, Time: time, Rank: rank, ID: id}
+	r.SetCargo(cargo)
+	return r
+}
+
 func makeLog(t *testing.T) *slog2.File {
 	t.Helper()
 	b := struct {
@@ -24,17 +30,17 @@ func makeLog(t *testing.T) *slog2.File {
 		{Type: clog2.RecEventDef, ID: 1<<20 + 1, Color: "yellow", Name: "MsgArrival"},
 	}
 	r0 := []clog2.Record{
-		{Type: clog2.RecCargoEvt, Time: 0, Rank: 0, ID: 2, Text: "proc: PI_MAIN"},
-		{Type: clog2.RecCargoEvt, Time: 2, Rank: 0, ID: 6, Text: "line: x.go:5"},
+		cargoRec(0, 0, 2, "proc: PI_MAIN"),
+		cargoRec(2, 0, 6, "line: x.go:5"),
 		{Type: clog2.RecMsgEvt, Time: 2.1, Rank: 0, Dir: clog2.DirSend, Aux1: 1, Aux2: 9, Aux3: 100},
 		{Type: clog2.RecCargoEvt, Time: 2.5, Rank: 0, ID: 7},
 		{Type: clog2.RecCargoEvt, Time: 10, Rank: 0, ID: 3},
 	}
 	r1 := []clog2.Record{
-		{Type: clog2.RecCargoEvt, Time: 0, Rank: 1, ID: 2, Text: "proc: P1"},
-		{Type: clog2.RecCargoEvt, Time: 2, Rank: 1, ID: 4, Text: "line: y.go:9"},
+		cargoRec(0, 1, 2, "proc: P1"),
+		cargoRec(2, 1, 4, "line: y.go:9"),
 		{Type: clog2.RecMsgEvt, Time: 2.8, Rank: 1, Dir: clog2.DirRecv, Aux1: 0, Aux2: 9, Aux3: 100},
-		{Type: clog2.RecCargoEvt, Time: 2.8, Rank: 1, ID: 1<<20 + 1, Text: "chan: C1"},
+		cargoRec(2.8, 1, 1<<20+1, "chan: C1"),
 		{Type: clog2.RecCargoEvt, Time: 3, Rank: 1, ID: 5},
 		{Type: clog2.RecCargoEvt, Time: 10, Rank: 1, ID: 3},
 	}
@@ -305,7 +311,7 @@ func TestRenderSVGEscapesCargo(t *testing.T) {
 	cf := &clog2.File{NumRanks: 1}
 	cf.Blocks = []clog2.Block{{Rank: 0, Records: []clog2.Record{
 		{Type: clog2.RecStateDef, ID: 1, Aux1: 2, Aux2: 3, Color: "red", Name: "S<evil>"},
-		{Type: clog2.RecCargoEvt, Time: 0, Rank: 0, ID: 2, Text: `<script>"x"&`},
+		cargoRec(0, 0, 2, `<script>"x"&`),
 		{Type: clog2.RecCargoEvt, Time: 1, Rank: 0, ID: 3},
 	}}}
 	sf, _, err := slog2.Convert(cf, slog2.ConvertOptions{})

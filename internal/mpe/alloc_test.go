@@ -1,0 +1,100 @@
+package mpe
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// The ISSUE's acceptance gates: with logging disabled the hot-path calls
+// must not allocate at all; with logging enabled they must average at
+// most one allocation (the amortised arena-chunk refill every
+// chunkRecords records — steady state is zero).
+func allocLogger(enabled bool) (*Logger, StateID, EventID) {
+	w := mpi.NewWorld(1, mpi.Options{})
+	g := NewGroup(w, enabled)
+	sid := g.DescribeState("PI_Write", "green")
+	eid := g.DescribeEvent("MsgDeparture", "white")
+	return g.Logger(0), sid, eid
+}
+
+func TestDisabledLoggingAllocFree(t *testing.T) {
+	l, sid, eid := allocLogger(false)
+	var cb Cargo
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"StateStart", func() { l.StateStart(sid, "line: x.go:1") }},
+		{"StateStartBytes", func() { l.StateStartBytes(sid, cb.Reset().KV("line", "x.go:1").Bytes()) }},
+		{"StateEnd", func() { l.StateEnd(sid, "") }},
+		{"Event", func() { l.Event(eid, "chan: C1 val: 42") }},
+		{"EventBytes", func() { l.EventBytes(eid, cb.Reset().KV("chan", "C1").Bytes()) }},
+		{"LogSend", func() { l.LogSend(1, 2, 64) }},
+		{"LogRecv", func() { l.LogRecv(1, 2, 64) }},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(200, tc.fn); n != 0 {
+			t.Errorf("%s with logging disabled allocates %.2f per run, want 0", tc.name, n)
+		}
+	}
+	if l.Len() != 0 {
+		t.Fatalf("disabled logger buffered %d records", l.Len())
+	}
+}
+
+func TestEnabledLoggingAllocBound(t *testing.T) {
+	l, sid, eid := allocLogger(true)
+	var cb Cargo
+	// Warm the open-state stack so its backing array stops growing.
+	for i := 0; i < 8; i++ {
+		l.StateStart(sid, "warm")
+	}
+	for i := 0; i < 8; i++ {
+		l.StateEnd(sid, "")
+	}
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"StateStart+End", func() { l.StateStart(sid, "line: x.go:1"); l.StateEnd(sid, "") }},
+		{"StateStartBytes+End", func() {
+			l.StateStartBytes(sid, cb.Reset().KV("line", "x.go:1").Bytes())
+			l.StateEnd(sid, "")
+		}},
+		{"Event", func() { l.Event(eid, "chan: C1 val: 42") }},
+		{"EventBytes", func() { l.EventBytes(eid, cb.Reset().KV("chan", "C1").Str(" val: ").Int(42).Bytes()) }},
+		{"LogSend", func() { l.LogSend(1, 2, 64) }},
+		{"LogRecv", func() { l.LogRecv(1, 2, 64) }},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(300, tc.fn); n > 1 {
+			t.Errorf("%s with logging enabled allocates %.2f per run, want <= 1", tc.name, n)
+		}
+	}
+}
+
+// The chunk pool makes steady-state logging allocation-free once a
+// release has stocked it: run a fill/release cycle, then verify a full
+// chunk's worth of appends does not allocate.
+func TestArenaRecyclesChunks(t *testing.T) {
+	l, sid, _ := allocLogger(true)
+	for i := 0; i < chunkRecords; i++ {
+		l.StateStart(sid, "fill")
+		l.popOpenState()
+	}
+	got := l.recs.len()
+	if got != chunkRecords {
+		t.Fatalf("arena holds %d records, want %d", got, chunkRecords)
+	}
+	l.recs.release()
+	if l.recs.len() != 0 {
+		t.Fatalf("arena not empty after release")
+	}
+	if n := testing.AllocsPerRun(chunkRecords-1, func() {
+		l.StateStart(sid, "refill")
+		l.popOpenState()
+	}); n > 0.05 {
+		t.Errorf("refill after release allocates %.3f per run, want ~0 (pooled chunks)", n)
+	}
+}

@@ -1,0 +1,77 @@
+package mpe
+
+import (
+	"sync"
+
+	"repro/internal/clog2"
+)
+
+// chunkRecords sizes the arena chunks: 256 records is ~34 KB per chunk,
+// small enough to recycle freely and large enough that the pool round
+// trip amortises to well under one allocation per logged event.
+const chunkRecords = 256
+
+// recChunk is one fixed-size block of records. Chunks are zeroed before
+// they go back to the pool, so alloc can hand out slots without clearing
+// them on the hot path.
+type recChunk struct {
+	recs [chunkRecords]clog2.Record
+	n    int
+}
+
+var chunkPool = sync.Pool{New: func() any { return new(recChunk) }}
+
+// arena is a chunked, append-only record store: the Logger's buffer.
+// Unlike a flat slice it never copies records when it grows, and its
+// chunks are recycled across runs via chunkPool.
+type arena struct {
+	chunks []*recChunk
+	total  int
+}
+
+// alloc hands out a pointer to the next zeroed record slot.
+func (a *arena) alloc() *clog2.Record {
+	var c *recChunk
+	if n := len(a.chunks); n > 0 {
+		c = a.chunks[n-1]
+	}
+	if c == nil || c.n == chunkRecords {
+		c = chunkPool.Get().(*recChunk)
+		a.chunks = append(a.chunks, c)
+	}
+	r := &c.recs[c.n]
+	c.n++
+	a.total++
+	return r
+}
+
+func (a *arena) len() int { return a.total }
+
+// forEach visits every record in log order.
+func (a *arena) forEach(fn func(*clog2.Record)) {
+	for _, c := range a.chunks {
+		for i := 0; i < c.n; i++ {
+			fn(&c.recs[i])
+		}
+	}
+}
+
+// slices appends the chunk contents to dst as record slices in log
+// order — the shape Writer.WriteBlockChunks consumes.
+func (a *arena) slices(dst [][]clog2.Record) [][]clog2.Record {
+	for _, c := range a.chunks {
+		dst = append(dst, c.recs[:c.n])
+	}
+	return dst
+}
+
+// release zeroes every chunk and returns it to the pool, leaving the
+// arena empty.
+func (a *arena) release() {
+	for _, c := range a.chunks {
+		*c = recChunk{}
+		chunkPool.Put(c)
+	}
+	a.chunks = nil
+	a.total = 0
+}

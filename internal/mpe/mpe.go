@@ -87,8 +87,11 @@ type Group struct {
 	states []def // index = StateID-1
 	events []def // index = EventID-1
 	// spillPrefix, when non-empty, makes every logger write each record
-	// through to an abort-surviving spill file (see spill.go).
+	// through to an abort-surviving spill file (see spill.go);
+	// spillBatch (default 1) sets how many records one spill encode
+	// covers (see SetSpillBatch).
 	spillPrefix string
+	spillBatch  int
 
 	loggers []*Logger
 }
@@ -172,7 +175,10 @@ func (g *Group) defRecords() []clog2.Record {
 type Logger struct {
 	g    *Group
 	rank *mpi.Rank
-	recs []clog2.Record
+	// recs is the chunked record arena: appends never copy records, and
+	// the chunks are recycled through a pool at Finish, so steady-state
+	// logging allocates nothing.
+	recs arena
 	// openStates mirrors the converter's pairing stack: states started but
 	// not yet ended. Finish closes any leftovers with synthetic ends.
 	openStates []StateID
@@ -181,9 +187,12 @@ type Logger struct {
 	spErr     error
 	spChecked bool
 	spPrefix  string
+	spBatch   int
 	// spillArr is the reusable single-record encode buffer for the
 	// write-through spill path, so spilling never allocates per record.
 	spillArr [1]clog2.Record
+	// spPend holds records awaiting a batched spill encode (spBatch > 1).
+	spPend []clog2.Record
 }
 
 // Rank returns the MPI rank this logger belongs to.
@@ -193,16 +202,35 @@ func (l *Logger) Rank() int { return l.rank.ID() }
 func (l *Logger) Enabled() bool { return l.g.enabled }
 
 // Len returns the number of buffered records (diagnostics and tests).
-func (l *Logger) Len() int { return len(l.recs) }
+func (l *Logger) Len() int { return l.recs.len() }
 
-func (l *Logger) append(r clog2.Record) {
+// Discard drops every buffered record and recycles the arena chunks
+// without the collective merge. The overhead harness uses it to keep
+// long measurement loops memory-bounded; a real run ends with Finish.
+func (l *Logger) Discard() {
+	l.recs.release()
+	l.openStates = l.openStates[:0]
+}
+
+// newRecord hands out the next record slot, stamped with this rank's
+// clock. The caller fills the payload fields and then calls commit.
+func (l *Logger) newRecord(t clog2.RecType, id int32) *clog2.Record {
+	r := l.recs.alloc()
 	r.Time = l.rank.Wtime()
 	r.Rank = int32(l.rank.ID())
-	l.recs = append(l.recs, r)
+	r.Type = t
+	r.ID = id
+	return r
+}
+
+// commit finishes a record handed out by newRecord: once the payload is
+// complete it can be written through to the spill file.
+func (l *Logger) commit(r *clog2.Record) {
 	if !l.spChecked {
 		// EnableSpill happens before any logging (configuration phase),
-		// so the prefix can be cached on first use.
+		// so the prefix and batch size can be cached on first use.
 		l.spPrefix = l.g.SpillPrefix()
+		l.spBatch = l.g.SpillBatch()
 		l.spChecked = true
 	}
 	if l.spPrefix != "" {
@@ -211,13 +239,28 @@ func (l *Logger) append(r clog2.Record) {
 }
 
 // StateStart logs the beginning of an instance of state s. cargo is
-// truncated to the MPE 40-byte limit on output.
+// truncated to the MPE 40-byte limit.
 func (l *Logger) StateStart(s StateID, cargo string) {
 	if !l.g.enabled {
 		return
 	}
 	l.openStates = append(l.openStates, s)
-	l.append(clog2.Record{Type: clog2.RecCargoEvt, ID: startEtype(s), Text: cargo})
+	r := l.newRecord(clog2.RecCargoEvt, startEtype(s))
+	r.SetCargo(cargo)
+	l.commit(r)
+}
+
+// StateStartBytes is StateStart taking the cargo as bytes — the form the
+// Pilot call sites use with the Cargo builder, keeping the hot path free
+// of string construction.
+func (l *Logger) StateStartBytes(s StateID, cargo []byte) {
+	if !l.g.enabled {
+		return
+	}
+	l.openStates = append(l.openStates, s)
+	r := l.newRecord(clog2.RecCargoEvt, startEtype(s))
+	r.SetCargoBytes(cargo)
+	l.commit(r)
 }
 
 // StateEnd logs the end of an instance of state s.
@@ -225,12 +268,30 @@ func (l *Logger) StateEnd(s StateID, cargo string) {
 	if !l.g.enabled {
 		return
 	}
-	// Pop the innermost open state; a mismatched ID is the converter's
-	// nesting error to report, but the stack depth still shrinks by one.
+	l.popOpenState()
+	r := l.newRecord(clog2.RecCargoEvt, endEtype(s))
+	r.SetCargo(cargo)
+	l.commit(r)
+}
+
+// StateEndBytes is StateEnd taking the cargo as bytes.
+func (l *Logger) StateEndBytes(s StateID, cargo []byte) {
+	if !l.g.enabled {
+		return
+	}
+	l.popOpenState()
+	r := l.newRecord(clog2.RecCargoEvt, endEtype(s))
+	r.SetCargoBytes(cargo)
+	l.commit(r)
+}
+
+// popOpenState pops the innermost open state; a mismatched ID is the
+// converter's nesting error to report, but the stack depth still shrinks
+// by one.
+func (l *Logger) popOpenState() {
 	if n := len(l.openStates); n > 0 {
 		l.openStates = l.openStates[:n-1]
 	}
-	l.append(clog2.Record{Type: clog2.RecCargoEvt, ID: endEtype(s), Text: cargo})
 }
 
 // Event logs a solo event — a bubble in Jumpshot.
@@ -238,7 +299,19 @@ func (l *Logger) Event(e EventID, cargo string) {
 	if !l.g.enabled {
 		return
 	}
-	l.append(clog2.Record{Type: clog2.RecCargoEvt, ID: soloEtype(e), Text: cargo})
+	r := l.newRecord(clog2.RecCargoEvt, soloEtype(e))
+	r.SetCargo(cargo)
+	l.commit(r)
+}
+
+// EventBytes is Event taking the cargo as bytes.
+func (l *Logger) EventBytes(e EventID, cargo []byte) {
+	if !l.g.enabled {
+		return
+	}
+	r := l.newRecord(clog2.RecCargoEvt, soloEtype(e))
+	r.SetCargoBytes(cargo)
+	l.commit(r)
 }
 
 // LogSend records the sending half of a message arrow. The converter
@@ -249,8 +322,10 @@ func (l *Logger) LogSend(dst, tag, size int) {
 	if !l.g.enabled {
 		return
 	}
-	l.append(clog2.Record{Type: clog2.RecMsgEvt, Dir: clog2.DirSend,
-		Aux1: int32(dst), Aux2: int32(tag), Aux3: int32(size)})
+	r := l.newRecord(clog2.RecMsgEvt, 0)
+	r.Dir = clog2.DirSend
+	r.Aux1, r.Aux2, r.Aux3 = int32(dst), int32(tag), int32(size)
+	l.commit(r)
 }
 
 // LogRecv records the receiving half of a message arrow.
@@ -258,8 +333,10 @@ func (l *Logger) LogRecv(src, tag, size int) {
 	if !l.g.enabled {
 		return
 	}
-	l.append(clog2.Record{Type: clog2.RecMsgEvt, Dir: clog2.DirRecv,
-		Aux1: int32(src), Aux2: int32(tag), Aux3: int32(size)})
+	r := l.newRecord(clog2.RecMsgEvt, 0)
+	r.Dir = clog2.DirRecv
+	r.Aux1, r.Aux2, r.Aux3 = int32(src), int32(tag), int32(size)
+	l.commit(r)
 }
 
 // Clock-sync message tags within mpi.CtxLog.
@@ -295,7 +372,9 @@ func (l *Logger) Finish(w io.Writer) error {
 	// Unwind still-open states innermost-first so the log keeps proper
 	// nesting; all synthetic ends share the rank's log-final timestamp.
 	for i := len(l.openStates) - 1; i >= 0; i-- {
-		l.append(clog2.Record{Type: clog2.RecCargoEvt, ID: endEtype(l.openStates[i]), Text: SyntheticEndCargo})
+		r := l.newRecord(clog2.RecCargoEvt, endEtype(l.openStates[i]))
+		r.SetCargo(SyntheticEndCargo)
+		l.commit(r)
 	}
 	l.openStates = nil
 
@@ -304,14 +383,16 @@ func (l *Logger) Finish(w io.Writer) error {
 		return fmt.Errorf("mpe: clock sync: %w", err)
 	}
 	if offset != 0 {
-		for i := range l.recs {
-			l.recs[i].Time -= offset
-		}
+		l.recs.forEach(func(r *clog2.Record) { r.Time -= offset })
 	}
-	l.recs = append(l.recs, clog2.Record{
-		Type: clog2.RecTimeShift, Time: l.rank.Wtime() - offset,
-		Rank: int32(l.rank.ID()), Shift: offset,
-	})
+	// The timeshift record is metadata stamped at wrap-up; like the old
+	// flat-slice path it bypasses the spill (an abort can no longer lose
+	// the log at this point anyway).
+	ts := l.recs.alloc()
+	ts.Type = clog2.RecTimeShift
+	ts.Time = l.rank.Wtime() - offset
+	ts.Rank = int32(l.rank.ID())
+	ts.Shift = offset
 
 	if l.rank.ID() != 0 {
 		buf := bufPool.Get().(*bytes.Buffer)
@@ -321,7 +402,9 @@ func (l *Logger) Finish(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := cw.WriteBlock(int32(l.rank.ID()), l.recs); err != nil {
+		// One block per rank, assembled straight from the arena chunks —
+		// byte-identical to encoding a flat record slice.
+		if err := cw.WriteBlockChunks(int32(l.rank.ID()), l.recs.slices(nil)...); err != nil {
 			return err
 		}
 		if err := cw.Close(); err != nil {
@@ -332,6 +415,7 @@ func (l *Logger) Finish(w io.Writer) error {
 			return err
 		}
 		l.closeSpill(true) // merged log supersedes the spill
+		l.recs.release()
 		return nil
 	}
 
@@ -343,7 +427,7 @@ func (l *Logger) Finish(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := cw.WriteBlock(0, append(l.g.defRecords(), l.recs...)); err != nil {
+	if err := cw.WriteBlockChunks(0, l.recs.slices([][]clog2.Record{l.g.defRecords()})...); err != nil {
 		return err
 	}
 	recBuf := recordBufPool.Get().(*[]clog2.Record)
@@ -384,6 +468,7 @@ func (l *Logger) Finish(w io.Writer) error {
 		return err
 	}
 	l.closeSpill(true)
+	l.recs.release()
 	if prefix := l.g.SpillPrefix(); prefix != "" {
 		os.Remove(spillDefsPath(prefix))
 	}

@@ -254,8 +254,8 @@ func TestCargoTruncatedAtLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, rec := range f.Records() {
-		if rec.Type == clog2.RecCargoEvt && len(rec.Text) > clog2.MaxCargo {
-			t.Fatalf("cargo %d bytes exceeds MPE limit", len(rec.Text))
+		if rec.Type == clog2.RecCargoEvt && len(rec.CargoText()) > clog2.MaxCargo {
+			t.Fatalf("cargo %d bytes exceeds MPE limit", len(rec.CargoText()))
 		}
 	}
 }
@@ -396,7 +396,7 @@ func TestFinishSyntheticEndForOpenState(t *testing.T) {
 	}
 	var synth []clog2.Record
 	for _, rec := range f.Records() {
-		if rec.Text == SyntheticEndCargo {
+		if rec.CargoText() == SyntheticEndCargo {
 			synth = append(synth, rec)
 		}
 	}
@@ -438,7 +438,7 @@ func TestFinishNoSyntheticEndWhenBalanced(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, rec := range f.Records() {
-		if rec.Text == SyntheticEndCargo {
+		if rec.CargoText() == SyntheticEndCargo {
 			t.Fatalf("balanced log contains synthetic end: %+v", rec)
 		}
 	}

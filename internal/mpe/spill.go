@@ -45,6 +45,31 @@ func (g *Group) SpillPrefix() string {
 	return g.spillPrefix
 }
 
+// SetSpillBatch sets how many records a spill encode covers. The default
+// of 1 writes and flushes every record immediately — the abort-proof
+// discipline RobustLog depends on. Larger batches amortise the encode
+// and flush over n records at the cost of losing up to n-1 trailing
+// records on an abort; the overhead harness measures the difference.
+// Call before any logging happens, alongside EnableSpill.
+func (g *Group) SetSpillBatch(n int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	g.spillBatch = n
+}
+
+// SpillBatch returns the spill batch size (minimum 1).
+func (g *Group) SpillBatch() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.spillBatch < 1 {
+		return 1
+	}
+	return g.spillBatch
+}
+
 func spillRankPath(prefix string, rank int) string {
 	return fmt.Sprintf("%s.rank%d.spill", prefix, rank)
 }
@@ -106,18 +131,42 @@ func (l *Logger) ensureSpill() *spill {
 	return l.sp
 }
 
-// spillRecord writes one record through to disk immediately.
-func (l *Logger) spillRecord(rec clog2.Record) {
+// spillRecord writes one record through to disk immediately (batch 1),
+// or queues it for a block-sized encode (batch > 1).
+func (l *Logger) spillRecord(rec *clog2.Record) {
 	sp := l.ensureSpill()
 	if sp == nil || sp.w == nil {
 		return
 	}
-	l.spillArr[0] = rec
-	if err := sp.w.WriteBlock(int32(l.rank.ID()), l.spillArr[:]); err != nil {
-		l.spErr = err
+	if l.spBatch <= 1 {
+		l.spillArr[0] = *rec
+		if err := sp.w.WriteBlock(int32(l.rank.ID()), l.spillArr[:]); err != nil {
+			l.spErr = err
+			return
+		}
+		l.spErr = sp.w.Flush()
 		return
 	}
-	l.spErr = sp.w.Flush()
+	if l.spPend == nil {
+		l.spPend = make([]clog2.Record, 0, l.spBatch)
+	}
+	l.spPend = append(l.spPend, *rec)
+	if len(l.spPend) >= l.spBatch {
+		l.flushSpillBatch(sp)
+	}
+}
+
+// flushSpillBatch encodes the pending batch as one block and flushes it.
+func (l *Logger) flushSpillBatch(sp *spill) {
+	if len(l.spPend) == 0 {
+		return
+	}
+	if err := sp.w.WriteBlock(int32(l.rank.ID()), l.spPend); err != nil {
+		l.spErr = err
+	} else {
+		l.spErr = sp.w.Flush()
+	}
+	l.spPend = l.spPend[:0]
 }
 
 // closeSpill finalises the logger's spill file; when remove is true
@@ -127,6 +176,7 @@ func (l *Logger) closeSpill(remove bool) {
 	if l.sp == nil || l.sp.f == nil {
 		return
 	}
+	l.flushSpillBatch(l.sp)
 	l.sp.w.Close()
 	l.sp.f.Close()
 	if remove {
@@ -173,7 +223,8 @@ func Salvage(prefix string, out *os.File) (ranks int, err error) {
 		if err != nil {
 			continue
 		}
-		// Spill fragments are one record per block; coalesce per rank.
+		// Spill fragments carry one record per block (or one batch per
+		// block under SetSpillBatch); coalesce per rank.
 		var recs []clog2.Record
 		for _, b := range frag.Blocks {
 			recs = append(recs, b.Records...)

@@ -74,6 +74,10 @@ type World struct {
 	eagerLimit int
 	clocks     []clock.Source
 	boxes      []*mailbox
+	// ranks holds the n immutable rank handles; Rank() hands out
+	// pointers into it so the accessor never allocates (it sits on
+	// every logging and messaging hot path).
+	ranks []Rank
 
 	abortCh   chan struct{}
 	abortOnce sync.Once
@@ -119,6 +123,10 @@ func NewWorld(n int, opts Options) *World {
 			w.clocks[i] = shared
 		}
 		w.boxes[i] = newMailbox()
+	}
+	w.ranks = make([]Rank, n)
+	for i := range w.ranks {
+		w.ranks[i] = Rank{w: w, id: i}
 	}
 	w.barrier.cond = sync.NewCond(&w.barrier.mu)
 	w.sent = make([]atomic.Int64, n)
@@ -176,7 +184,7 @@ func (w *World) Rank(id int) *Rank {
 	if id < 0 || id >= w.size {
 		panic(invariantf("mpi: Rank(%d) out of range [0,%d)", id, w.size))
 	}
-	return &Rank{w: w, id: id}
+	return &w.ranks[id]
 }
 
 // invariantError is the panic payload for mpi-internal invariant

@@ -1,0 +1,58 @@
+package nativelog_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/nativelog"
+)
+
+// AppendLine must match the Fprintf format the service process always
+// used ("[%12.6f] %s\n"), byte for byte, so logs remain parseable and
+// diffable across versions.
+func TestAppendLineMatchesFprintf(t *testing.T) {
+	times := []float64{0, 0.000001, 12.345678, 99999.123456, 12345678.9,
+		123456789012.3, -1.5, math.Inf(1), math.NaN()}
+	texts := []string{"", "P1 exited", "PI_MAIN PI_Write chan C1 fmt \"%d\" main.go:10"}
+	for _, ts := range times {
+		for _, text := range texts {
+			want := fmt.Sprintf("[%12.6f] %s\n", ts, text)
+			got := string(nativelog.AppendLine(nil, ts, text))
+			if got != want {
+				t.Errorf("AppendLine(%v, %q) = %q, want %q", ts, text, got, want)
+			}
+		}
+	}
+}
+
+// Lines built by AppendLine parse back into the entry they encode.
+func TestAppendLineRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = nativelog.AppendLine(buf, 1.5, "P3 PI_Read chan C2 fmt \"%d\" app.go:47")
+	buf = nativelog.AppendLine(buf, 2.25, "P3 exited")
+	entries, err := nativelog.Parse(strings.NewReader(string(buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("parsed %d entries, want 2", len(entries))
+	}
+	if entries[0].ArrivalTime != 1.5 || entries[0].Proc != "P3" || entries[0].Op != "PI_Read" {
+		t.Fatalf("first entry %+v", entries[0])
+	}
+	if entries[1].ArrivalTime != 2.25 || entries[1].Op != "exited" {
+		t.Fatalf("second entry %+v", entries[1])
+	}
+}
+
+// Reusing the buffer must not allocate once it has grown.
+func TestAppendLineAllocFree(t *testing.T) {
+	buf := make([]byte, 0, 128)
+	if n := testing.AllocsPerRun(200, func() {
+		buf = nativelog.AppendLine(buf[:0], 123.456789, "P1 PI_Write chan C1")
+	}); n != 0 {
+		t.Errorf("AppendLine allocates %.1f per run, want 0", n)
+	}
+}

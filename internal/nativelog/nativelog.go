@@ -24,6 +24,29 @@ import (
 	"strings"
 )
 
+// AppendLine appends one native-log line to dst in the exact format the
+// service process writes (and Parse reads back): "[%12.6f] text\n", the
+// timestamp right-aligned to 12 columns with six decimals. The service
+// process formats every arriving line through here into a reused buffer,
+// so a chatty program does not make the logger allocate per line.
+func AppendLine(dst []byte, wtime float64, text string) []byte {
+	dst = append(dst, '[')
+	start := len(dst)
+	dst = strconv.AppendFloat(dst, wtime, 'f', 6, 64)
+	if pad := 12 - (len(dst) - start); pad > 0 {
+		// Right-align as %12.6f does: shift the digits up and fill the
+		// gap with spaces (copy is memmove-safe for the overlap).
+		dst = append(dst, "            "[:pad]...)
+		copy(dst[start+pad:], dst[start:len(dst)-pad])
+		for i := 0; i < pad; i++ {
+			dst[start+i] = ' '
+		}
+	}
+	dst = append(dst, ']', ' ')
+	dst = append(dst, text...)
+	return append(dst, '\n')
+}
+
 // Entry is one parsed log line.
 type Entry struct {
 	// ArrivalTime is when the line reached the central service process —

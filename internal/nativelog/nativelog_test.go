@@ -1,4 +1,4 @@
-package nativelog
+package nativelog_test
 
 import (
 	"os"
@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/lab2"
+	"repro/internal/nativelog"
 )
 
 const sample = `[    0.000100] PI_MAIN PI_Write chan C1 fmt "%d" main.go:10
@@ -19,7 +20,7 @@ garbage line that is not a log entry
 `
 
 func TestParse(t *testing.T) {
-	entries, err := Parse(strings.NewReader(sample))
+	entries, err := nativelog.Parse(strings.NewReader(sample))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,8 +42,8 @@ func TestParse(t *testing.T) {
 }
 
 func TestByProcSeparatesConglomerate(t *testing.T) {
-	entries, _ := Parse(strings.NewReader(sample))
-	per := ByProc(entries)
+	entries, _ := nativelog.Parse(strings.NewReader(sample))
+	per := nativelog.ByProc(entries)
 	if len(per["PI_MAIN"]) != 2 || len(per["P1"]) != 2 || len(per["P2"]) != 2 {
 		t.Fatalf("per-proc counts: main=%d p1=%d p2=%d",
 			len(per["PI_MAIN"]), len(per["P1"]), len(per["P2"]))
@@ -54,41 +55,41 @@ func TestByProcSeparatesConglomerate(t *testing.T) {
 }
 
 func TestCallCountsAndSummary(t *testing.T) {
-	entries, _ := Parse(strings.NewReader(sample))
-	counts := CallCounts(entries)
+	entries, _ := nativelog.Parse(strings.NewReader(sample))
+	counts := nativelog.CallCounts(entries)
 	if counts["PI_MAIN"]["PI_Write"] != 2 {
 		t.Fatalf("counts %+v", counts)
 	}
-	out := FormatSummary(entries)
+	out := nativelog.FormatSummary(entries)
 	if !strings.Contains(out, "PI_MAIN") || !strings.Contains(out, "PI_Write=2") {
 		t.Fatalf("summary:\n%s", out)
 	}
 }
 
 func TestInterleaving(t *testing.T) {
-	entries, _ := Parse(strings.NewReader(sample))
+	entries, _ := nativelog.Parse(strings.NewReader(sample))
 	// Sequence: MAIN P1 MAIN P2 P1 P2 -> every adjacent pair switches.
-	if got := Interleaving(entries); got != 1.0 {
+	if got := nativelog.Interleaving(entries); got != 1.0 {
 		t.Fatalf("interleaving = %v, want 1.0", got)
 	}
-	single, _ := Parse(strings.NewReader("[1.0] P1 PI_Read x\n[2.0] P1 PI_Read y\n"))
-	if got := Interleaving(single); got != 0 {
+	single, _ := nativelog.Parse(strings.NewReader("[1.0] P1 PI_Read x\n[2.0] P1 PI_Read y\n"))
+	if got := nativelog.Interleaving(single); got != 0 {
 		t.Fatalf("single-proc interleaving = %v", got)
 	}
-	if got := Interleaving(nil); got != 0 {
+	if got := nativelog.Interleaving(nil); got != 0 {
 		t.Fatalf("empty interleaving = %v", got)
 	}
 }
 
 func TestGrep(t *testing.T) {
-	entries, _ := Parse(strings.NewReader(sample))
-	if hits := Grep(entries, "pi_read"); len(hits) != 2 {
+	entries, _ := nativelog.Parse(strings.NewReader(sample))
+	if hits := nativelog.Grep(entries, "pi_read"); len(hits) != 2 {
 		t.Fatalf("grep pi_read: %d hits", len(hits))
 	}
-	if hits := Grep(entries, "C2"); len(hits) != 2 {
+	if hits := nativelog.Grep(entries, "C2"); len(hits) != 2 {
 		t.Fatalf("grep C2: %d hits", len(hits))
 	}
-	if hits := Grep(entries, "nomatch-xyz"); len(hits) != 0 {
+	if hits := nativelog.Grep(entries, "nomatch-xyz"); len(hits) != 0 {
 		t.Fatalf("grep nomatch: %d hits", len(hits))
 	}
 }
@@ -109,11 +110,11 @@ func TestParseRealNativeLog(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	entries, err := Parse(f)
+	entries, err := nativelog.Parse(f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	counts := CallCounts(entries)
+	counts := nativelog.CallCounts(entries)
 	// Per worker: 2 reads + 1 write; PI_MAIN: 6 writes + 3 reads.
 	for _, p := range []string{"P1", "P2", "P3"} {
 		if counts[p]["PI_Read"] != 2 || counts[p]["PI_Write"] != 1 {
@@ -136,7 +137,7 @@ func TestParseRealNativeLog(t *testing.T) {
 		prev = e.ArrivalTime
 	}
 	// With several processes the stream really is interleaved.
-	if il := Interleaving(entries); il == 0 {
+	if il := nativelog.Interleaving(entries); il == 0 {
 		t.Error("real log shows no interleaving; expected a conglomerate")
 	}
 }

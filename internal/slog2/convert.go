@@ -178,7 +178,7 @@ func processRank(rank int, recs []clog2.Record, stateCat map[mpe.StateID]int, ev
 		switch rec.Type {
 		case clog2.RecBareEvt, clog2.RecCargoEvt:
 			if sid, ok := mpe.IsStartEtype(rec.ID); ok {
-				stack = append(stack, open{sid: sid, start: rec.Time, cargo: rec.Text})
+				stack = append(stack, open{sid: sid, start: rec.Time, cargo: rec.CargoText()})
 				continue
 			}
 			if sid, ok := mpe.IsEndEtype(rec.ID); ok {
@@ -193,7 +193,8 @@ func processRank(rank int, recs []clog2.Record, stateCat map[mpe.StateID]int, ev
 					rr.nesting++
 					rr.warnf("rank %d: state %d closed while %d open at %v", rank, sid, top.sid, rec.Time)
 				}
-				if rec.Text == mpe.SyntheticEndCargo {
+				endCargo := rec.CargoText()
+				if endCargo == mpe.SyntheticEndCargo {
 					// The logger closed this state for us at wrap-up; it is
 					// still a nesting error in the program being debugged.
 					rr.nesting++
@@ -207,7 +208,7 @@ func processRank(rank int, recs []clog2.Record, stateCat map[mpe.StateID]int, ev
 				rr.states = append(rr.states, State{
 					Rank: rank, Cat: cat,
 					Start: top.start, End: rec.Time,
-					StartCargo: top.cargo, EndCargo: rec.Text,
+					StartCargo: top.cargo, EndCargo: endCargo,
 				})
 				continue
 			}
@@ -217,7 +218,7 @@ func processRank(rank int, recs []clog2.Record, stateCat map[mpe.StateID]int, ev
 					rr.warnf("rank %d: event %d has no definition", rank, eid)
 					continue
 				}
-				rr.events = append(rr.events, Event{Rank: rank, Cat: cat, Time: rec.Time, Cargo: rec.Text})
+				rr.events = append(rr.events, Event{Rank: rank, Cat: cat, Time: rec.Time, Cargo: rec.CargoText()})
 				continue
 			}
 			rr.warnf("rank %d: unclassifiable etype %d", rank, rec.ID)

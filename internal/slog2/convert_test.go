@@ -229,8 +229,8 @@ func TestConvertSyntheticEndCounted(t *testing.T) {
 	b := newCLOG(1)
 	b.defState(1, "S", "red")
 	b.blocks[0] = append(b.blocks[0],
-		clog2.Record{Type: clog2.RecCargoEvt, Time: 1, Rank: 0, ID: 2, Text: "line: 5"},
-		clog2.Record{Type: clog2.RecCargoEvt, Time: 9, Rank: 0, ID: 3, Text: mpe.SyntheticEndCargo},
+		cargoEvt(1, 0, 2, "line: 5"),
+		cargoEvt(9, 0, 3, mpe.SyntheticEndCargo),
 	)
 	f, rep, err := Convert(b.file(), ConvertOptions{})
 	if err != nil {

@@ -35,16 +35,21 @@ func (b *clogBuilder) defEvent(id int32, name, color string) {
 	})
 }
 
+func cargoEvt(time float64, rank, id int32, cargo string) clog2.Record {
+	r := clog2.Record{Type: clog2.RecCargoEvt, Time: time, Rank: rank, ID: id}
+	r.SetCargo(cargo)
+	return r
+}
+
 func (b *clogBuilder) state(rank int32, id int32, t0, t1 float64, cargo string) {
 	b.blocks[rank] = append(b.blocks[rank],
-		clog2.Record{Type: clog2.RecCargoEvt, Time: t0, Rank: rank, ID: id * 2, Text: cargo},
-		clog2.Record{Type: clog2.RecCargoEvt, Time: t1, Rank: rank, ID: id*2 + 1},
+		cargoEvt(t0, rank, id*2, cargo),
+		cargoEvt(t1, rank, id*2+1, ""),
 	)
 }
 
 func (b *clogBuilder) event(rank int32, id int32, t float64, cargo string) {
-	b.blocks[rank] = append(b.blocks[rank],
-		clog2.Record{Type: clog2.RecCargoEvt, Time: t, Rank: rank, ID: 1<<20 + id, Text: cargo})
+	b.blocks[rank] = append(b.blocks[rank], cargoEvt(t, rank, 1<<20+id, cargo))
 }
 
 func (b *clogBuilder) send(rank, dst, tag int32, t float64, size int32) {
