@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-compare fuzz clean
+.PHONY: all build vet test race ci bench bench-compare fuzz fuzz-smoke chaos clean
 
 all: ci
 
@@ -20,7 +20,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: build vet race
+ci: build vet race fuzz-smoke
 
 # The logging-overhead harness (ns/op, B/op, allocs/op per Pilot call,
 # with and without logging — BENCH_overhead.json), then the conversion
@@ -41,6 +41,19 @@ bench-compare:
 # `make test` as well).
 fuzz:
 	$(GO) test ./internal/clog2/ -fuzz FuzzReadFile -fuzztime 30s
+
+# CI fuzz smoke: 5 seconds of coverage-guided fuzzing per target. Go only
+# accepts one -fuzz target per invocation, hence one line per target.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadFile$$' -fuzztime 5s ./internal/clog2/
+	$(GO) test -run '^$$' -fuzz '^FuzzSalvageSegments$$' -fuzztime 5s ./internal/clog2/
+	$(GO) test -run '^$$' -fuzz '^FuzzSalvageFragment$$' -fuzztime 5s ./internal/mpe/
+
+# The kill/corrupt chaos harness: a real example under RobustLog is
+# SIGKILLed at seeded points, its spill files further damaged, and every
+# seed must still salvage into a convertible SLOG-2. Race-clean.
+chaos:
+	$(GO) test -race -run '^TestChaosKillSalvage$$' -v .
 
 clean:
 	rm -rf out

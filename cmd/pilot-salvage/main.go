@@ -5,10 +5,14 @@
 //
 // Usage:
 //
-//	pilot-salvage [-o out.clog2] [-keep] PREFIX
+//	pilot-salvage [-o out.clog2] [-keep] [-q] PREFIX
 //
-// PREFIX is the JumpshotPath of the dead run; the tool reads
-// PREFIX.defs.spill and PREFIX.rank<N>.spill.
+// PREFIX is the JumpshotPath of the dead run; the tool discovers
+// PREFIX.defs.spill and every PREFIX.rank<N>.spill by globbing, so no
+// rank is out of range. It prints a per-rank damage report and exits 0
+// on a full recovery, 4 when records were recovered but something was
+// lost (corrupted segments, quarantined bytes, synthesized definitions),
+// and 1 when nothing could be salvaged at all.
 package main
 
 import (
@@ -22,10 +26,12 @@ import (
 func main() {
 	out := flag.String("o", "", "output CLOG-2 path (default: PREFIX itself)")
 	keep := flag.Bool("keep", false, "keep the spill fragments after salvaging")
-	ranks := flag.Int("ranks", 256, "maximum rank number to look for when cleaning up")
+	quiet := flag.Bool("q", false, "suppress the per-rank report (errors still print)")
+	ranks := flag.Int("ranks", 0, "deprecated, ignored: fragments are discovered by globbing")
 	flag.Parse()
+	_ = *ranks
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: pilot-salvage [-o out.clog2] [-keep] PREFIX")
+		fmt.Fprintln(os.Stderr, "usage: pilot-salvage [-o out.clog2] [-keep] [-q] PREFIX")
 		os.Exit(2)
 	}
 	prefix := flag.Arg(0)
@@ -38,17 +44,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	n, err := mpe.Salvage(prefix, f)
+	rep, err := mpe.SalvageWithReport(prefix, f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
 		os.Remove(dst)
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "pilot-salvage:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("salvaged %d rank fragment(s) -> %s\n", n, dst)
+	if rep.RanksRecovered == 0 {
+		os.Remove(dst)
+		fmt.Fprintln(os.Stderr, "pilot-salvage: no records recovered from any rank fragment")
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Println(rep)
+	}
+	fmt.Printf("salvaged %s -> %s\n", rep.Summary(), dst)
 	if !*keep {
-		mpe.RemoveSpills(prefix, *ranks)
+		mpe.RemoveSpills(prefix, 0)
+	}
+	if !rep.Clean() {
+		os.Exit(4)
 	}
 }

@@ -427,13 +427,17 @@ func (r *Runtime) StopMain(status int) error {
 }
 
 // salvageLog merges the spill fragments of an aborted run into the
-// regular Jumpshot log path and removes the fragments on success.
+// regular Jumpshot log path and removes the fragments on success. Any
+// damage the salvage had to route around — lost segments, quarantined
+// bytes, a synthesized defs table — is surfaced as warnings, because an
+// abort is exactly when the user needs to know how trustworthy the
+// recovered timeline is.
 func (r *Runtime) salvageLog() error {
 	out, err := os.Create(r.cfg.JumpshotPath)
 	if err != nil {
 		return err
 	}
-	ranks, err := mpe.Salvage(r.cfg.JumpshotPath, out)
+	rep, err := mpe.SalvageWithReport(r.cfg.JumpshotPath, out)
 	if cerr := out.Close(); err == nil {
 		err = cerr
 	}
@@ -441,9 +445,15 @@ func (r *Runtime) salvageLog() error {
 		os.Remove(r.cfg.JumpshotPath)
 		return err
 	}
-	if ranks == 0 {
+	if rep.RanksRecovered == 0 {
 		os.Remove(r.cfg.JumpshotPath)
-		return fmt.Errorf("no rank fragments found")
+		return fmt.Errorf("no records recovered from any rank fragment")
+	}
+	if !rep.Clean() {
+		r.warnf("pilot: warning: salvage incomplete: %s", rep.Summary())
+		for _, w := range rep.Warnings {
+			r.warnf("pilot: warning: salvage: %s", w)
+		}
 	}
 	mpe.RemoveSpills(r.cfg.JumpshotPath, r.cfg.NumProcs)
 	return nil

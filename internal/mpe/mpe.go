@@ -89,9 +89,11 @@ type Group struct {
 	// spillPrefix, when non-empty, makes every logger write each record
 	// through to an abort-surviving spill file (see spill.go);
 	// spillBatch (default 1) sets how many records one spill encode
-	// covers (see SetSpillBatch).
+	// covers (see SetSpillBatch); spillFormat (default 2, framed
+	// segments) selects the on-disk format (see SetSpillFormat).
 	spillPrefix string
 	spillBatch  int
+	spillFormat int
 
 	loggers []*Logger
 }

@@ -1,0 +1,310 @@
+package mpe_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/clog2"
+	"repro/internal/mpe"
+	"repro/internal/mpi"
+	"repro/internal/slog2"
+)
+
+// abortedRun logs real traffic on every rank of a 3-rank world with
+// spilling on, never Finishes (the abort), and returns the group. Each
+// rank r writes 2*(r+2) state-half records plus one message record, all
+// write-through, so rank r's fragment holds 2*(r+2)+1 segments.
+func abortedRun(t testing.TB, prefix string, format int) *mpe.Group {
+	t.Helper()
+	w := mpi.NewWorld(3, mpi.Options{})
+	g := mpe.NewGroup(w, true)
+	g.EnableSpill(prefix)
+	if format != 0 {
+		g.SetSpillFormat(format)
+	}
+	read := g.DescribeState("PI_Read", "red")
+	arrival := g.DescribeEvent("MsgArrival", "yellow")
+	if err := g.SpillDefs(); err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < 3; rank++ {
+		l := g.Logger(rank)
+		for i := 0; i < rank+2; i++ {
+			l.StateStart(read, "line: lab2.go:57")
+			l.StateEnd(read, "")
+		}
+		l.Event(arrival, "chan: C1")
+		if err := l.SpillError(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func salvageToFile(t testing.TB, prefix string) (*mpe.SalvageReport, []byte) {
+	t.Helper()
+	var out bytes.Buffer
+	rep, err := mpe.SalvageWithReport(prefix, &out)
+	if err != nil {
+		t.Fatalf("salvage: %v", err)
+	}
+	return rep, out.Bytes()
+}
+
+func TestSalvageReportCleanRun(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "run.clog2")
+	abortedRun(t, prefix, 0)
+	rep, merged := salvageToFile(t, prefix)
+	if !rep.Clean() {
+		t.Fatalf("clean run reported dirty:\n%s", rep)
+	}
+	if rep.RanksRecovered != 3 || rep.NumRanks != 3 || rep.DefsSynthesized {
+		t.Fatalf("report: %+v", rep)
+	}
+	for _, r := range rep.Ranks {
+		wantSegs := 2*(r.Rank+2) + 1
+		if r.Format != clog2.SpillFormatV2 || r.SegmentsRecovered != wantSegs ||
+			r.SegmentsMissing != 0 || r.SegmentsSkipped != 0 ||
+			r.SegmentsWritten != int64(wantSegs) || r.BytesQuarantined != 0 {
+			t.Fatalf("rank %d accounting: %+v", r.Rank, r)
+		}
+	}
+	if _, err := clog2.Read(bytes.NewReader(merged)); err != nil {
+		t.Fatalf("merged log unreadable: %v", err)
+	}
+	// The report must mention every rank when rendered.
+	s := rep.String()
+	for _, want := range []string{"rank 0", "rank 1", "rank 2", "3 rank(s)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report text missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// The end-to-end acceptance property: corrupting any single byte of a v2
+// rank fragment loses at most the segment holding it — salvage still
+// succeeds, the accounting closes (recovered + skipped + missing ==
+// written), the other ranks stay complete, and the merged file stays
+// readable.
+func TestSalvageByteFlipSweep(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "run.clog2")
+	abortedRun(t, prefix, 0)
+	fragPath := prefix + ".rank1.spill"
+	pristine, err := os.ReadFile(fragPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := clog2.ScanSegments(pristine)
+	written := len(segs)
+
+	baseRep, _ := salvageToFile(t, prefix)
+	var baseRank0 int
+	for _, r := range baseRep.Ranks {
+		if r.Rank == 0 {
+			baseRank0 = r.Records
+		}
+	}
+
+	for off := 0; off < len(pristine); off++ {
+		mut := append([]byte(nil), pristine...)
+		mut[off] ^= 0xA5
+		if err := os.WriteFile(fragPath, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rep, merged := salvageToFile(t, prefix)
+		for _, r := range rep.Ranks {
+			switch r.Rank {
+			case 1:
+				lost := r.SegmentsMissing + r.SegmentsSkipped
+				if lost > 1 {
+					t.Fatalf("flip at %d lost %d segments", off, lost)
+				}
+				// The accounting closes against what the scanner can still
+				// prove was written (the flip may demote the last segment's
+				// seq out of view).
+				if int64(r.SegmentsRecovered+r.SegmentsSkipped+r.SegmentsMissing) != r.SegmentsWritten {
+					t.Fatalf("flip at %d: accounting open: %+v", off, r)
+				}
+				if r.SegmentsRecovered < written-1 {
+					t.Fatalf("flip at %d recovered only %d of %d segments", off, r.SegmentsRecovered, written)
+				}
+			case 0:
+				if r.Records != baseRank0 || r.SegmentsMissing+r.SegmentsSkipped != 0 {
+					t.Fatalf("flip at %d in rank 1 damaged rank 0: %+v", off, r)
+				}
+			}
+		}
+		if _, err := clog2.Read(bytes.NewReader(merged)); err != nil {
+			t.Fatalf("flip at %d: merged log unreadable: %v", off, err)
+		}
+	}
+	if err := os.WriteFile(fragPath, pristine, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A missing defs spill degrades to synthesized placeholder definitions:
+// the salvage still succeeds, warns, and the merged log still converts to
+// SLOG-2 with every record categorised (no "no definition" drops).
+func TestSalvageSynthesizesDefs(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "run.clog2")
+	abortedRun(t, prefix, 0)
+	if err := os.Remove(prefix + ".defs.spill"); err != nil {
+		t.Fatal(err)
+	}
+	rep, merged := salvageToFile(t, prefix)
+	if !rep.DefsSynthesized {
+		t.Fatal("missing defs not reported as synthesized")
+	}
+	if rep.Clean() {
+		t.Fatal("synthesized defs counted as a clean salvage")
+	}
+	if len(rep.Warnings) == 0 {
+		t.Fatal("no warning for missing defs")
+	}
+	f, err := clog2.Read(bytes.NewReader(merged))
+	if err != nil {
+		t.Fatalf("merged log unreadable: %v", err)
+	}
+	if n := len(f.StateDefs()); n != 1 {
+		t.Fatalf("synthesized %d state defs, want 1", n)
+	}
+	sf, srep, err := slog2.Convert(f, slog2.ConvertOptions{})
+	if err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	for _, w := range srep.Warnings {
+		if strings.Contains(w, "no definition") {
+			t.Fatalf("salvaged records dropped: %v", w)
+		}
+	}
+	// 3 ranks, rank r holds r+2 complete states and one solo event.
+	if srep.States != 2+3+4 || srep.Events != 3 {
+		t.Fatalf("converted %d states, %d events", srep.States, srep.Events)
+	}
+	if sf == nil {
+		t.Fatal("nil SLOG-2 file")
+	}
+}
+
+// A corrupted (not just missing) defs spill also degrades to synthesis.
+func TestSalvageDamagedDefs(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "run.clog2")
+	abortedRun(t, prefix, 0)
+	if err := os.WriteFile(prefix+".defs.spill", []byte("scribbled over"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, merged := salvageToFile(t, prefix)
+	if !rep.DefsSynthesized {
+		t.Fatal("damaged defs not reported as synthesized")
+	}
+	if _, err := clog2.Read(bytes.NewReader(merged)); err != nil {
+		t.Fatalf("merged log unreadable: %v", err)
+	}
+}
+
+// Legacy v1 fragments (raw CLOG-2 streams) still salvage through the
+// version-detecting path.
+func TestSalvageLegacyV1(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "run.clog2")
+	abortedRun(t, prefix, clog2.SpillFormatV1)
+	rep, merged := salvageToFile(t, prefix)
+	if rep.RanksRecovered != 3 {
+		t.Fatalf("salvaged %d ranks, want 3", rep.RanksRecovered)
+	}
+	for _, r := range rep.Ranks {
+		if r.Format != clog2.SpillFormatV1 {
+			t.Fatalf("rank %d detected as format %d", r.Rank, r.Format)
+		}
+		if r.Damaged() {
+			t.Fatalf("clean v1 fragment reported damaged: %+v", r)
+		}
+	}
+	if _, err := clog2.Read(bytes.NewReader(merged)); err != nil {
+		t.Fatalf("merged log unreadable: %v", err)
+	}
+}
+
+// Fragment discovery globs — it finds sparse and very high ranks without
+// a probe bound, and ignores files that merely look like fragments.
+func TestFindSpillFragments(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "run.clog2")
+	for _, name := range []string{
+		"run.clog2.rank0.spill", "run.clog2.rank7.spill", "run.clog2.rank4096.spill",
+		"run.clog2.rankX.spill", "run.clog2.rank-1.spill", "run.clog2.rank01.spill",
+		"run.clog2.defs.spill", "other.clog2.rank3.spill",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frags := mpe.FindSpillFragments(prefix)
+	if len(frags) != 3 {
+		t.Fatalf("found %d fragments: %+v", len(frags), frags)
+	}
+	for i, want := range []int{0, 7, 4096} {
+		if frags[i].Rank != want {
+			t.Fatalf("fragment %d has rank %d, want %d", i, frags[i].Rank, want)
+		}
+	}
+}
+
+// A fragment from a rank beyond the defs table's world size widens the
+// merged file's rank count instead of being dropped — the old bounded
+// probe could never even find it.
+func TestSalvageHighRankWidensWorld(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "run.clog2")
+	abortedRun(t, prefix, 0)
+	var payload bytes.Buffer
+	rec := clog2.Record{Type: clog2.RecBareEvt, Time: 9.0, Rank: 4096, ID: 0}
+	if err := clog2.EncodeBlockPayload(&payload, 4096, []clog2.Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+	frag := clog2.AppendSegment(nil, 4096, 0, payload.Bytes())
+	if err := os.WriteFile(prefix+".rank4096.spill", frag, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, merged := salvageToFile(t, prefix)
+	if rep.NumRanks != 4097 {
+		t.Fatalf("NumRanks = %d, want 4097", rep.NumRanks)
+	}
+	if rep.RanksRecovered != 4 {
+		t.Fatalf("salvaged %d ranks, want 4", rep.RanksRecovered)
+	}
+	if _, err := clog2.Read(bytes.NewReader(merged)); err != nil {
+		t.Fatalf("merged log unreadable: %v", err)
+	}
+}
+
+// An unreadable fragment (pure garbage) is quarantined wholesale and
+// warned about; the other ranks still salvage.
+func TestSalvageGarbageFragment(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "run.clog2")
+	abortedRun(t, prefix, 0)
+	if err := os.WriteFile(prefix+".rank2.spill", bytes.Repeat([]byte{0x5a}, 300), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, merged := salvageToFile(t, prefix)
+	if rep.RanksRecovered != 2 {
+		t.Fatalf("salvaged %d ranks, want 2", rep.RanksRecovered)
+	}
+	var r2 *mpe.RankSalvage
+	for i := range rep.Ranks {
+		if rep.Ranks[i].Rank == 2 {
+			r2 = &rep.Ranks[i]
+		}
+	}
+	if r2 == nil || r2.Format != clog2.SpillFormatUnknown || r2.BytesQuarantined != 300 {
+		t.Fatalf("garbage fragment accounting: %+v", r2)
+	}
+	if rep.Clean() {
+		t.Fatal("garbage fragment counted as clean")
+	}
+	if _, err := clog2.Read(bytes.NewReader(merged)); err != nil {
+		t.Fatalf("merged log unreadable: %v", err)
+	}
+}

@@ -1,9 +1,9 @@
 package mpe
 
 import (
+	"bytes"
 	"fmt"
 	"os"
-	"sort"
 
 	"repro/internal/clog2"
 )
@@ -16,17 +16,49 @@ import (
 // an abort, Salvage merges the surviving fragments into a complete CLOG-2
 // file.
 //
+// Two spill formats exist on disk:
+//
+//   - v2 (default): each write is one self-synchronizing segment — magic
+//     marker, version, rank, per-rank sequence number, payload length and
+//     a CRC-32C over header+payload, wrapping the bare CLOG-2 block
+//     encoding (see clog2/segment.go). One corrupted byte costs at most
+//     the segment holding it; salvage resynchronizes on the next marker
+//     and detects interior losses via sequence gaps.
+//   - v1 (legacy, SetSpillFormat(1)): a raw CLOG-2 stream. Survives clean
+//     truncation via clog2.ReadLenient, but a torn write or flipped byte
+//     mid-file silently discards everything after it. Kept for fragments
+//     from old runs and as the framing-overhead baseline.
+//
 // Caveat inherited from the design: records in spill files carry raw,
 // unsynchronised per-rank clocks, because MPE_Log_sync_clocks runs during
 // the wrap-up that an abort skips. With shared or mildly drifting clocks
 // the salvaged log is still perfectly usable for debugging — and
 // debugging an aborted program is exactly when you want it.
 
-// spill is a per-rank write-through CLOG-2 fragment.
+// spill is a per-rank write-through fragment: a raw CLOG-2 stream in v1,
+// a segment stream in v2.
 type spill struct {
-	f *os.File
+	f       *os.File
+	version int
+
+	// v1 state: a persistent stream writer (file header written once).
 	w *clog2.Writer
+
+	// v2 state: a reusable frame buffer (header placeholder + payload,
+	// encoded in place), the bare block writer over it, and the per-rank
+	// segment sequence counter. All reused so steady-state spilling
+	// allocates nothing.
+	buf bytes.Buffer
+	bw  *clog2.Writer
+	seq uint64
 }
+
+// segHeaderPlaceholder reserves room for the v2 frame header; the real
+// header is patched in after the payload is encoded behind it.
+var segHeaderPlaceholder [clog2.SegHeaderSize]byte
+
+// dead reports a degraded spill (open failed; writes are dropped).
+func (sp *spill) dead() bool { return sp.f == nil }
 
 // EnableSpill turns on write-through spilling for every logger in the
 // group. prefix names the spill family: rank r writes
@@ -70,6 +102,29 @@ func (g *Group) SpillBatch() int {
 	return g.spillBatch
 }
 
+// SetSpillFormat selects the on-disk spill format: 2 (default) writes
+// checksummed self-synchronizing segments, 1 writes the legacy raw
+// CLOG-2 stream. Anything else is clamped to the default. Call before
+// any logging happens, alongside EnableSpill.
+func (g *Group) SetSpillFormat(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if v != clog2.SpillFormatV1 && v != clog2.SpillFormatV2 {
+		v = clog2.SpillFormatV2
+	}
+	g.spillFormat = v
+}
+
+// SpillFormat returns the active spill format (1 or 2).
+func (g *Group) SpillFormat() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.spillFormat == clog2.SpillFormatV1 {
+		return clog2.SpillFormatV1
+	}
+	return clog2.SpillFormatV2
+}
+
 func spillRankPath(prefix string, rank int) string {
 	return fmt.Sprintf("%s.rank%d.spill", prefix, rank)
 }
@@ -78,73 +133,110 @@ func spillDefsPath(prefix string) string { return prefix + ".defs.spill" }
 
 // SpillDefs writes the definition tables to the defs spill file. Pilot
 // calls it once, after all states and events are described (at
-// PI_StartAll).
+// PI_StartAll). In v2 the defs — a complete miniature CLOG-2 file — are
+// wrapped in a single checksummed segment, so salvage can tell a damaged
+// defs table from an intact one and fall back to synthesized defs.
 func (g *Group) SpillDefs() error {
 	prefix := g.SpillPrefix()
 	if prefix == "" || !g.enabled {
 		return nil
 	}
-	f, err := os.Create(spillDefsPath(prefix))
+	var inner bytes.Buffer
+	w, err := clog2.NewWriter(&inner, g.world.Size())
 	if err != nil {
-		return err
-	}
-	w, err := clog2.NewWriter(f, g.world.Size())
-	if err != nil {
-		f.Close()
 		return err
 	}
 	if err := w.WriteBlock(0, g.defRecords()); err != nil {
-		f.Close()
 		return err
 	}
 	if err := w.Close(); err != nil {
-		f.Close()
 		return err
 	}
-	return f.Close()
+	var data []byte
+	if g.SpillFormat() == clog2.SpillFormatV1 {
+		data = inner.Bytes()
+	} else {
+		data = clog2.AppendSegment(nil, 0, 0, inner.Bytes())
+	}
+	return os.WriteFile(spillDefsPath(prefix), data, 0o644)
 }
 
 // ensureSpill lazily opens the logger's spill file (on the logger's own
 // goroutine, so no locking is needed beyond the prefix read).
 func (l *Logger) ensureSpill() *spill {
 	if l.sp != nil {
+		if l.sp.dead() {
+			return nil
+		}
 		return l.sp
 	}
 	prefix := l.g.SpillPrefix()
 	if prefix == "" {
 		return nil
 	}
+	version := l.g.SpillFormat()
 	f, err := os.Create(spillRankPath(prefix, l.rank.ID()))
 	if err != nil {
 		l.spErr = err
 		l.sp = &spill{} // degraded: stop retrying
 		return nil
 	}
-	w, err := clog2.NewWriter(f, l.rank.Size())
-	if err != nil {
-		f.Close()
-		l.spErr = err
-		l.sp = &spill{}
-		return nil
+	sp := &spill{f: f, version: version}
+	if version == clog2.SpillFormatV1 {
+		w, err := clog2.NewWriter(f, l.rank.Size())
+		if err != nil {
+			f.Close()
+			l.spErr = err
+			l.sp = &spill{}
+			return nil
+		}
+		sp.w = w
+	} else {
+		sp.bw = clog2.NewBareBlockWriter(&sp.buf)
 	}
-	l.sp = &spill{f: f, w: w}
+	l.sp = sp
 	return l.sp
+}
+
+// writeBlock lands one batch of records on disk: a flushed stream block
+// in v1, one framed segment in v2 (a single write call, so a torn write
+// damages at most this segment).
+func (sp *spill) writeBlock(rank int32, recs []clog2.Record) error {
+	if sp.version == clog2.SpillFormatV1 {
+		if err := sp.w.WriteBlock(rank, recs); err != nil {
+			return err
+		}
+		return sp.w.Flush()
+	}
+	sp.buf.Reset()
+	sp.buf.Write(segHeaderPlaceholder[:])
+	if err := sp.bw.WriteBlockChunks(rank, recs); err != nil {
+		return err
+	}
+	if err := sp.bw.Flush(); err != nil {
+		return err
+	}
+	frame := sp.buf.Bytes()
+	clog2.FinalizeSegmentHeader(frame, rank, sp.seq)
+	if _, err := sp.f.Write(frame); err != nil {
+		return err
+	}
+	sp.seq++
+	return nil
 }
 
 // spillRecord writes one record through to disk immediately (batch 1),
 // or queues it for a block-sized encode (batch > 1).
 func (l *Logger) spillRecord(rec *clog2.Record) {
 	sp := l.ensureSpill()
-	if sp == nil || sp.w == nil {
+	if sp == nil {
 		return
 	}
 	if l.spBatch <= 1 {
 		l.spillArr[0] = *rec
-		if err := sp.w.WriteBlock(int32(l.rank.ID()), l.spillArr[:]); err != nil {
+		if err := sp.writeBlock(int32(l.rank.ID()), l.spillArr[:]); err != nil {
 			l.spErr = err
-			return
 		}
-		l.spErr = sp.w.Flush()
 		return
 	}
 	if l.spPend == nil {
@@ -161,10 +253,8 @@ func (l *Logger) flushSpillBatch(sp *spill) {
 	if len(l.spPend) == 0 {
 		return
 	}
-	if err := sp.w.WriteBlock(int32(l.rank.ID()), l.spPend); err != nil {
+	if err := sp.writeBlock(int32(l.rank.ID()), l.spPend); err != nil {
 		l.spErr = err
-	} else {
-		l.spErr = sp.w.Flush()
 	}
 	l.spPend = l.spPend[:0]
 }
@@ -173,11 +263,13 @@ func (l *Logger) flushSpillBatch(sp *spill) {
 // (clean shutdown) the file is deleted, since the merged log supersedes
 // it.
 func (l *Logger) closeSpill(remove bool) {
-	if l.sp == nil || l.sp.f == nil {
+	if l.sp == nil || l.sp.dead() {
 		return
 	}
 	l.flushSpillBatch(l.sp)
-	l.sp.w.Close()
+	if l.sp.version == clog2.SpillFormatV1 {
+		l.sp.w.Close()
+	}
 	l.sp.f.Close()
 	if remove {
 		os.Remove(l.sp.f.Name())
@@ -187,64 +279,3 @@ func (l *Logger) closeSpill(remove bool) {
 
 // SpillError reports the first spill-write failure, if any (diagnostics).
 func (l *Logger) SpillError() error { return l.spErr }
-
-// Salvage merges the spill fragments of an aborted run into one complete
-// CLOG-2 file at out. It reads "<prefix>.defs.spill" plus every
-// "<prefix>.rank<r>.spill" it can find, tolerating torn tails, and reports
-// how many ranks contributed. The spill files are left in place; callers
-// delete them once satisfied.
-func Salvage(prefix string, out *os.File) (ranks int, err error) {
-	defsF, err := os.Open(spillDefsPath(prefix))
-	if err != nil {
-		return 0, fmt.Errorf("mpe: salvage needs the defs spill: %w", err)
-	}
-	defs, _, err := clog2.ReadLenient(defsF)
-	defsF.Close()
-	if err != nil {
-		return 0, fmt.Errorf("mpe: reading defs spill: %w", err)
-	}
-
-	w, err := clog2.NewWriter(out, defs.NumRanks)
-	if err != nil {
-		return 0, err
-	}
-	if len(defs.Blocks) > 0 {
-		if err := w.WriteBlock(0, defs.Blocks[0].Records); err != nil {
-			return 0, err
-		}
-	}
-	for r := 0; r < defs.NumRanks; r++ {
-		f, err := os.Open(spillRankPath(prefix, r))
-		if err != nil {
-			continue // rank logged nothing before the abort
-		}
-		frag, _, err := clog2.ReadLenient(f)
-		f.Close()
-		if err != nil {
-			continue
-		}
-		// Spill fragments carry one record per block (or one batch per
-		// block under SetSpillBatch); coalesce per rank.
-		var recs []clog2.Record
-		for _, b := range frag.Blocks {
-			recs = append(recs, b.Records...)
-		}
-		sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time < recs[j].Time })
-		if len(recs) == 0 {
-			continue
-		}
-		if err := w.WriteBlock(int32(r), recs); err != nil {
-			return 0, err
-		}
-		ranks++
-	}
-	return ranks, w.Close()
-}
-
-// RemoveSpills deletes every spill file of the prefix family.
-func RemoveSpills(prefix string, numRanks int) {
-	os.Remove(spillDefsPath(prefix))
-	for r := 0; r < numRanks; r++ {
-		os.Remove(spillRankPath(prefix, r))
-	}
-}

@@ -10,6 +10,26 @@ import (
 	"repro/internal/mpi"
 )
 
+// readV2Fragment scans a v2 spill fragment and decodes every segment's
+// records; missing file or no records yields an empty slice.
+func readV2Fragment(t testing.TB, path string) []clog2.Record {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	segs, _ := clog2.ScanSegments(data)
+	var recs []clog2.Record
+	for _, s := range segs {
+		b, err := clog2.DecodeBlockPayload(s.Payload)
+		if err != nil {
+			t.Fatalf("segment seq=%d undecodable: %v", s.Seq, err)
+		}
+		recs = append(recs, b.Records...)
+	}
+	return recs
+}
+
 func TestSpillWritesThrough(t *testing.T) {
 	prefix := filepath.Join(t.TempDir(), "run.clog2")
 	w := mpi.NewWorld(2, mpi.Options{})
@@ -27,7 +47,41 @@ func TestSpillWritesThrough(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The spill is already on disk, before any Finish.
+	// The spill is already on disk, before any Finish — and it is a clean
+	// v2 segment stream.
+	data, err := os.ReadFile(prefix + ".rank1.spill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := clog2.DetectSpillFormat(data); got != clog2.SpillFormatV2 {
+		t.Fatalf("spill format = %d, want v2", got)
+	}
+	if _, stats := clog2.ScanSegments(data); !stats.Clean() {
+		t.Fatalf("open spill scans dirty: %+v", stats)
+	}
+	if n := len(readV2Fragment(t, prefix+".rank1.spill")); n != 2 {
+		t.Fatalf("spill has %d records, want 2", n)
+	}
+}
+
+// SetSpillFormat(1) keeps writing the legacy raw CLOG-2 stream, readable
+// by the lenient v1 reader.
+func TestSpillFormatV1Legacy(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "run.clog2")
+	w := mpi.NewWorld(2, mpi.Options{})
+	g := NewGroup(w, true)
+	g.EnableSpill(prefix)
+	g.SetSpillFormat(1)
+	sid := g.DescribeState("PI_Write", "green")
+	if err := g.SpillDefs(); err != nil {
+		t.Fatal(err)
+	}
+	l := g.Logger(1)
+	l.StateStart(sid, "line: a.go:1")
+	l.StateEnd(sid, "")
+	if err := l.SpillError(); err != nil {
+		t.Fatal(err)
+	}
 	f, err := os.Open(prefix + ".rank1.spill")
 	if err != nil {
 		t.Fatal(err)
@@ -47,6 +101,12 @@ func TestSpillWritesThrough(t *testing.T) {
 	if n != 2 {
 		t.Fatalf("spill has %d records, want 2", n)
 	}
+	// Nonsense formats clamp to the default.
+	g2 := NewGroup(mpi.NewWorld(1, mpi.Options{}), true)
+	g2.SetSpillFormat(7)
+	if got := g2.SpillFormat(); got != clog2.SpillFormatV2 {
+		t.Errorf("SetSpillFormat(7) -> %d, want v2", got)
+	}
 }
 
 // With SetSpillBatch(n) records are held until a full batch can be
@@ -65,20 +125,7 @@ func TestSpillBatchAmortisesWrites(t *testing.T) {
 	}
 
 	countSpilled := func() int {
-		f, err := os.Open(prefix + ".rank1.spill")
-		if err != nil {
-			return 0 // nothing flushed yet
-		}
-		defer f.Close()
-		frag, _, err := clog2.ReadLenient(f)
-		if err != nil {
-			return 0 // not even the header flushed yet
-		}
-		n := 0
-		for _, b := range frag.Blocks {
-			n += len(b.Records)
-		}
-		return n
+		return len(readV2Fragment(t, prefix+".rank1.spill"))
 	}
 
 	l := g.Logger(1)
@@ -185,7 +232,10 @@ func TestSalvageMergesFragments(t *testing.T) {
 	}
 }
 
-func TestSalvageNeedsDefs(t *testing.T) {
+// Salvage with neither a defs spill nor any rank fragment has nothing to
+// work with and must say so. (A missing defs spill alone degrades to
+// synthesized definitions — see salvage_test.go.)
+func TestSalvageNothingToSalvage(t *testing.T) {
 	prefix := filepath.Join(t.TempDir(), "missing")
 	out, err := os.Create(prefix + ".out")
 	if err != nil {
@@ -193,7 +243,7 @@ func TestSalvageNeedsDefs(t *testing.T) {
 	}
 	defer out.Close()
 	if _, err := Salvage(prefix, out); err == nil {
-		t.Fatal("salvage without defs spill succeeded")
+		t.Fatal("salvage with nothing on disk succeeded")
 	}
 }
 
