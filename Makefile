@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-compare fuzz fuzz-smoke chaos clean
+.PHONY: all build vet test race ci cover bench bench-compare fuzz fuzz-smoke chaos clean
 
 all: ci
 
@@ -20,7 +20,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: build vet race fuzz-smoke
+ci: build vet race fuzz-smoke cover
+
+# Statement-coverage floors: run the whole suite with cross-package
+# instrumentation, then hold the observability-critical packages above
+# their checked-in minimums (coverfloor exits 1 below a floor).
+cover:
+	@mkdir -p out
+	$(GO) test -coverprofile out/cover.out -coverpkg ./... ./... > /dev/null
+	$(GO) run ./cmd/coverfloor \
+		-floor repro/internal/stats=90 \
+		-floor repro/internal/mpi=88 \
+		-floor repro/internal/clog2=87 \
+		out/cover.out
 
 # The logging-overhead harness (ns/op, B/op, allocs/op per Pilot call,
 # with and without logging — BENCH_overhead.json), then the conversion

@@ -1,0 +1,185 @@
+// coverfloor holds per-package statement coverage above checked-in
+// floors. It parses a `go test -coverprofile` file directly — no
+// `go tool cover` dependency — aggregates covered statements per
+// package, and exits nonzero when any -floor package falls below its
+// threshold (or vanishes from the profile entirely, which usually means
+// a package was renamed without updating the Makefile).
+//
+// Usage:
+//
+//	coverfloor -floor repro/internal/stats=85 [-floor pkg=pct ...] cover.out
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// floorFlag collects repeated -floor pkg=pct arguments.
+type floorFlag struct {
+	pkgs []string
+	pcts map[string]float64
+}
+
+func (f *floorFlag) String() string { return fmt.Sprint(f.pkgs) }
+
+func (f *floorFlag) Set(v string) error {
+	pkg, pctStr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want pkg=pct, got %q", v)
+	}
+	pct, err := strconv.ParseFloat(pctStr, 64)
+	if err != nil || pct < 0 || pct > 100 {
+		return fmt.Errorf("bad percentage in %q", v)
+	}
+	if f.pcts == nil {
+		f.pcts = map[string]float64{}
+	}
+	if _, dup := f.pcts[pkg]; !dup {
+		f.pkgs = append(f.pkgs, pkg)
+	}
+	f.pcts[pkg] = pct
+	return nil
+}
+
+type pkgCover struct{ covered, total int64 }
+
+type block struct {
+	stmts int64
+	hit   bool
+}
+
+// parseProfile aggregates statement counts per package directory. A
+// profile produced by `go test ./...` repeats every block once per test
+// binary (most with zero hits), so blocks are deduplicated by position
+// and a block counts as covered when any occurrence has hits.
+func parseProfile(p string) (map[string]*pkgCover, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	blocks := map[string]*block{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		// file.go:sl.sc,el.ec numStmts hitCount
+		pos, counts, ok := cutLast(line, " ")
+		pos, stmtStr, ok2 := cutLast(pos, " ")
+		if !ok || !ok2 {
+			return nil, fmt.Errorf("%s:%d: want `pos stmts hits`, got %q", p, lineNo, line)
+		}
+		stmts, err := strconv.ParseInt(stmtStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad statement count: %v", p, lineNo, err)
+		}
+		hits, err := strconv.ParseInt(counts, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad hit count: %v", p, lineNo, err)
+		}
+		b := blocks[pos]
+		if b == nil {
+			b = &block{stmts: stmts}
+			blocks[pos] = b
+		}
+		b.hit = b.hit || hits > 0
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	pkgs := map[string]*pkgCover{}
+	for pos, b := range blocks {
+		file, _, ok := strings.Cut(pos, ":")
+		if !ok {
+			return nil, fmt.Errorf("%s: block position %q has no file", p, pos)
+		}
+		pkg := path.Dir(file)
+		pc := pkgs[pkg]
+		if pc == nil {
+			pc = &pkgCover{}
+			pkgs[pkg] = pc
+		}
+		pc.total += b.stmts
+		if b.hit {
+			pc.covered += b.stmts
+		}
+	}
+	return pkgs, nil
+}
+
+// cutLast splits around the final occurrence of sep.
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}
+
+func pct(c *pkgCover) float64 {
+	if c == nil || c.total == 0 {
+		return 0
+	}
+	return 100 * float64(c.covered) / float64(c.total)
+}
+
+func main() {
+	var floors floorFlag
+	flag.Var(&floors, "floor", "pkg=pct minimum statement coverage (repeatable)")
+	all := flag.Bool("all", false, "also print packages without a floor")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: coverfloor [-floor pkg=pct ...] [-all] cover.out")
+		os.Exit(2)
+	}
+	pkgs, err := parseProfile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coverfloor:", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, pkg := range floors.pkgs {
+		floor := floors.pcts[pkg]
+		pc, ok := pkgs[pkg]
+		switch {
+		case !ok:
+			fmt.Printf("FAIL %-32s absent from profile (floor %.0f%%)\n", pkg, floor)
+			failed = true
+		case pct(pc) < floor:
+			fmt.Printf("FAIL %-32s %6.1f%% < floor %.0f%% (%d/%d stmts)\n",
+				pkg, pct(pc), floor, pc.covered, pc.total)
+			failed = true
+		default:
+			fmt.Printf("ok   %-32s %6.1f%% >= floor %.0f%% (%d/%d stmts)\n",
+				pkg, pct(pc), floor, pc.covered, pc.total)
+		}
+	}
+	if *all {
+		var rest []string
+		for pkg := range pkgs {
+			if _, ok := floors.pcts[pkg]; !ok {
+				rest = append(rest, pkg)
+			}
+		}
+		sort.Strings(rest)
+		for _, pkg := range rest {
+			fmt.Printf("     %-32s %6.1f%%\n", pkg, pct(pkgs[pkg]))
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

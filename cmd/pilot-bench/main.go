@@ -30,8 +30,12 @@
 package main
 
 import (
+	_ "expvar" // registers /debug/vars on the default mux
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"strings"
 
@@ -48,6 +52,8 @@ func main() {
 		rows    = flag.Int("rows", 60000, "collision dataset rows")
 		workers = flag.Int("workers", 0, "CLOG-2 -> SLOG-2 conversion worker-pool size (0 = one per CPU)")
 		faults  = flag.String("faults", "", "fault-injection plan, e.g. 'seed=7;delay:rank=*,prob=0.1,dur=2ms;crash:rank=2,op=40'")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (expvar /debug/vars, pprof /debug/pprof); also enables the stats collector in every run")
 
 		overhead    = flag.Bool("overhead", false, "run the logging-overhead harness and write a BENCH_overhead.json report")
 		overheadOut = flag.String("overhead-out", "BENCH_overhead.json", "output path for the -overhead report")
@@ -69,6 +75,23 @@ func main() {
 			os.Exit(2)
 		}
 		opt.Faults = plan
+	}
+	if *metricsAddr != "" {
+		opt.Metrics = true
+		ln, err := newMetricsListener(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pilot-bench: -metrics-addr: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("metrics: http://%s/debug/vars (pilot_stats), /debug/pprof\n", ln.Addr())
+		go func() {
+			// The default mux already carries expvar and pprof via the
+			// blank imports above; the live collector appears there as
+			// "pilot_stats" once the first run publishes it.
+			if err := http.Serve(ln, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pilot-bench: metrics server: %v\n", err)
+			}
+		}()
 	}
 
 	if *overhead {
@@ -225,6 +248,12 @@ func runOverhead(opt experiments.Options, outPath, comparePath string) {
 		os.Exit(1)
 	}
 	fmt.Println("no regression beyond tolerance")
+}
+
+// newMetricsListener binds the -metrics-addr endpoint up front so a bad
+// address fails fast instead of surfacing mid-run from the goroutine.
+func newMetricsListener(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
 }
 
 func verdict(name string, ok bool, detail string) {

@@ -1,0 +1,58 @@
+// Command pilot-profile computes a post-run statistics report from a
+// CLOG-2 log: per-channel and per-rank message totals, per-state
+// duration quantiles (p50/p95/max) and a busy-vs-blocked breakdown —
+// the numbers a timeline shows as pictures, as text or JSON.
+//
+// Usage:
+//
+//	pilot-profile [-json] [-o out] run.clog2
+//
+// By default the report prints as aligned text tables; -json emits the
+// machine-readable form (schema "pilot-profile/1"). -o writes to a file
+// instead of stdout. Exits 0 on success, 1 on a read or decode error,
+// 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/stats"
+)
+
+func main() {
+	asJSON := flag.Bool("json", false, "emit the profile as JSON instead of text tables")
+	out := flag.String("o", "", "write the report to this file (default: stdout)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pilot-profile [-json] [-o out] run.clog2")
+		os.Exit(2)
+	}
+
+	p, err := stats.ComputeProfileFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pilot-profile:", err)
+		os.Exit(1)
+	}
+
+	var data []byte
+	if *asJSON {
+		data, err = p.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pilot-profile:", err)
+			os.Exit(1)
+		}
+	} else {
+		data = []byte(p.Format())
+	}
+
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "pilot-profile:", err)
+		os.Exit(1)
+	}
+}

@@ -111,4 +111,13 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("Grand total = %d\n", total)
+
+	// With -pistats the runtime carries a live metrics collector; print
+	// the run's traffic totals the way a monitoring endpoint would see
+	// them (pilot-bench -metrics-addr serves the same snapshot over HTTP).
+	if m := pi.Metrics(); m != nil {
+		snap := m.Snapshot()
+		fmt.Printf("stats: %d msgs / %d bytes sent across %d channel(s)\n",
+			snap.Totals["msgs_sent"], snap.Totals["bytes_sent"], len(snap.Channels))
+	}
 }

@@ -8,8 +8,22 @@ import (
 // logging service active, the Pilot calls that only exist to feed the
 // logs must do zero formatting work — measured as zero allocations.
 func TestDisabledLoggingCallsAllocFree(t *testing.T) {
+	runAllocGate(t, false)
+}
+
+// The stats collector rides the same hot paths; turning it on must not
+// reintroduce allocations into the gated calls.
+func TestMetricsEnabledKeepsAllocGates(t *testing.T) {
+	runAllocGate(t, true)
+}
+
+func runAllocGate(t *testing.T, metrics bool) {
 	cfg, _ := testConfig(t, 2, "") // no services: no MPE, no native log
+	cfg.Metrics = metrics
 	r := mustRuntime(t, cfg)
+	if metrics && r.Metrics() == nil {
+		t.Fatal("Config.Metrics did not install a collector")
+	}
 	p, err := r.CreateProcess(func(self *Self, index int, arg any) int {
 		ch := arg.(chan *Self)
 		ch <- self

@@ -384,7 +384,15 @@ func (b *Bundle) Select() (int, error) {
 			b.endpoint.Name(), b.Name(), loc))
 	}
 
+	mx := r.metrics
+	var t0 time.Time
+	if mx != nil {
+		t0 = time.Now()
+	}
 	idx, err := b.pollReady(op, loc, true)
+	if mx != nil && err == nil {
+		mx.SelectObserved(b.endpoint.rank, len(b.chans), time.Since(t0).Nanoseconds())
+	}
 	if log.Enabled() {
 		var cb mpe.Cargo
 		log.StateEndBytes(r.states[op], cb.Str("ready: ").Int(idx).Bytes())

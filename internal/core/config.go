@@ -99,6 +99,12 @@ type Config struct {
 	// hang.
 	Faults *mpi.FaultPlan
 
+	// Metrics enables the live observability collector (package stats):
+	// per-rank and per-channel counters and wait-time histograms gathered
+	// on the hot path and exported via expvar. Off by default; the
+	// -pistats flag turns it on.
+	Metrics bool
+
 	// DeadlockGrace is how long the detector waits for late completion
 	// events before trusting a suspected deadlock (default 50 ms).
 	DeadlockGrace time.Duration
@@ -159,6 +165,7 @@ func (c Config) needsSvcRank() bool {
 //	-picheck=N       set the error-check level 0-3
 //	-piprocs=N       world size (stands in for mpirun -np N)
 //	-pifaults=SPEC   install a fault-injection plan (mpi.ParseFaultPlan)
+//	-pistats         enable the live metrics collector (package stats)
 //
 // Unknown arguments pass through untouched, as PI_Configure leaves the
 // application's own flags alone.
@@ -186,6 +193,8 @@ func ParseArgs(cfg *Config, args []string) ([]string, error) {
 				return nil, errorf("PI_Configure", "", "bad -pifaults value %q: %v", a, err)
 			}
 			cfg.Faults = plan
+		case a == "-pistats":
+			cfg.Metrics = true
 		default:
 			rest = append(rest, a)
 		}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/deadlock"
 	"repro/internal/mpe"
 	"repro/internal/mpi"
+	"repro/internal/stats"
 )
 
 // Runtime phases: Pilot programs have a configuration phase (PI_Configure
@@ -34,8 +35,9 @@ type WorkFunc func(self *Self, index int, arg any) int
 // Runtime is one configured Pilot program: the Go equivalent of the
 // global state PI_Configure sets up.
 type Runtime struct {
-	cfg   Config
-	world *mpi.World
+	cfg     Config
+	world   *mpi.World
+	metrics *stats.Collector // nil unless Config.Metrics
 
 	mu       sync.Mutex
 	phase    int
@@ -148,7 +150,13 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		}
 		faults = &p
 	}
-	r.world = mpi.NewWorld(cfg.NumProcs, mpi.Options{Clocks: cfg.Clocks, EagerLimit: cfg.EagerLimit, Faults: faults})
+	var metrics *stats.Collector
+	if cfg.Metrics {
+		metrics = stats.New(cfg.NumProcs)
+		stats.Publish(metrics)
+	}
+	r.metrics = metrics
+	r.world = mpi.NewWorld(cfg.NumProcs, mpi.Options{Clocks: cfg.Clocks, EagerLimit: cfg.EagerLimit, Faults: faults, Metrics: metrics})
 
 	r.jlog = cfg.HasService(SvcJumpshot)
 	if r.jlog && cfg.NoMPE {
@@ -209,6 +217,9 @@ func (r *Runtime) Config() Config { return r.cfg }
 
 // World exposes the MPI substrate, chiefly for tests and benches.
 func (r *Runtime) World() *mpi.World { return r.world }
+
+// Metrics returns the live stats collector (nil unless Config.Metrics).
+func (r *Runtime) Metrics() *stats.Collector { return r.metrics }
 
 // MainProc returns the PI_MAIN process handle.
 func (r *Runtime) MainProc() *Process { return r.procs[0] }
@@ -310,6 +321,9 @@ func (r *Runtime) StartAll() (*Self, error) {
 	r.mu.Lock()
 	r.phase = phaseRunning
 	procs := append([]*Process(nil), r.procs...)
+	// The channel table is final now; size the per-channel metric cells
+	// (channel IDs are 1-based wire tags).
+	r.metrics.SetChannels(len(r.channels))
 	r.mu.Unlock()
 
 	r.logger(0).StateEnd(r.states["PI_Configure"], "")

@@ -48,6 +48,9 @@ type Options struct {
 	// into every workload run (pilot-bench's -faults flag; see
 	// mpi.ParseFaultPlan for the spec grammar).
 	Faults *mpi.FaultPlan
+	// Metrics enables the live stats collector in every workload run
+	// (pilot-bench's -metrics-addr flag serves the collected numbers).
+	Metrics bool
 	// Log receives progress lines (nil = silent).
 	Log io.Writer
 }
@@ -163,6 +166,7 @@ func (o Options) thumbCfg(workProcs int, mode string, level int, clogPath string
 			JumpshotPath: clogPath,
 			NativePath:   clogPath + ".native.log",
 			Faults:       o.Faults,
+			Metrics:      o.Metrics,
 		},
 	}
 	switch mode {

@@ -148,6 +148,7 @@ func RunF3(opt Options) (*F3Result, error) {
 	cfg.Core.CheckLevel = 3
 	cfg.Core.JumpshotPath = clog
 	cfg.Core.Faults = opt.Faults
+	cfg.Core.Metrics = opt.Metrics
 	res, err := lab2.Run(cfg)
 	if err != nil {
 		return nil, err

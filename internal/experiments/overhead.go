@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mpe"
 	"repro/internal/mpi"
+	"repro/internal/stats"
 )
 
 // prePRNsOp records the pre-optimisation ns/op of the micro rows,
@@ -217,6 +218,24 @@ type discardWriter struct{}
 
 func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
 
+// benchStatsObserve times one live-metrics observation — the cost the
+// stats collector adds to every instrumented send. "off" measures the
+// nil-collector gate, the disabled state every run without -pistats
+// pays.
+func benchStatsObserve(enabled bool) testing.BenchmarkResult {
+	var c *stats.Collector
+	if enabled {
+		c = stats.New(4)
+		c.SetChannels(8)
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.SendObserved(1, 3, 128, 250)
+		}
+	})
+}
+
 func benchSpillStatePair(dir string, batch, format int) (testing.BenchmarkResult, error) {
 	w := mpi.NewWorld(1, mpi.Options{})
 	g := mpe.NewGroup(w, true)
@@ -246,7 +265,7 @@ func benchSpillStatePair(dir string, batch, format int) (testing.BenchmarkResult
 // (main PI_Write + worker PI_Read + worker PI_Write + main PI_Read).
 // One benchmark op is a whole run including runtime setup and teardown;
 // finishRow divides the result down to a single call.
-func benchPingPong(workers, msgs int, services, dir string) (testing.BenchmarkResult, error) {
+func benchPingPong(workers, msgs int, services, dir string, metrics bool) (testing.BenchmarkResult, error) {
 	var benchErr error
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -256,6 +275,7 @@ func benchPingPong(workers, msgs int, services, dir string) (testing.BenchmarkRe
 				Services:     services,
 				CheckLevel:   3,
 				JumpshotPath: filepath.Join(dir, "pingpong.clog2"),
+				Metrics:      metrics,
 			}
 			r, err := core.NewRuntime(cfg)
 			if err != nil {
@@ -352,6 +372,10 @@ func RunOverhead(opt Options) (*OverheadReport, error) {
 	addMicro(OverheadRow{Name: "mpe/event_bytes", Logging: "on"}, benchEventBytes())
 	addMicro(OverheadRow{Name: "mpe/log_send", Logging: "on"}, benchLogSend())
 	addMicro(OverheadRow{Name: "mpe/finish_merge_8x1000", Logging: "on"}, benchFinishMerge())
+	// The live-metrics observation cost: "on" is one SendObserved through
+	// the per-rank shard and channel cell, "off" the nil-collector gate.
+	addMicro(OverheadRow{Name: "stats/send_observed", Logging: "on"}, benchStatsObserve(true))
+	addMicro(OverheadRow{Name: "stats/send_observed", Logging: "off"}, benchStatsObserve(false))
 	// Spill write-through at batch 1 vs 64, in both on-disk formats: the
 	// "mpe/spill_state_pair" rows track the default (v2, framed segments),
 	// the "mpe/spill_v1_state_pair" rows the legacy raw stream they
@@ -378,13 +402,21 @@ func RunOverhead(opt Options) (*OverheadReport, error) {
 	cells := []struct{ workers, msgs int }{
 		{2, 500}, {4, 500}, {8, 500}, {4, 2000},
 	}
+	variants := []struct {
+		services string
+		metrics  bool
+		logging  string
+	}{
+		{"", false, "off"},
+		{"j", false, "on"},
+		// Logging plus the live stats collector: the full observability
+		// cost a `-pistats` run pays per Pilot call.
+		{"j", true, "on+stats"},
+	}
 	for _, c := range cells {
-		for _, services := range []string{"", "j"} {
-			logging := "off"
-			if services == "j" {
-				logging = "on"
-			}
-			res, err := benchPingPong(c.workers, c.msgs, services, opt.OutDir)
+		for _, v := range variants {
+			logging := v.logging
+			res, err := benchPingPong(c.workers, c.msgs, v.services, opt.OutDir, v.metrics)
 			if err != nil {
 				return nil, fmt.Errorf("pingpong W=%d M=%d log=%s: %w", c.workers, c.msgs, logging, err)
 			}

@@ -100,6 +100,21 @@ func (rep *SalvageReport) Totals() (recovered, skipped, missing int, quarantined
 	return
 }
 
+// RecoveryPct returns the recovered share of the segment accounting as a
+// percentage in [0,100]. The denominator is every segment the report
+// knows about (recovered + skipped + missing); a report with no segment
+// accounting at all — an empty spill family, or fragments that decoded
+// to nothing — has nothing to lose and reports 100, never dividing by
+// zero.
+func (rep *SalvageReport) RecoveryPct() float64 {
+	rec, skip, miss, _ := rep.Totals()
+	total := rec + skip + miss
+	if total <= 0 {
+		return 100
+	}
+	return 100 * float64(rec) / float64(total)
+}
+
 // Clean reports a full recovery: real defs, and no rank lost a segment
 // or quarantined a byte. (A v1 fragment without its end-log marker is
 // still clean — that is the normal shape of a write-through spill.)
@@ -120,7 +135,7 @@ func (rep *SalvageReport) Summary() string {
 	rec, skip, miss, quar := rep.Totals()
 	s := fmt.Sprintf("%d rank(s), %d segment(s) recovered", rep.RanksRecovered, rec)
 	if skip+miss > 0 {
-		s += fmt.Sprintf(", %d skipped, %d missing", skip, miss)
+		s += fmt.Sprintf(", %d skipped, %d missing (%.1f%% recovered)", skip, miss, rep.RecoveryPct())
 	}
 	if quar > 0 {
 		s += fmt.Sprintf(", %d byte(s) quarantined", quar)

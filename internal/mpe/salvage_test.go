@@ -308,3 +308,38 @@ func TestSalvageGarbageFragment(t *testing.T) {
 		t.Fatalf("merged log unreadable: %v", err)
 	}
 }
+
+// The zero-denominator edge in the percentage math: a report with no
+// segment accounting at all (empty spill family, fragments that decoded
+// to nothing) must report 100% recovered rather than dividing by zero,
+// and partial recoveries must render the exact percentage.
+func TestSalvageRecoveryPct(t *testing.T) {
+	empty := &mpe.SalvageReport{}
+	if got := empty.RecoveryPct(); got != 100 {
+		t.Errorf("empty report RecoveryPct = %v, want 100", got)
+	}
+	if s := empty.Summary(); strings.Contains(s, "%") {
+		t.Errorf("empty report Summary should not render a percentage: %q", s)
+	}
+
+	partial := &mpe.SalvageReport{
+		RanksRecovered: 2,
+		Ranks: []mpe.RankSalvage{
+			{Rank: 0, SegmentsRecovered: 3, SegmentsSkipped: 1},
+			{Rank: 1, SegmentsRecovered: 3, SegmentsMissing: 1},
+		},
+	}
+	if got := partial.RecoveryPct(); got != 75 {
+		t.Errorf("RecoveryPct = %v, want 75 (6 of 8)", got)
+	}
+	if s := partial.Summary(); !strings.Contains(s, "75.0% recovered") {
+		t.Errorf("Summary missing percentage: %q", s)
+	}
+
+	lost := &mpe.SalvageReport{
+		Ranks: []mpe.RankSalvage{{Rank: 0, SegmentsMissing: 4}},
+	}
+	if got := lost.RecoveryPct(); got != 0 {
+		t.Errorf("all-lost RecoveryPct = %v, want 0", got)
+	}
+}

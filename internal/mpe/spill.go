@@ -3,9 +3,11 @@ package mpe
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/clog2"
+	"repro/internal/stats"
 )
 
 // Spill support: the paper's future work, implemented. "It would be
@@ -41,8 +43,10 @@ type spill struct {
 	f       *os.File
 	version int
 
-	// v1 state: a persistent stream writer (file header written once).
-	w *clog2.Writer
+	// v1 state: a persistent stream writer (file header written once)
+	// over a counting shim, so spilled bytes are observable.
+	w  *clog2.Writer
+	cw *countingWriter
 
 	// v2 state: a reusable frame buffer (header placeholder + payload,
 	// encoded in place), the bare block writer over it, and the per-rank
@@ -51,6 +55,21 @@ type spill struct {
 	buf bytes.Buffer
 	bw  *clog2.Writer
 	seq uint64
+
+	// mx mirrors spill traffic into the live metrics (nil = disabled).
+	mx *stats.Collector
+}
+
+// countingWriter tracks cumulative bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
 }
 
 // segHeaderPlaceholder reserves room for the v2 frame header; the real
@@ -181,9 +200,10 @@ func (l *Logger) ensureSpill() *spill {
 		l.sp = &spill{} // degraded: stop retrying
 		return nil
 	}
-	sp := &spill{f: f, version: version}
+	sp := &spill{f: f, version: version, mx: l.g.world.Metrics()}
 	if version == clog2.SpillFormatV1 {
-		w, err := clog2.NewWriter(f, l.rank.Size())
+		sp.cw = &countingWriter{w: f}
+		w, err := clog2.NewWriter(sp.cw, l.rank.Size())
 		if err != nil {
 			f.Close()
 			l.spErr = err
@@ -203,10 +223,15 @@ func (l *Logger) ensureSpill() *spill {
 // damages at most this segment).
 func (sp *spill) writeBlock(rank int32, recs []clog2.Record) error {
 	if sp.version == clog2.SpillFormatV1 {
+		before := sp.cw.n
 		if err := sp.w.WriteBlock(rank, recs); err != nil {
 			return err
 		}
-		return sp.w.Flush()
+		if err := sp.w.Flush(); err != nil {
+			return err
+		}
+		sp.mx.SpillWrite(int(rank), int(sp.cw.n-before))
+		return nil
 	}
 	sp.buf.Reset()
 	sp.buf.Write(segHeaderPlaceholder[:])
@@ -222,6 +247,7 @@ func (sp *spill) writeBlock(rank int32, recs []clog2.Record) error {
 		return err
 	}
 	sp.seq++
+	sp.mx.SpillWrite(int(rank), len(frame))
 	return nil
 }
 

@@ -1,0 +1,240 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// Conformance property suite: randomized seeded send/recv programs
+// assert the MPI ordering semantics the log pipeline depends on —
+// non-overtaking (messages with the same source and tag arrive in send
+// order) and tag/source wildcard matching — and cross-check the message
+// accounting three ways: a naive reference matcher (per-pair FIFO
+// sequence queues), the world's Traffic counters, and the stats
+// collector.
+
+// confPayload encodes (src, tag, seq) so a received message is
+// self-describing independent of the envelope.
+func confPayload(src, tag, seq, size int) []byte {
+	b := make([]byte, 12+size)
+	binary.LittleEndian.PutUint32(b[0:], uint32(src))
+	binary.LittleEndian.PutUint32(b[4:], uint32(tag))
+	binary.LittleEndian.PutUint32(b[8:], uint32(seq))
+	return b
+}
+
+func decodeConfPayload(b []byte) (src, tag, seq int) {
+	return int(binary.LittleEndian.Uint32(b[0:])),
+		int(binary.LittleEndian.Uint32(b[4:])),
+		int(binary.LittleEndian.Uint32(b[8:]))
+}
+
+func TestConformanceRandomized(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runConformance(t, seed)
+		})
+	}
+}
+
+func runConformance(t *testing.T, seed int64) {
+	const (
+		nSenders  = 3
+		numTags   = 3 // tags 1..numTags, mirroring 1-based channel IDs
+		perSender = 50
+	)
+	n := nSenders + 1
+	mx := stats.New(n)
+	mx.SetChannels(numTags)
+	w := NewWorld(n, Options{Metrics: mx})
+
+	// Plan every send up front with a seeded generator, so the reference
+	// matcher knows each (src, tag) pair's exact sequence order.
+	planRng := rand.New(rand.NewSource(seed))
+	type sendRec struct{ tag, seq, size int }
+	plans := make([][]sendRec, n)
+	queues := map[[2]int][]int{} // (src, tag) -> seqs in send order
+	perTagCount := map[int]int{}
+	perTagBytes := map[int]int64{}
+	totalMsgs, totalBytes := 0, int64(0)
+	for s := 1; s < n; s++ {
+		seqs := map[int]int{}
+		for i := 0; i < perSender; i++ {
+			tag := 1 + planRng.Intn(numTags)
+			size := planRng.Intn(48)
+			rec := sendRec{tag: tag, seq: seqs[tag], size: size}
+			seqs[tag]++
+			plans[s] = append(plans[s], rec)
+			queues[[2]int{s, tag}] = append(queues[[2]int{s, tag}], rec.seq)
+			perTagCount[tag]++
+			perTagBytes[tag] += int64(12 + size)
+			totalMsgs++
+			totalBytes += int64(12 + size)
+		}
+	}
+
+	// The receiver draws its wildcard choices from its own seeded stream;
+	// it picks filters against a currently-available message (Iprobe), so
+	// no filter can starve regardless of scheduling.
+	recvRng := rand.New(rand.NewSource(seed * 7919))
+	var mu sync.Mutex // guards queues + failure notes from the rank goroutine
+	var failures []string
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		failures = append(failures, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+
+	errs := w.Run(func(r *Rank) error {
+		if r.ID() != 0 {
+			for _, rec := range plans[r.ID()] {
+				if err := r.Send(0, rec.tag, confPayload(r.ID(), rec.tag, rec.seq, rec.size)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for got := 0; got < totalMsgs; got++ {
+			// Pick a filter: anchored to an available message when one is
+			// ready, a full wildcard otherwise.
+			src, tag := AnySource, AnyTag
+			if st, ok, err := r.Iprobe(AnySource, AnyTag); err != nil {
+				return err
+			} else if ok {
+				switch recvRng.Intn(4) {
+				case 0:
+					src, tag = st.Source, st.Tag // exact
+				case 1:
+					tag = st.Tag // source wildcard
+				case 2:
+					src = st.Source // tag wildcard
+				}
+			}
+			m, err := r.Recv(src, tag)
+			if err != nil {
+				return err
+			}
+			psrc, ptag, pseq := decodeConfPayload(m.Data)
+
+			// Envelope and payload agree.
+			if m.Source != psrc || m.Tag != ptag {
+				fail("envelope (src=%d tag=%d) disagrees with payload (src=%d tag=%d)",
+					m.Source, m.Tag, psrc, ptag)
+			}
+			// Wildcard filters were honoured.
+			if src != AnySource && m.Source != src {
+				fail("asked for source %d, got %d", src, m.Source)
+			}
+			if tag != AnyTag && m.Tag != tag {
+				fail("asked for tag %d, got %d", tag, m.Tag)
+			}
+			// Non-overtaking: this message must be the oldest unreceived
+			// one of its (source, tag) pair.
+			key := [2]int{m.Source, m.Tag}
+			mu.Lock()
+			q := queues[key]
+			if len(q) == 0 {
+				failures = append(failures, fmt.Sprintf("pair %v delivered more than was sent", key))
+			} else {
+				if q[0] != pseq {
+					failures = append(failures, fmt.Sprintf(
+						"non-overtaking violated on pair %v: got seq %d, want %d", key, pseq, q[0]))
+				}
+				queues[key] = q[1:]
+			}
+			mu.Unlock()
+		}
+		return nil
+	})
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	for _, f := range failures {
+		t.Error(f)
+	}
+	for key, q := range queues {
+		if len(q) != 0 {
+			t.Errorf("pair %v left %d undelivered seqs", key, len(q))
+		}
+	}
+
+	// Cross-check 1: the world's own traffic counters.
+	if tr := w.Traffic(0); tr.Received != int64(totalMsgs) || tr.RecvBytes != totalBytes {
+		t.Errorf("Traffic(0) = %+v, want %d msgs / %d bytes received", tr, totalMsgs, totalBytes)
+	}
+	tot := w.TotalTraffic()
+	if tot.Sent != int64(totalMsgs) || tot.SentBytes != totalBytes {
+		t.Errorf("TotalTraffic = %+v, want %d msgs / %d bytes sent", tot, totalMsgs, totalBytes)
+	}
+
+	// Cross-check 2: the stats collector, totals and per-channel cells.
+	if got := mx.Total(stats.CtrMsgsSent); got != int64(totalMsgs) {
+		t.Errorf("stats msgs_sent = %d, want %d", got, totalMsgs)
+	}
+	if got := mx.Total(stats.CtrBytesRecv); got != totalBytes {
+		t.Errorf("stats bytes_recv = %d, want %d", got, totalBytes)
+	}
+	snap := mx.Snapshot()
+	for _, ch := range snap.Channels {
+		if ch.Sent != int64(perTagCount[ch.Chan]) || ch.SentBytes != perTagBytes[ch.Chan] {
+			t.Errorf("channel %d sent %d/%dB, plan says %d/%dB",
+				ch.Chan, ch.Sent, ch.SentBytes, perTagCount[ch.Chan], perTagBytes[ch.Chan])
+		}
+		if ch.Recvd != int64(perTagCount[ch.Chan]) || ch.RecvdBytes != perTagBytes[ch.Chan] {
+			t.Errorf("channel %d recvd %d/%dB, plan says %d/%dB",
+				ch.Chan, ch.Recvd, ch.RecvdBytes, perTagCount[ch.Chan], perTagBytes[ch.Chan])
+		}
+	}
+}
+
+// Non-overtaking must hold under rendezvous just as under eager
+// delivery: with every send forced to rendezvous, a strict ping-pong
+// still sees per-pair order preserved.
+func TestConformanceRendezvousOrdering(t *testing.T) {
+	const msgs = 30
+	mx := stats.New(2)
+	w := NewWorld(2, Options{EagerLimit: -1, Metrics: mx})
+	errs := w.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			for i := 0; i < msgs; i++ {
+				if err := r.Send(1, 1, confPayload(0, 1, i, 4)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < msgs; i++ {
+			m, err := r.Recv(AnySource, AnyTag)
+			if err != nil {
+				return err
+			}
+			if _, _, seq := decodeConfPayload(m.Data); seq != i {
+				return fmt.Errorf("rendezvous overtaking: got seq %d at position %d", seq, i)
+			}
+		}
+		return nil
+	})
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	if got := mx.Total(stats.CtrMsgsSent); got != msgs {
+		t.Errorf("stats msgs_sent = %d, want %d", got, msgs)
+	}
+	// Every send waited for its matching receive, so the write-block
+	// histogram must have one sample per message.
+	snap := mx.Snapshot()
+	if h := snap.Hists["write_block_ns"]; h.Count != msgs {
+		t.Errorf("write_block_ns count = %d, want %d", h.Count, msgs)
+	}
+}

@@ -356,6 +356,7 @@ func (w *World) faultOp(id, ctx int, isSend bool) (delay time.Duration, rendezvo
 	}
 	for _, ev := range d.events {
 		w.faults.record(ev)
+		w.metrics.FaultInjected(id)
 	}
 	if d.jump != 0 {
 		if fc, ok := w.clocks[id].(*faultClock); ok {

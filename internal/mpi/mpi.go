@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/stats"
 )
 
 // Wildcards for Recv and Probe, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
@@ -66,6 +67,10 @@ type Options struct {
 	// Faults installs a deterministic fault-injection plan (nil = none).
 	// See FaultPlan.
 	Faults *FaultPlan
+	// Metrics, when non-nil, receives live observability counters
+	// (messages, bytes, wait times) for user-context traffic. A nil
+	// collector disables collection at zero cost.
+	Metrics *stats.Collector
 }
 
 // World is a simulated MPI job of a fixed number of ranks.
@@ -84,6 +89,8 @@ type World struct {
 	abortCode int
 
 	faults *faultState
+
+	metrics *stats.Collector
 
 	barrier barrierState
 
@@ -128,6 +135,7 @@ func NewWorld(n int, opts Options) *World {
 	for i := range w.ranks {
 		w.ranks[i] = Rank{w: w, id: i}
 	}
+	w.metrics = opts.Metrics
 	w.barrier.cond = sync.NewCond(&w.barrier.mu)
 	w.sent = make([]atomic.Int64, n)
 	w.sentBytes = make([]atomic.Int64, n)
@@ -178,6 +186,9 @@ func (w *World) TotalTraffic() Traffic {
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
+
+// Metrics returns the attached stats collector (nil when disabled).
+func (w *World) Metrics() *stats.Collector { return w.metrics }
 
 // Rank returns the handle for rank id. It panics on an out-of-range id.
 func (w *World) Rank(id int) *Rank {
@@ -323,6 +334,13 @@ func (r *Rank) SendCtx(ctx, dst, tag int, data []byte) error {
 	if r.w.Aborted() {
 		return ErrAborted
 	}
+	// Metrics gate hoisted once; the time reads happen only when a
+	// collector is attached, keeping the disabled path free of them.
+	mx := r.w.metrics
+	var t0 time.Time
+	if mx != nil && ctx == CtxUser {
+		t0 = time.Now()
+	}
 	delay, forceRdv, err := r.w.faultOp(r.id, ctx, true)
 	if err != nil {
 		return err
@@ -351,6 +369,12 @@ func (r *Rank) SendCtx(ctx, dst, tag int, data []byte) error {
 	if ctx == CtxUser {
 		r.w.sent[r.id].Add(1)
 		r.w.sentBytes[r.id].Add(int64(len(data)))
+		// The user-context tag is the Pilot channel ID, so this one call
+		// feeds both the per-rank shard and the per-channel cell with the
+		// same sizes LogSend puts in the trace.
+		if mx != nil {
+			mx.SendObserved(r.id, tag, len(data), time.Since(t0).Nanoseconds())
+		}
 	}
 	return nil
 }
@@ -366,6 +390,11 @@ func (r *Rank) RecvCtx(ctx, src, tag int) (Message, error) {
 	if err := r.checkWildPeer(src); err != nil {
 		return Message{}, err
 	}
+	mx := r.w.metrics
+	var t0 time.Time
+	if mx != nil && ctx == CtxUser {
+		t0 = time.Now()
+	}
 	if _, _, err := r.w.faultOp(r.id, ctx, false); err != nil {
 		return Message{}, err
 	}
@@ -379,6 +408,11 @@ func (r *Rank) RecvCtx(ctx, src, tag int) (Message, error) {
 	if ctx == CtxUser {
 		r.w.recvd[r.id].Add(1)
 		r.w.recvdBytes[r.id].Add(int64(len(env.data)))
+		// env.tag, not the argument: a wildcard receive charges the
+		// channel that actually delivered.
+		if mx != nil {
+			mx.RecvObserved(r.id, env.tag, len(env.data), time.Since(t0).Nanoseconds())
+		}
 	}
 	return Message{
 		Status: Status{Source: env.src, Tag: env.tag, Len: len(env.data)},
@@ -401,9 +435,17 @@ func (r *Rank) Probe(src, tag int) (Status, error) {
 	if err := r.w.crashedErr(r.id, CtxUser); err != nil {
 		return Status{}, err
 	}
+	mx := r.w.metrics
+	var t0 time.Time
+	if mx != nil {
+		t0 = time.Now()
+	}
 	st, ok := r.w.boxes[r.id].probe(CtxUser, src, tag, true)
 	if !ok {
 		return Status{}, ErrAborted
+	}
+	if mx != nil {
+		mx.ProbeWait(r.id, time.Since(t0).Nanoseconds())
 	}
 	return st, nil
 }
@@ -435,6 +477,11 @@ func (r *Rank) Barrier() error {
 	if _, _, err := r.w.faultOp(r.id, CtxColl, false); err != nil {
 		return err
 	}
+	mx := r.w.metrics
+	var t0 time.Time
+	if mx != nil {
+		t0 = time.Now()
+	}
 	b := &r.w.barrier
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -447,6 +494,9 @@ func (r *Rank) Barrier() error {
 		b.count = 0
 		b.gen++
 		b.cond.Broadcast()
+		if mx != nil {
+			mx.BarrierWait(r.id, time.Since(t0).Nanoseconds())
+		}
 		return nil
 	}
 	for b.gen == gen && !b.aborted {
@@ -454,6 +504,9 @@ func (r *Rank) Barrier() error {
 	}
 	if b.aborted {
 		return ErrAborted
+	}
+	if mx != nil {
+		mx.BarrierWait(r.id, time.Since(t0).Nanoseconds())
 	}
 	return nil
 }

@@ -1,0 +1,402 @@
+// The post-run half of the observability layer: a Profile computed by
+// one streaming pass over a merged CLOG-2 file. Where the Collector
+// counts what the runtime *did*, the Profile recounts what the trace
+// *recorded* — per-channel and per-rank message totals, per-state
+// duration statistics (p50/p95/max from the same bounded log2 histograms
+// the live side uses), and a busy-vs-blocked breakdown from state
+// self-times. The conformance suite holds the two accountings exactly
+// equal.
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/clog2"
+	"repro/internal/colors"
+)
+
+// ProfileSchema names the JSON schema version written by Profile.JSON.
+const ProfileSchema = "pilot-profile/1"
+
+// profSoloBase mirrors the mpe etype split (solo etypes live at 1<<20
+// and above; state s uses etypes 2s/2s+1 below it). Restated here rather
+// than imported: mpe sits above mpi, which depends on this package, and
+// the split is a stable on-disk property of the log format.
+const profSoloBase = 1 << 20
+
+// ChannelProfile is one channel's message accounting. Chan is the wire
+// tag (Pilot channel IDs are 1-based).
+type ChannelProfile struct {
+	Chan      int   `json:"chan"`
+	Sends     int64 `json:"sends"`
+	Recvs     int64 `json:"recvs"`
+	SendBytes int64 `json:"send_bytes"`
+	RecvBytes int64 `json:"recv_bytes"`
+}
+
+// RankProfile is one rank's accounting.
+type RankProfile struct {
+	Rank      int   `json:"rank"`
+	Records   int64 `json:"records"`
+	Sends     int64 `json:"sends"`
+	Recvs     int64 `json:"recvs"`
+	SendBytes int64 `json:"send_bytes"`
+	RecvBytes int64 `json:"recv_bytes"`
+	Events    int64 `json:"events"`
+	// BusySec and BlockedSec split the rank's state self-time: input and
+	// output states (reads, writes, collectives, selects — the operations
+	// that block on a peer) count as blocked, everything else (Compute,
+	// PI_Configure) as busy. Self-time, so nested states never double
+	// count a second.
+	BusySec    float64 `json:"busy_sec"`
+	BlockedSec float64 `json:"blocked_sec"`
+	// WallSec spans the rank's first to last record timestamp.
+	WallSec float64 `json:"wall_sec"`
+}
+
+// StateProfile aggregates every occurrence of one state across ranks.
+type StateProfile struct {
+	Name     string `json:"name"`
+	Category string `json:"category"`
+	Count    int64  `json:"count"`
+	// TotalSec sums full durations; SelfSec subtracts nested children.
+	TotalSec float64 `json:"total_sec"`
+	SelfSec  float64 `json:"self_sec"`
+	MaxSec   float64 `json:"max_sec"`
+	// P50Sec / P95Sec are duration quantiles from a bounded log2
+	// histogram over nanoseconds (see HistSnapshot.Quantile); 0 when the
+	// state never completed an occurrence.
+	P50Sec float64 `json:"p50_sec"`
+	P95Sec float64 `json:"p95_sec"`
+	// Durations is the underlying histogram, kept in the JSON so
+	// downstream tools can compute other quantiles.
+	Durations HistSnapshot `json:"durations"`
+}
+
+// ProfileTotals is the whole-run roll-up.
+type ProfileTotals struct {
+	Records   int64 `json:"records"`
+	Sends     int64 `json:"sends"`
+	Recvs     int64 `json:"recvs"`
+	SendBytes int64 `json:"send_bytes"`
+	RecvBytes int64 `json:"recv_bytes"`
+	Events    int64 `json:"events"`
+}
+
+// Profile is the post-run report computed from a merged CLOG-2 stream.
+type Profile struct {
+	Schema   string           `json:"schema"`
+	NumRanks int              `json:"num_ranks"`
+	Channels []ChannelProfile `json:"channels,omitempty"`
+	Ranks    []RankProfile    `json:"ranks"`
+	States   []StateProfile   `json:"states,omitempty"`
+	Totals   ProfileTotals    `json:"totals"`
+	// Unpaired counts state ends with no matching start (salvaged or
+	// damaged logs); well-formed logs have 0.
+	Unpaired int64 `json:"unpaired,omitempty"`
+}
+
+// openState is one entry of a rank's pairing stack.
+type openState struct {
+	etype    int32
+	start    float64
+	childSec float64
+}
+
+// stateAgg accumulates one state's occurrences during the pass.
+type stateAgg struct {
+	name    string
+	count   int64
+	total   float64
+	self    float64
+	max     float64
+	durHist hist
+}
+
+// profRank is one rank's in-pass state.
+type profRank struct {
+	rp       RankProfile
+	stack    []openState
+	haveWall bool
+	wall0    float64
+	wall1    float64
+}
+
+// ComputeProfile streams the CLOG-2 file in r (via clog2.BlockReader, so
+// the raw log is never fully materialized) and computes its Profile.
+// State and event classification comes from the StateDef/EventDef
+// records in the stream itself, with the etype parity rules as fallback
+// for defs-less salvaged fragments.
+func ComputeProfile(r io.Reader) (*Profile, error) {
+	br, err := clog2.NewBlockReader(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &Profile{Schema: ProfileSchema, NumRanks: br.NumRanks()}
+
+	startOf := map[int32]int32{} // start etype -> state def ID
+	endOf := map[int32]int32{}   // end etype -> state def ID
+	stateName := map[int32]string{}
+	states := map[int32]*stateAgg{} // keyed by state def ID (or synthetic -etype/2)
+	ranks := map[int32]*profRank{}
+	chans := map[int32]*ChannelProfile{}
+
+	agg := func(id int32, name string) *stateAgg {
+		a := states[id]
+		if a == nil {
+			a = &stateAgg{name: name}
+			a.durHist.min.Store(math.MaxInt64)
+			states[id] = a
+		}
+		return a
+	}
+	rank := func(id int32) *profRank {
+		pr := ranks[id]
+		if pr == nil {
+			pr = &profRank{rp: RankProfile{Rank: int(id)}}
+			ranks[id] = pr
+		}
+		return pr
+	}
+	// classify maps an event etype to (state ID, isStart, isEnd, name).
+	classify := func(etype int32) (int32, bool, bool, string) {
+		if id, ok := startOf[etype]; ok {
+			return id, true, false, stateName[id]
+		}
+		if id, ok := endOf[etype]; ok {
+			return id, false, true, stateName[id]
+		}
+		if etype < profSoloBase {
+			// No def for this etype: fall back to the mpe parity rule so
+			// salvaged logs still pair.
+			id := etype / 2
+			name := fmt.Sprintf("state %d", id)
+			if etype%2 == 0 {
+				return id, true, false, name
+			}
+			return id, false, true, name
+		}
+		return 0, false, false, ""
+	}
+
+	for {
+		b, err := br.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i := range b.Records {
+			rec := &b.Records[i]
+			switch rec.Type {
+			case clog2.RecStateDef:
+				startOf[rec.Aux1] = rec.ID
+				endOf[rec.Aux2] = rec.ID
+				stateName[rec.ID] = rec.Name
+				continue
+			case clog2.RecEventDef, clog2.RecConstDef, clog2.RecSrcLoc,
+				clog2.RecEndBlock, clog2.RecEndLog:
+				continue
+			}
+			pr := rank(rec.Rank)
+			pr.rp.Records++
+			if !pr.haveWall || rec.Time < pr.wall0 {
+				pr.wall0 = rec.Time
+			}
+			if !pr.haveWall || rec.Time > pr.wall1 {
+				pr.wall1 = rec.Time
+			}
+			pr.haveWall = true
+
+			switch rec.Type {
+			case clog2.RecMsgEvt:
+				cp := chans[rec.Aux2]
+				if cp == nil {
+					cp = &ChannelProfile{Chan: int(rec.Aux2)}
+					chans[rec.Aux2] = cp
+				}
+				if rec.Dir == clog2.DirSend {
+					cp.Sends++
+					cp.SendBytes += int64(rec.Aux3)
+					pr.rp.Sends++
+					pr.rp.SendBytes += int64(rec.Aux3)
+				} else {
+					cp.Recvs++
+					cp.RecvBytes += int64(rec.Aux3)
+					pr.rp.Recvs++
+					pr.rp.RecvBytes += int64(rec.Aux3)
+				}
+			case clog2.RecBareEvt, clog2.RecCargoEvt:
+				etype := rec.ID
+				if etype >= profSoloBase {
+					pr.rp.Events++
+					continue
+				}
+				id, isStart, _, name := classify(etype)
+				if isStart {
+					pr.stack = append(pr.stack, openState{etype: etype, start: rec.Time})
+					continue
+				}
+				// State end: pop the innermost open state (the converter
+				// reports mismatches as nesting errors; the profile just
+				// keeps the stack depth honest, as mpe.popOpenState does).
+				n := len(pr.stack)
+				if n == 0 {
+					p.Unpaired++
+					continue
+				}
+				top := pr.stack[n-1]
+				pr.stack = pr.stack[:n-1]
+				dur := rec.Time - top.start
+				if dur < 0 {
+					dur = 0
+				}
+				self := dur - top.childSec
+				if self < 0 {
+					self = 0
+				}
+				if len(pr.stack) > 0 {
+					pr.stack[len(pr.stack)-1].childSec += dur
+				}
+				a := agg(id, name)
+				a.count++
+				a.total += dur
+				a.self += self
+				if dur > a.max {
+					a.max = dur
+				}
+				a.durHist.observe(int64(dur * 1e9))
+				switch colors.CategoryOf(name) {
+				case colors.Input, colors.Output:
+					pr.rp.BlockedSec += self
+				default:
+					pr.rp.BusySec += self
+				}
+			}
+		}
+	}
+
+	// Assemble the sorted tables.
+	chanIDs := make([]int, 0, len(chans))
+	for id := range chans {
+		chanIDs = append(chanIDs, int(id))
+	}
+	sort.Ints(chanIDs)
+	for _, id := range chanIDs {
+		p.Channels = append(p.Channels, *chans[int32(id)])
+	}
+
+	rankIDs := make([]int, 0, len(ranks))
+	for id := range ranks {
+		rankIDs = append(rankIDs, int(id))
+	}
+	sort.Ints(rankIDs)
+	for _, id := range rankIDs {
+		pr := ranks[int32(id)]
+		pr.rp.WallSec = pr.wall1 - pr.wall0
+		p.Ranks = append(p.Ranks, pr.rp)
+		p.Totals.Records += pr.rp.Records
+		p.Totals.Sends += pr.rp.Sends
+		p.Totals.Recvs += pr.rp.Recvs
+		p.Totals.SendBytes += pr.rp.SendBytes
+		p.Totals.RecvBytes += pr.rp.RecvBytes
+		p.Totals.Events += pr.rp.Events
+	}
+
+	stateIDs := make([]int, 0, len(states))
+	for id := range states {
+		stateIDs = append(stateIDs, int(id))
+	}
+	sort.Ints(stateIDs)
+	for _, id := range stateIDs {
+		a := states[int32(id)]
+		h := a.durHist.snapshot()
+		p.States = append(p.States, StateProfile{
+			Name:      a.name,
+			Category:  colors.CategoryOf(a.name).String(),
+			Count:     a.count,
+			TotalSec:  a.total,
+			SelfSec:   a.self,
+			MaxSec:    a.max,
+			P50Sec:    float64(h.Quantile(0.50)) / 1e9,
+			P95Sec:    float64(h.Quantile(0.95)) / 1e9,
+			Durations: h,
+		})
+	}
+	return p, nil
+}
+
+// ComputeProfileFile is ComputeProfile over the CLOG-2 file at path.
+func ComputeProfileFile(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := ComputeProfile(f)
+	if err != nil {
+		return nil, fmt.Errorf("stats: profiling %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// JSON renders the profile as indented JSON with a trailing newline.
+func (p *Profile) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteJSON writes the JSON form to path.
+func (p *Profile) WriteJSON(path string) error {
+	data, err := p.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Format renders the profile as aligned text tables for terminals.
+func (p *Profile) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile: %d rank(s), %d record(s), %d send(s) / %d recv(s), %d / %d byte(s)\n",
+		p.NumRanks, p.Totals.Records, p.Totals.Sends, p.Totals.Recvs,
+		p.Totals.SendBytes, p.Totals.RecvBytes)
+	if p.Unpaired > 0 {
+		fmt.Fprintf(&b, "warning: %d unpaired state end(s) (damaged or salvaged log)\n", p.Unpaired)
+	}
+	if len(p.Channels) > 0 {
+		b.WriteString("\nchannels:\n")
+		fmt.Fprintf(&b, "  %-6s %10s %12s %10s %12s\n", "chan", "sends", "sbytes", "recvs", "rbytes")
+		for _, c := range p.Channels {
+			fmt.Fprintf(&b, "  C%-5d %10d %12d %10d %12d\n",
+				c.Chan, c.Sends, c.SendBytes, c.Recvs, c.RecvBytes)
+		}
+	}
+	b.WriteString("\nranks:\n")
+	fmt.Fprintf(&b, "  %-6s %8s %8s %8s %8s %10s %10s %10s\n",
+		"rank", "records", "sends", "recvs", "events", "busy_s", "blocked_s", "wall_s")
+	for _, r := range p.Ranks {
+		fmt.Fprintf(&b, "  P%-5d %8d %8d %8d %8d %10.4f %10.4f %10.4f\n",
+			r.Rank, r.Records, r.Sends, r.Recvs, r.Events, r.BusySec, r.BlockedSec, r.WallSec)
+	}
+	if len(p.States) > 0 {
+		b.WriteString("\nstates:\n")
+		fmt.Fprintf(&b, "  %-14s %-8s %8s %10s %10s %10s %10s\n",
+			"name", "cat", "count", "total_s", "max_s", "p50_s", "p95_s")
+		for _, s := range p.States {
+			fmt.Fprintf(&b, "  %-14s %-8s %8d %10.4f %10.4f %10.4f %10.4f\n",
+				s.Name, s.Category, s.Count, s.TotalSec, s.MaxSec, s.P50Sec, s.P95Sec)
+		}
+	}
+	return b.String()
+}

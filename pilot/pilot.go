@@ -36,6 +36,7 @@ package pilot
 
 import (
 	"repro/internal/core"
+	"repro/internal/stats"
 )
 
 // Core types, re-exported.
@@ -85,6 +86,16 @@ const (
 	SvcNativeLog = core.SvcNativeLog
 	SvcDeadlock  = core.SvcDeadlock
 	SvcJumpshot  = core.SvcJumpshot
+)
+
+// Live-metrics types (Config.Metrics / -pistats), re-exported so
+// programs can read Runtime.Metrics() without importing internals.
+type (
+	// Metrics is the per-rank, per-channel live counter collector; nil
+	// when the run was configured without Config.Metrics.
+	Metrics = stats.Collector
+	// MetricsSnapshot is one merged read of a Metrics collector.
+	MetricsSnapshot = stats.Snapshot
 )
 
 // DefaultArrowSpread is the 1 ms collective fan-out delay from the paper.

@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/jumpshot"
 	"repro/internal/slog2"
+	"repro/internal/stats"
 )
 
 // Re-exported pipeline types.
@@ -183,4 +185,42 @@ func Pipeline(clogPath, slogPath, svgPath string, opts ConvertOptions, v View) (
 		}
 	}
 	return f, rep, nil
+}
+
+// Profile is the post-run statistics report computed from a CLOG-2
+// stream (see stats.ComputeProfile): per-channel and per-rank message
+// totals, per-state duration quantiles, busy-vs-blocked breakdown.
+type Profile = stats.Profile
+
+// ComputeProfile profiles the CLOG-2 stream in r.
+func ComputeProfile(r io.Reader) (*Profile, error) { return stats.ComputeProfile(r) }
+
+// ComputeProfileFile profiles the CLOG-2 file at path.
+func ComputeProfileFile(path string) (*Profile, error) { return stats.ComputeProfileFile(path) }
+
+// ProfilePath derives the profile sidecar name for an SLOG-2 output
+// path: "run.slog2" → "run.profile.json".
+func ProfilePath(slogPath string) string {
+	return strings.TrimSuffix(slogPath, ".slog2") + ".profile.json"
+}
+
+// PipelineWithProfile is Pipeline plus the observability hook: after a
+// successful conversion it recomputes a stats.Profile from the same
+// CLOG-2 and drops it as JSON next to the SLOG-2 (ProfilePath). An empty
+// slogPath writes no profile, matching Pipeline's skip semantics.
+func PipelineWithProfile(clogPath, slogPath, svgPath string, opts ConvertOptions, v View) (*File, *Report, *Profile, error) {
+	f, rep, err := Pipeline(clogPath, slogPath, svgPath, opts, v)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	p, err := ComputeProfileFile(clogPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if slogPath != "" {
+		if err := p.WriteJSON(ProfilePath(slogPath)); err != nil {
+			return nil, nil, nil, fmt.Errorf("vis: writing profile: %w", err)
+		}
+	}
+	return f, rep, p, nil
 }
