@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci cover bench bench-compare fuzz fuzz-smoke chaos clean
+.PHONY: all build vet test race ci cover bench bench-compare fuzz fuzz-smoke smoke-multiproc chaos clean
 
 all: ci
 
@@ -20,7 +20,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: build vet race fuzz-smoke cover
+ci: build vet race fuzz-smoke cover smoke-multiproc
+
+# Multi-process smoke: the lab2 exercise with every rank as its own OS
+# process over the socket transport (-pitransport=socket re-executes the
+# binary per rank), then the merged CLOG-2 — collected over the wire by
+# rank 0 — must still convert to SLOG-2.
+smoke-multiproc:
+	@mkdir -p out
+	$(GO) build -o out/pilot-lab2 ./cmd/pilot-lab2
+	./out/pilot-lab2 -pisvc=j -pitransport=socket -w 3 -num 3000 -clog out/lab2-multiproc.clog2
+	$(GO) run ./cmd/clog2slog -q -o out/lab2-multiproc.slog2 out/lab2-multiproc.clog2
 
 # Statement-coverage floors: run the whole suite with cross-package
 # instrumentation, then hold the observability-critical packages above

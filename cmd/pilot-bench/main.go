@@ -19,14 +19,17 @@
 // pilot-bench -overhead runs the logging-overhead harness instead: micro
 // benchmarks of single MPE calls plus ping-pong workload cells at
 // increasing rank/message counts, with logging on and off, written as
-// BENCH_overhead.json (-overhead-out). With -compare baseline.json it
-// also diffs against a committed baseline and exits 1 when a micro row's
-// ns/op regressed by more than 20%.
+// BENCH_overhead.json (-overhead-out). -transport adds raw ping-pong
+// rows per rank substrate (in-process goroutines vs spawned OS processes
+// over unix sockets or TCP); the spawned ranks are this binary
+// re-executed, detected via mpi.Spawned at the top of main. With
+// -compare baseline.json it also diffs against a committed baseline and
+// exits 1 when a micro row's ns/op regressed by more than 20%.
 //
 // Usage:
 //
 //	pilot-bench [-exp all|t1|f1|f2|f3|f4|f5|a1|a2|a3] [-out out] [-runs 5] [-images 120] [-rows 60000] [-workers 0]
-//	pilot-bench -overhead [-overhead-out BENCH_overhead.json] [-compare BENCH_overhead.json]
+//	pilot-bench -overhead [-overhead-out BENCH_overhead.json] [-compare BENCH_overhead.json] [-transport inproc,socket,tcp]
 package main
 
 import (
@@ -44,6 +47,16 @@ import (
 )
 
 func main() {
+	if mpi.Spawned() {
+		// This process is a spawned rank of a multi-process benchmark
+		// world (the -overhead transport rows re-execute this binary):
+		// become that rank instead of parsing flags and orchestrating.
+		if err := experiments.TransportPingPongChild(); err != nil {
+			fmt.Fprintf(os.Stderr, "pilot-bench: spawned rank: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		exp     = flag.String("exp", "all", "experiment id or comma list: t1,f1,f2,f3,f4,f5,a1,a2,a3")
 		outDir  = flag.String("out", "out", "output directory for figures and logs")
@@ -58,6 +71,7 @@ func main() {
 		overhead    = flag.Bool("overhead", false, "run the logging-overhead harness and write a BENCH_overhead.json report")
 		overheadOut = flag.String("overhead-out", "BENCH_overhead.json", "output path for the -overhead report")
 		compare     = flag.String("compare", "", "baseline BENCH_overhead.json to diff against (exit 1 on >20% micro ns/op regression)")
+		transports  = flag.String("transport", "inproc,socket", "comma list of rank substrates the -overhead harness times ping-pong rows on: inproc,socket,tcp")
 	)
 	flag.Parse()
 	opt := experiments.Options{
@@ -95,6 +109,11 @@ func main() {
 	}
 
 	if *overhead {
+		for _, tr := range strings.Split(*transports, ",") {
+			if tr = strings.TrimSpace(tr); tr != "" {
+				opt.Transports = append(opt.Transports, tr)
+			}
+		}
 		runOverhead(opt, *overheadOut, *compare)
 		return
 	}

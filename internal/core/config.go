@@ -89,6 +89,24 @@ type Config struct {
 	// EagerLimit is passed to the MPI substrate (0 = default).
 	EagerLimit int
 
+	// Transport selects the rank substrate: "" or "inproc" runs every
+	// rank as a goroutine in this process (the default — deterministic,
+	// supports Manual clocks); "socket" and "tcp" run every rank as its
+	// own OS process over unix-domain or loopback TCP sockets,
+	// re-executing this program once per rank (see mpi.TransportSocket).
+	// The -pitransport= flag sets it.
+	Transport string
+
+	// SpawnCommand overrides the argv launched once per remote rank under
+	// a multi-process transport. Empty re-executes the current binary
+	// with its original arguments, which is correct whenever the Pilot
+	// configuration is a pure function of argv (the usual case).
+	SpawnCommand []string
+
+	// SpawnEnv appends environment entries ("K=V") to each spawned rank
+	// process.
+	SpawnEnv []string
+
 	// Faults installs a deterministic fault-injection plan into the MPI
 	// substrate (nil = none); see mpi.FaultPlan and mpi.ParseFaultPlan
 	// for the spec grammar. The runtime threads every injected fault into
@@ -141,6 +159,18 @@ func (c Config) normalized() (Config, error) {
 	if c.DeadlockGrace <= 0 {
 		c.DeadlockGrace = 50 * time.Millisecond
 	}
+	switch c.Transport {
+	case "", mpi.TransportInproc:
+	case mpi.TransportSocket, mpi.TransportTCP:
+		if len(c.Clocks) > 0 {
+			// A per-rank clock.Source lives in one address space; a Manual
+			// clock ticked by the test harness cannot reach ranks running
+			// in other processes.
+			return c, errorf("PI_Configure", "", "custom Clocks need the in-process transport, not %q", c.Transport)
+		}
+	default:
+		return c, errorf("PI_Configure", "", "unknown transport %q (valid: inproc, socket, tcp)", c.Transport)
+	}
 	return c, nil
 }
 
@@ -166,6 +196,7 @@ func (c Config) needsSvcRank() bool {
 //	-piprocs=N       world size (stands in for mpirun -np N)
 //	-pifaults=SPEC   install a fault-injection plan (mpi.ParseFaultPlan)
 //	-pistats         enable the live metrics collector (package stats)
+//	-pitransport=T   rank substrate: inproc (default), socket, tcp
 //
 // Unknown arguments pass through untouched, as PI_Configure leaves the
 // application's own flags alone.
@@ -195,6 +226,8 @@ func ParseArgs(cfg *Config, args []string) ([]string, error) {
 			cfg.Faults = plan
 		case a == "-pistats":
 			cfg.Metrics = true
+		case strings.HasPrefix(a, "-pitransport="):
+			cfg.Transport = a[len("-pitransport="):]
 		default:
 			rest = append(rest, a)
 		}

@@ -156,7 +156,18 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		stats.Publish(metrics)
 	}
 	r.metrics = metrics
-	r.world = mpi.NewWorld(cfg.NumProcs, mpi.Options{Clocks: cfg.Clocks, EagerLimit: cfg.EagerLimit, Faults: faults, Metrics: metrics})
+	r.world, err = mpi.Start(cfg.NumProcs, mpi.Options{
+		Clocks:       cfg.Clocks,
+		EagerLimit:   cfg.EagerLimit,
+		Faults:       faults,
+		Metrics:      metrics,
+		Transport:    cfg.Transport,
+		SpawnCommand: cfg.SpawnCommand,
+		SpawnEnv:     cfg.SpawnEnv,
+	})
+	if err != nil {
+		return nil, errorf("PI_Configure", "", "starting MPI transport: %v", err)
+	}
 
 	r.jlog = cfg.HasService(SvcJumpshot)
 	if r.jlog && cfg.NoMPE {
@@ -189,7 +200,10 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	r.events["FaultInjected"] = r.mpe.DescribeEvent("FaultInjected", colors.FaultEventColor.Name)
 	r.events["Deadlock"] = r.mpe.DescribeEvent("Deadlock", colors.DeadlockEventColor.Name)
 
-	if r.jlog && cfg.RobustLog {
+	if r.jlog && cfg.RobustLog && r.world.Local(0) {
+		// Definitions are rank 0's to spill; in a multi-process world a
+		// non-zero rank writing them would collide with the orchestrator
+		// over the same defs file.
 		if err := r.mpe.SpillDefs(); err != nil {
 			r.warnf("pilot: warning: cannot write spill definitions: %v", err)
 		}
@@ -199,8 +213,12 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	r.procs = []*Process{main}
 
 	// The Configuration Phase is itself displayed "as a bisque coloured
-	// state rectangle" from PI_Configure to PI_StartAll.
-	r.logger(0).StateStart(r.states["PI_Configure"], "phase: configuration")
+	// state rectangle" from PI_Configure to PI_StartAll. Rank 0's records
+	// belong to the process hosting rank 0; a joined rank logging them
+	// would duplicate them (and cross-write rank 0's spill file).
+	if r.world.Local(0) {
+		r.logger(0).StateStart(r.states["PI_Configure"], "phase: configuration")
+	}
 	return r, nil
 }
 
@@ -326,13 +344,24 @@ func (r *Runtime) StartAll() (*Self, error) {
 	r.metrics.SetChannels(len(r.channels))
 	r.mu.Unlock()
 
+	if local := r.world.LocalRank(); local > 0 {
+		// This process was spawned to host one non-zero rank: run that
+		// rank's role to completion and exit, as a real MPI rank would.
+		// Code after PI_StartAll only ever executes in the rank 0 process.
+		r.runLocalRank(local, procs)
+		panic("unreachable") // runLocalRank exits the process
+	}
+
 	r.logger(0).StateEnd(r.states["PI_Configure"], "")
 
-	if r.svcRank >= 0 {
+	if r.svcRank >= 0 && r.world.Local(r.svcRank) {
 		r.wgAll.Add(1)
 		go r.svcMain()
 	}
 	for _, p := range procs[1:] {
+		if !r.world.Local(p.rank) {
+			continue // runs in its own process
+		}
 		r.wgWork.Add(1)
 		r.wgAll.Add(1)
 		go r.workerMain(p)
@@ -344,6 +373,33 @@ func (r *Runtime) StartAll() (*Self, error) {
 	// rectangle, named as Compute."
 	r.logger(0).StateStart(r.states["Compute"], "proc: PI_MAIN")
 	return r.mainSelf, nil
+}
+
+// runLocalRank runs a spawned process's one rank synchronously — the
+// worker whose rank this process hosts, or the service process — then
+// says goodbye to the transport and exits with the world's abort code.
+// It never returns: a spawned rank process has no PI_MAIN to continue
+// as. Ranks beyond the created processes simply exit, mirroring the
+// in-process world where no goroutine exists for them.
+func (r *Runtime) runLocalRank(local int, procs []*Process) {
+	switch {
+	case local == r.svcRank:
+		r.wgAll.Add(1)
+		r.svcMain()
+	case local < len(procs):
+		p := procs[local]
+		r.wgWork.Add(1)
+		r.wgAll.Add(1)
+		r.workerMain(p)
+	}
+	if err := r.world.Shutdown(); err != nil {
+		r.warnf("pilot: warning: rank %d transport shutdown: %v", local, err)
+	}
+	code := 0
+	if r.world.Aborted() {
+		code = r.world.AbortCode()
+	}
+	os.Exit(code)
 }
 
 // workerMain is the goroutine wrapper for one Pilot process.
@@ -414,6 +470,13 @@ func (r *Runtime) StopMain(status int) error {
 	}
 	r.wgAll.Wait()
 
+	// Release the transport before any salvage: in a multi-process world
+	// this reaps the rank processes (so their spill files are closed and
+	// final) and is the natural join point when no log merge did it.
+	if err := r.world.Shutdown(); err != nil && !r.world.Aborted() {
+		r.warnf("pilot: warning: transport shutdown: %v", err)
+	}
+
 	if r.jlog && r.cfg.RobustLog && r.world.Aborted() {
 		// The paper's future work: finalize the log in all cases, from
 		// the per-rank spill files.
@@ -432,7 +495,13 @@ func (r *Runtime) StopMain(status int) error {
 		return errorf("PI_StopMain", loc, "deadlock detected:\n%s", rep.String())
 	}
 	if r.world.Aborted() {
-		return errorf("PI_StopMain", loc, "program aborted with code %d", r.world.AbortCode())
+		code := r.world.AbortCode()
+		if code == AbortCodeDeadlock {
+			// Multi-process world: the report lives in the service rank's
+			// process, which printed the diagnosis to its own stderr.
+			return errorf("PI_StopMain", loc, "deadlock detected (abort code %d); diagnosis printed by the service process", code)
+		}
+		return errorf("PI_StopMain", loc, "program aborted with code %d", code)
 	}
 	if finishErr != nil {
 		return errorf("PI_StopMain", loc, "writing Jumpshot log: %v", finishErr)

@@ -133,6 +133,14 @@ type svcServer struct {
 	// allocates nothing once it has grown to the longest line seen.
 	lineBuf []byte
 	quit    bool
+	// quitWanted defers a quit request until every worker has announced
+	// its exit. In-process the request cannot arrive early (StopMain
+	// waits for the workers first), but in a multi-process world rank 0's
+	// quit races the workers' exit notices through the hub, and quitting
+	// early would strand the deadlock detector's last observations.
+	quitWanted bool
+	exited     int
+	workers    int
 	// confirming suppresses nested deadlock confirmation while draining
 	// in-flight events during the grace period.
 	confirming bool
@@ -142,6 +150,9 @@ type svcServer struct {
 func (r *Runtime) svcMain() {
 	defer r.wgAll.Done()
 	s := &svcServer{r: r, rank: r.world.Rank(r.svcRank), graph: deadlock.New()}
+	r.mu.Lock()
+	s.workers = len(r.procs) - 1 // everyone but PI_MAIN reports an exit
+	r.mu.Unlock()
 	if r.cfg.HasService(SvcNativeLog) {
 		f, err := os.Create(r.cfg.NativePath)
 		if err != nil {
@@ -188,13 +199,16 @@ func (s *svcServer) handle(m mpi.Message) {
 	kind, body := m.Data[0], m.Data[1:]
 	switch kind {
 	case svcMsgQuit:
-		s.quit = true
+		s.quitWanted = true
+		s.maybeQuit()
 	case svcMsgLog:
 		s.writeLine(string(body))
 	case svcMsgExited:
+		s.exited++
 		s.graph.SetExited(m.Source)
 		s.writeLine(fmt.Sprintf("P%d exited", m.Source))
 		s.maybeReport()
+		s.maybeQuit()
 	case svcMsgDone:
 		s.graph.ClearWait(m.Source)
 	case svcMsgWait:
@@ -216,6 +230,13 @@ func (s *svcServer) handle(m mpi.Message) {
 		}
 		s.graph.SetWait(m.Source, deadlock.Wait{Op: op, Peers: peers, AnyOf: anyOf, Loc: loc})
 		s.maybeReport()
+	}
+}
+
+// maybeQuit honours a pending quit request once all workers have exited.
+func (s *svcServer) maybeQuit() {
+	if s.quitWanted && s.exited >= s.workers {
+		s.quit = true
 	}
 }
 

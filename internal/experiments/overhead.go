@@ -45,6 +45,9 @@ type OverheadRow struct {
 	// Logging is "on" (MPE buffers records) or "off" (the no-service
 	// baseline the paper's table compares against).
 	Logging string `json:"logging"`
+	// Transport names the rank substrate for transport ping-pong rows
+	// ("inproc", "socket", "tcp"); empty for every other row.
+	Transport string `json:"transport,omitempty"`
 	// Ranks and Messages scale the workload rows (0 for micro rows).
 	Ranks    int `json:"ranks,omitempty"`
 	Messages int `json:"messages,omitempty"`
@@ -60,7 +63,13 @@ type OverheadRow struct {
 	ImprovementPct float64 `json:"improvement_pct,omitempty"`
 }
 
-func (r OverheadRow) key() string { return r.Name + "|" + r.Logging }
+func (r OverheadRow) key() string {
+	k := r.Name + "|" + r.Logging
+	if r.Transport != "" {
+		k += "|" + r.Transport
+	}
+	return k
+}
 
 // String renders the row for the pilot-bench console output.
 func (r OverheadRow) String() string {
@@ -69,6 +78,9 @@ func (r OverheadRow) String() string {
 	if r.Ranks > 0 {
 		s = fmt.Sprintf("%-28s log=%-3s %12.1f ns/call %9.1f B/call %7.2f allocs/call  (W=%d M=%d)",
 			r.Name, r.Logging, r.NsPerOp, r.BPerOp, r.AllocsPerOp, r.Ranks, r.Messages)
+	}
+	if r.Transport != "" {
+		s += "  transport=" + r.Transport
 	}
 	if r.PrePRNsPerOp > 0 {
 		s += fmt.Sprintf("  pre-PR %.1f (%+.0f%%)", r.PrePRNsPerOp, -r.ImprovementPct)
@@ -428,6 +440,24 @@ func RunOverhead(opt Options) (*OverheadReport, error) {
 			rep.Workload = append(rep.Workload, row)
 			opt.logf("OV %s", row)
 		}
+	}
+
+	// Transport rows: raw round trips per rank substrate, the in-process
+	// baseline next to the multi-process wire (pilot-bench's -transport
+	// flag selects which; the multi-process rows re-execute the host
+	// binary, so only binaries with a TransportPingPongChild hook can run
+	// them).
+	for _, tr := range opt.Transports {
+		res, err := benchTransportPingPong(tr, opt.SpawnCommand)
+		if err != nil {
+			return nil, fmt.Errorf("transport pingpong %s: %w", tr, err)
+		}
+		row := finishRow(OverheadRow{
+			Name: "transport_pingpong", Logging: "off", Transport: tr,
+			Ranks: 2, CallsPerOp: 2,
+		}, res)
+		rep.Workload = append(rep.Workload, row)
+		opt.logf("OV %s", row)
 	}
 	return rep, nil
 }

@@ -1,0 +1,104 @@
+// Transport ping-pong cells for the overhead harness: raw 64-byte round
+// trips timed per rank substrate, so BENCH_overhead.json shows what the
+// multi-process socket wire costs next to the in-process baseline. The
+// world is set up once per transport — process spawn is not what the row
+// measures — and each benchmark op is one round trip (two Pilot-level
+// calls at rank 0).
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// Tags of the ping-pong protocol: rank 1 echoes every ping payload back
+// until the stop tag arrives.
+const (
+	transportPingTag = 1
+	transportStopTag = 2
+)
+
+// transportEcho is the rank-1 half: echo until told to stop.
+func transportEcho(r *mpi.Rank) error {
+	for {
+		m, err := r.Recv(0, mpi.AnyTag)
+		if err != nil {
+			return err
+		}
+		if m.Tag == transportStopTag {
+			return nil
+		}
+		if err := r.Send(0, transportPingTag, m.Data); err != nil {
+			return err
+		}
+	}
+}
+
+// TransportPingPongChild is the spawned-rank entry point for the
+// multi-process transport cells. A host binary (pilot-bench, or a test
+// binary pointing SpawnCommand at a hook test) checks mpi.Spawned()
+// first thing and calls this instead of orchestrating: the process joins
+// the world named by the PILOT_MPI_* environment as rank 1, echoes until
+// the stop tag, and says a clean goodbye.
+func TransportPingPongChild() error {
+	w, err := mpi.Start(2, mpi.Options{Transport: mpi.SpawnedTransport()})
+	if err != nil {
+		return err
+	}
+	if err := w.Run(transportEcho)[w.LocalRank()]; err != nil {
+		w.Shutdown()
+		return err
+	}
+	return w.Shutdown()
+}
+
+// benchTransportPingPong times round trips over one transport. For the
+// in-process transport rank 1 is a goroutine of this process; for the
+// socket and TCP transports it is a spawned OS process running
+// TransportPingPongChild, launched via spawnCmd (nil = re-execute the
+// host binary).
+func benchTransportPingPong(transport string, spawnCmd []string) (testing.BenchmarkResult, error) {
+	opts := mpi.Options{Transport: transport}
+	if transport != "" && transport != mpi.TransportInproc {
+		opts.SpawnCommand = spawnCmd
+	}
+	w, err := mpi.Start(2, opts)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	var res testing.BenchmarkResult
+	var benchErr error
+	errs := w.Run(func(r *mpi.Rank) error {
+		if r.ID() != 0 {
+			return transportEcho(r) // present only under the in-process transport
+		}
+		payload := make([]byte, 64)
+		res = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := r.Send(1, transportPingTag, payload); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+				if _, err := r.Recv(1, transportPingTag); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		return r.Send(1, transportStopTag, nil)
+	})
+	if benchErr == nil {
+		for _, err := range errs {
+			if err != nil {
+				benchErr = err
+				break
+			}
+		}
+	}
+	if err := w.Shutdown(); err != nil && benchErr == nil {
+		benchErr = err
+	}
+	return res, benchErr
+}

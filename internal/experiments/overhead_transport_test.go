@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// TestTransportPingPongChildHook hosts the spawned rank of the socket
+// transport bench: inert under a normal `go test`, it becomes the echo
+// rank when launched with the PILOT_MPI_* join environment — the same
+// TransportPingPongChild entry pilot-bench routes spawned invocations to.
+func TestTransportPingPongChildHook(t *testing.T) {
+	if !mpi.Spawned() {
+		t.Skip("spawned rank body; run via TestBenchTransportPingPong")
+	}
+	if err := TransportPingPongChild(); err != nil {
+		t.Fatalf("spawned echo rank: %v", err)
+	}
+}
+
+// TestBenchTransportPingPong runs one in-process row and one socket row
+// (the latter spawning this test binary as rank 1) and checks both
+// produce a usable measurement with distinct comparison keys.
+func TestBenchTransportPingPong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs benchmarks and spawns a rank process; skipped in -short")
+	}
+	spawnCmd := []string{os.Args[0], "-test.run=^TestTransportPingPongChildHook$"}
+	for _, tr := range []string{mpi.TransportInproc, mpi.TransportSocket} {
+		res, err := benchTransportPingPong(tr, spawnCmd)
+		if err != nil {
+			t.Fatalf("%s: %v", tr, err)
+		}
+		row := finishRow(OverheadRow{
+			Name: "transport_pingpong", Logging: "off", Transport: tr,
+			Ranks: 2, CallsPerOp: 2,
+		}, res)
+		if res.N <= 0 || row.NsPerOp <= 0 {
+			t.Errorf("%s: empty measurement: N=%d row=%+v", tr, res.N, row)
+		}
+		if want := "transport_pingpong|off|" + tr; row.key() != want {
+			t.Errorf("key %q, want %q", row.key(), want)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package mpi
+
+// Cross-transport conformance: the same randomized seeded plan the
+// in-process suite replays, with the sender ranks spawned as separate OS
+// processes joined over the socket (or TCP) transport. The parent test
+// process hosts rank 0 and runs the full reference matcher; each child is
+// this test binary re-invoked on TestConformanceTransportChild, which
+// rebuilds its send plan from nothing but the seed handed down in the
+// environment.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+const confSeedEnv = "PILOT_MPI_CONF_SEED"
+
+func TestConformanceSocketTransport(t *testing.T) {
+	runTransportConformance(t, TransportSocket, 3)
+}
+
+func TestConformanceTCPTransport(t *testing.T) {
+	runTransportConformance(t, TransportTCP, 4)
+}
+
+func runTransportConformance(t *testing.T, transport string, seed int64) {
+	p := buildConfPlan(seed, 3, 3, 50)
+	n := p.size()
+	mx := stats.New(n)
+	mx.SetChannels(p.numTags)
+	w, err := Start(n, Options{
+		Metrics:      mx,
+		Transport:    transport,
+		SpawnCommand: []string{os.Args[0], "-test.run=^TestConformanceTransportChild$"},
+		SpawnEnv:     []string{confSeedEnv + "=" + strconv.FormatInt(seed, 10)},
+	})
+	if err != nil {
+		t.Fatalf("Start(%s): %v", transport, err)
+	}
+	if got := w.LocalRank(); got != 0 {
+		t.Fatalf("orchestrator LocalRank = %d, want 0", got)
+	}
+
+	var mu sync.Mutex
+	var failures []string
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		failures = append(failures, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	errs := w.Run(func(r *Rank) error {
+		return confReceive(r, p, seed, &mu, fail)
+	})
+	if errs[0] != nil {
+		t.Fatalf("rank 0: %v", errs[0])
+	}
+	for _, f := range failures {
+		t.Error(f)
+	}
+	checkConfDrained(t, p)
+
+	// Clean shutdown reaps the children; their BYE frames have folded the
+	// remote send counters into the orchestrator's totals by the time it
+	// returns.
+	if err := w.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if tr := w.Traffic(0); tr.Received != int64(p.totalMsgs) || tr.RecvBytes != p.totalBytes {
+		t.Errorf("Traffic(0) = %+v, want %d msgs / %d bytes received", tr, p.totalMsgs, p.totalBytes)
+	}
+	tot := w.TotalTraffic()
+	if tot.Sent != int64(p.totalMsgs) || tot.SentBytes != p.totalBytes {
+		t.Errorf("TotalTraffic = %+v, want %d msgs / %d bytes sent", tot, p.totalMsgs, p.totalBytes)
+	}
+	// Every remote message crossed the wire at least once.
+	if frames := mx.Total(stats.CtrWireFrames); frames < int64(p.totalMsgs) {
+		t.Errorf("wire_frames = %d, want >= %d for a multi-process run", frames, p.totalMsgs)
+	}
+}
+
+// TestConformanceTransportChild is the spawned half of the transport
+// conformance runs: skipped under a normal `go test`, it becomes one
+// sender rank when launched with the PILOT_MPI_* join environment.
+func TestConformanceTransportChild(t *testing.T) {
+	if !Spawned() {
+		t.Skip("not a spawned rank")
+	}
+	seed, err := strconv.ParseInt(os.Getenv(confSeedEnv), 10, 64)
+	if err != nil {
+		t.Fatalf("bad %s: %v", confSeedEnv, err)
+	}
+	p := buildConfPlan(seed, 3, 3, 50)
+	w, err := Start(p.size(), Options{Transport: SpawnedTransport()})
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	local := w.LocalRank()
+	errs := w.Run(func(r *Rank) error { return confSend(r, p) })
+	if errs[local] != nil {
+		t.Fatalf("rank %d: %v", local, errs[local])
+	}
+	if err := w.Shutdown(); err != nil {
+		t.Fatalf("rank %d shutdown: %v", local, err)
+	}
+}

@@ -21,10 +21,10 @@ func BenchmarkMailboxBacklog(b *testing.B) {
 	}()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		box.put(&envelope{ctx: CtxUser, src: 0, tag: 2, data: nil})
+		box.put(&Envelope{Ctx: CtxUser, Src: 0, Tag: 2, Data: nil})
 	}
 	b.StopTimer()
-	box.put(&envelope{ctx: CtxUser, src: 0, tag: 1, data: nil})
+	box.put(&Envelope{Ctx: CtxUser, Src: 0, Tag: 1, Data: nil})
 	wg.Wait()
 }
 
@@ -53,11 +53,11 @@ func BenchmarkMailboxManyWaiters(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		box.put(&envelope{ctx: CtxUser, src: 0, tag: 2, data: nil})
+		box.put(&Envelope{Ctx: CtxUser, Src: 0, Tag: 2, Data: nil})
 	}
 	b.StopTimer()
 	for i := 0; i < nWaiters; i++ {
-		box.put(&envelope{ctx: CtxUser, src: 0, tag: 1000 + i, data: nil})
+		box.put(&Envelope{Ctx: CtxUser, Src: 0, Tag: 1000 + i, Data: nil})
 	}
 	wg.Wait()
 }

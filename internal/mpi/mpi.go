@@ -1,7 +1,6 @@
 // Package mpi is a simulated Message Passing Interface substrate: a fixed
-// set of ranks running as goroutines in one process, exchanging byte-slice
-// messages matched by (source, tag) with MPI's non-overtaking ordering
-// guarantee.
+// set of ranks exchanging byte-slice messages matched by (source, tag)
+// with MPI's non-overtaking ordering guarantee.
 //
 // The real Pilot library runs on a real MPI (OpenMPI, MPICH). Go has no
 // mature MPI bindings, so this package supplies the closest synthetic
@@ -9,6 +8,13 @@
 // observes: rank identity, blocking matched receives, eager versus
 // rendezvous sends, per-rank wallclocks (MPI_Wtime) that may drift, an
 // MPI_Abort that tears down every rank, and collectives.
+//
+// Ranks live behind a pluggable Transport. The default in-process
+// transport runs every rank as a goroutine in one address space; the
+// socket transport (Options.Transport = TransportSocket or TransportTCP)
+// runs every rank as its own OS process and carries envelopes, barrier
+// and abort traffic over length-framed stream connections, which is how
+// the tooling escapes the one-process ceiling.
 //
 // Message contexts play the role of MPI communicators: traffic in one
 // context never matches receives in another, so library-internal messages
@@ -59,10 +65,13 @@ const DefaultEagerLimit = 64 << 10
 // Options configures a World.
 type Options struct {
 	// Clocks supplies one wallclock per rank. If nil or short, missing
-	// entries share a single Real clock (all ranks on one node).
+	// entries share a single Real clock (all ranks on one node). In a
+	// multi-process world each process only consults its local rank's
+	// entry.
 	Clocks []clock.Source
 	// EagerLimit overrides DefaultEagerLimit when non-zero. A negative
-	// value forces every send to rendezvous.
+	// value forces every send to rendezvous. Every process of a
+	// multi-process world must use the same value.
 	EagerLimit int
 	// Faults installs a deterministic fault-injection plan (nil = none).
 	// See FaultPlan.
@@ -71,6 +80,31 @@ type Options struct {
 	// (messages, bytes, wait times) for user-context traffic. A nil
 	// collector disables collection at zero cost.
 	Metrics *stats.Collector
+
+	// Transport selects the rank substrate: TransportInproc (the default
+	// when empty), TransportSocket or TransportTCP. The remaining fields
+	// only apply to multi-process transports.
+	Transport string
+	// ListenAddr overrides the orchestrator's listen address: a socket
+	// path for TransportSocket, host:port for TransportTCP. Empty picks a
+	// fresh path in the temp directory / a loopback ephemeral port.
+	ListenAddr string
+	// SpawnCommand is the argv the orchestrator launches once per remote
+	// rank. Empty re-executes the current binary with os.Args[1:], which
+	// is correct for programs whose configuration is argv-deterministic.
+	SpawnCommand []string
+	// SpawnEnv appends environment entries ("K=V") to each child beyond
+	// the inherited environment and the PILOT_MPI_* join variables.
+	SpawnEnv []string
+	// NoSpawn makes the orchestrator listen and wait for externally
+	// launched ranks instead of spawning them itself.
+	NoSpawn bool
+	// JoinAddr, when set, makes Start join an existing world as rank
+	// JoinRank instead of orchestrating one. Normally left empty: spawned
+	// children discover the same thing through the PILOT_MPI_* variables.
+	JoinAddr string
+	// JoinRank is this process's rank when JoinAddr is set.
+	JoinRank int
 }
 
 // World is a simulated MPI job of a fixed number of ranks.
@@ -78,7 +112,10 @@ type World struct {
 	size       int
 	eagerLimit int
 	clocks     []clock.Source
-	boxes      []*mailbox
+	t          Transport
+	// local is the one rank this process hosts, or -1 when every rank is
+	// local (the in-process transport).
+	local int
 	// ranks holds the n immutable rank handles; Rank() hands out
 	// pointers into it so the accessor never allocates (it sits on
 	// every logging and messaging hot path).
@@ -88,23 +125,35 @@ type World struct {
 	abortOnce sync.Once
 	abortCode int
 
+	shutOnce sync.Once
+	shutErr  error
+
 	faults *faultState
 
 	metrics *stats.Collector
 
-	barrier barrierState
-
 	// Per-rank traffic counters (user context only), maintained with
-	// atomics so any goroutine can snapshot them.
+	// atomics so any goroutine can snapshot them. In a multi-process
+	// world each process counts its local rank; remote ranks' counters
+	// are folded in at the orchestrator when they say goodbye.
 	sent, sentBytes, recvd, recvdBytes []atomic.Int64
 }
 
-// NewWorld creates a world of n ranks. It panics if n < 1; a world with no
-// ranks is a programming error, not a runtime condition.
+// NewWorld creates an in-process world of n ranks (or whatever transport
+// opts selects). It panics on any Start error; a world that cannot be
+// built in-process is a programming error, not a runtime condition.
+// Multi-process callers should prefer Start, whose failures (spawn,
+// handshake) are ordinary runtime errors.
 func NewWorld(n int, opts Options) *World {
-	if n < 1 {
-		panic(invariantf("mpi: NewWorld with %d ranks", n))
+	w, err := Start(n, opts)
+	if err != nil {
+		panic(invariantf("mpi: NewWorld: %v", err))
 	}
+	return w
+}
+
+// newWorldShell builds the transport-independent part of a World.
+func newWorldShell(n int, opts Options) *World {
 	eager := opts.EagerLimit
 	switch {
 	case eager == 0:
@@ -116,7 +165,6 @@ func NewWorld(n int, opts Options) *World {
 		size:       n,
 		eagerLimit: eager,
 		clocks:     make([]clock.Source, n),
-		boxes:      make([]*mailbox, n),
 		abortCh:    make(chan struct{}),
 	}
 	shared := clock.Source(nil)
@@ -129,14 +177,12 @@ func NewWorld(n int, opts Options) *World {
 			}
 			w.clocks[i] = shared
 		}
-		w.boxes[i] = newMailbox()
 	}
 	w.ranks = make([]Rank, n)
 	for i := range w.ranks {
 		w.ranks[i] = Rank{w: w, id: i}
 	}
 	w.metrics = opts.Metrics
-	w.barrier.cond = sync.NewCond(&w.barrier.mu)
 	w.sent = make([]atomic.Int64, n)
 	w.sentBytes = make([]atomic.Int64, n)
 	w.recvd = make([]atomic.Int64, n)
@@ -161,7 +207,9 @@ type Traffic struct {
 }
 
 // Traffic returns rank id's counters (user context only; collective,
-// logging and service traffic is internal bookkeeping).
+// logging and service traffic is internal bookkeeping). In a
+// multi-process world a remote rank's counters are zero until its
+// process exits cleanly, at which point the orchestrator folds them in.
 func (w *World) Traffic(id int) Traffic {
 	return Traffic{
 		Sent:      w.sent[id].Load(),
@@ -189,6 +237,37 @@ func (w *World) Size() int { return w.size }
 
 // Metrics returns the attached stats collector (nil when disabled).
 func (w *World) Metrics() *stats.Collector { return w.metrics }
+
+// LocalRank returns the one rank this process hosts, or -1 when every
+// rank is local (the in-process transport).
+func (w *World) LocalRank() int { return w.local }
+
+// Local reports whether rank id runs in this process.
+func (w *World) Local(id int) bool { return w.local < 0 || w.local == id }
+
+// Addr returns the address rank processes join this world at ("" for the
+// in-process transport).
+func (w *World) Addr() string { return w.t.Addr() }
+
+// Shutdown releases the world's transport after the job completes: the
+// orchestrator of a multi-process world reaps its rank processes
+// (killing stragglers after a grace period), a joined rank announces a
+// clean goodbye. In-process worlds need no shutdown. Idempotent.
+func (w *World) Shutdown() error {
+	w.shutOnce.Do(func() { w.shutErr = w.t.Shutdown() })
+	return w.shutErr
+}
+
+// ChildPID returns the OS process ID of the spawned process hosting rank
+// id, or -1 when that rank was not spawned by this process (in-process
+// worlds, externally launched ranks, the orchestrator itself). Chaos
+// tests use it to kill a live rank mid-run.
+func (w *World) ChildPID(id int) int {
+	if t, ok := w.t.(*socketTransport); ok {
+		return t.childPID(id)
+	}
+	return -1
+}
 
 // Rank returns the handle for rank id. It panics on an out-of-range id.
 func (w *World) Rank(id int) *Rank {
@@ -232,8 +311,10 @@ func (w *World) AbortCode() int {
 	return 0
 }
 
-// Run executes f concurrently on every rank and returns the per-rank
-// results once all have finished.
+// Run executes f concurrently on every rank this process hosts and
+// returns the per-rank results once all have finished — every rank
+// in-process, exactly one in a multi-process world (the others' slots
+// stay nil in their own processes).
 //
 // A panic in f is recovered and converted into that rank's error plus an
 // Abort(PanicAbortCode), mirroring real MPI job teardown: one crashing
@@ -242,40 +323,44 @@ func (w *World) AbortCode() int {
 // are re-panicked.
 func (w *World) Run(f func(r *Rank) error) []error {
 	errs := make([]error, w.size)
+	runOne := func(id int) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if inv, ok := rec.(invariantError); ok {
+				panic(inv)
+			}
+			errs[id] = fmt.Errorf("mpi: rank %d panicked: %v", id, rec)
+			w.abort(PanicAbortCode)
+		}()
+		errs[id] = f(w.Rank(id))
+	}
+	if w.local >= 0 {
+		runOne(w.local)
+		return errs
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < w.size; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			defer func() {
-				rec := recover()
-				if rec == nil {
-					return
-				}
-				if inv, ok := rec.(invariantError); ok {
-					panic(inv)
-				}
-				errs[id] = fmt.Errorf("mpi: rank %d panicked: %v", id, rec)
-				w.abort(PanicAbortCode)
-			}()
-			errs[id] = f(w.Rank(id))
+			runOne(id)
 		}(i)
 	}
 	wg.Wait()
 	return errs
 }
 
+// abort records the code, releases every local waiter and fans the abort
+// out through the transport. Remote aborts arrive back here through the
+// transport's reader, so the once guard is what stops the echo.
 func (w *World) abort(code int) {
 	w.abortOnce.Do(func() {
 		w.abortCode = code
 		close(w.abortCh)
-		for _, b := range w.boxes {
-			b.close()
-		}
-		w.barrier.mu.Lock()
-		w.barrier.aborted = true
-		w.barrier.cond.Broadcast()
-		w.barrier.mu.Unlock()
+		w.t.Abort(code)
 	})
 }
 
@@ -351,17 +436,17 @@ func (r *Rank) SendCtx(ctx, dst, tag int, data []byte) error {
 			return ErrAborted
 		}
 	}
-	env := &envelope{ctx: ctx, src: r.id, tag: tag, data: cloneBytes(data)}
+	env := &Envelope{Ctx: ctx, Src: r.id, Tag: tag, Data: cloneBytes(data)}
 	rendezvous := r.w.eagerLimit < 0 || len(data) > r.w.eagerLimit || forceRdv
 	if rendezvous {
-		env.done = make(chan struct{})
+		env.Done = make(chan struct{})
 	}
-	if !r.w.boxes[dst].put(env) {
+	if !r.w.t.Put(dst, env) {
 		return ErrAborted
 	}
 	if rendezvous {
 		select {
-		case <-env.done:
+		case <-env.Done:
 		case <-r.w.abortCh:
 			return ErrAborted
 		}
@@ -379,6 +464,19 @@ func (r *Rank) SendCtx(ctx, dst, tag int, data []byte) error {
 	return nil
 }
 
+// checkRecvArgs mirrors the send-side argument validation on the receive
+// side: a typo'd tag or context must come back as an error, not block
+// forever waiting for a message that cannot exist.
+func checkRecvArgs(op string, ctx, tag int) error {
+	if tag != AnyTag && tag < 0 {
+		return fmt.Errorf("mpi: %s with invalid tag %d", op, tag)
+	}
+	if ctx < 0 || ctx >= numCtx {
+		return fmt.Errorf("mpi: %s in invalid context %d", op, ctx)
+	}
+	return nil
+}
+
 // Recv blocks until a message matching (src, tag) in the user context
 // arrives, removes it, and returns it. src may be AnySource and tag AnyTag.
 func (r *Rank) Recv(src, tag int) (Message, error) {
@@ -390,6 +488,9 @@ func (r *Rank) RecvCtx(ctx, src, tag int) (Message, error) {
 	if err := r.checkWildPeer(src); err != nil {
 		return Message{}, err
 	}
+	if err := checkRecvArgs("receive", ctx, tag); err != nil {
+		return Message{}, err
+	}
 	mx := r.w.metrics
 	var t0 time.Time
 	if mx != nil && ctx == CtxUser {
@@ -398,25 +499,25 @@ func (r *Rank) RecvCtx(ctx, src, tag int) (Message, error) {
 	if _, _, err := r.w.faultOp(r.id, ctx, false); err != nil {
 		return Message{}, err
 	}
-	env, ok := r.w.boxes[r.id].take(ctx, src, tag)
+	env, ok := r.w.t.Take(r.id, ctx, src, tag)
 	if !ok {
 		return Message{}, ErrAborted
 	}
-	if env.done != nil {
-		close(env.done)
+	if env.Done != nil {
+		close(env.Done)
 	}
 	if ctx == CtxUser {
 		r.w.recvd[r.id].Add(1)
-		r.w.recvdBytes[r.id].Add(int64(len(env.data)))
-		// env.tag, not the argument: a wildcard receive charges the
+		r.w.recvdBytes[r.id].Add(int64(len(env.Data)))
+		// env.Tag, not the argument: a wildcard receive charges the
 		// channel that actually delivered.
 		if mx != nil {
-			mx.RecvObserved(r.id, env.tag, len(env.data), time.Since(t0).Nanoseconds())
+			mx.RecvObserved(r.id, env.Tag, len(env.Data), time.Since(t0).Nanoseconds())
 		}
 	}
 	return Message{
-		Status: Status{Source: env.src, Tag: env.tag, Len: len(env.data)},
-		Data:   env.data,
+		Status: Status{Source: env.Src, Tag: env.Tag, Len: len(env.Data)},
+		Data:   env.Data,
 	}, nil
 }
 
@@ -432,6 +533,9 @@ func (r *Rank) Probe(src, tag int) (Status, error) {
 	if err := r.checkWildPeer(src); err != nil {
 		return Status{}, err
 	}
+	if err := checkRecvArgs("probe", CtxUser, tag); err != nil {
+		return Status{}, err
+	}
 	if err := r.w.crashedErr(r.id, CtxUser); err != nil {
 		return Status{}, err
 	}
@@ -440,7 +544,7 @@ func (r *Rank) Probe(src, tag int) (Status, error) {
 	if mx != nil {
 		t0 = time.Now()
 	}
-	st, ok := r.w.boxes[r.id].probe(CtxUser, src, tag, true)
+	st, ok := r.w.t.Probe(r.id, CtxUser, src, tag, true)
 	if !ok {
 		return Status{}, ErrAborted
 	}
@@ -461,13 +565,16 @@ func (r *Rank) IprobeCtx(ctx, src, tag int) (Status, bool, error) {
 	if err := r.checkWildPeer(src); err != nil {
 		return Status{}, false, err
 	}
+	if err := checkRecvArgs("probe", ctx, tag); err != nil {
+		return Status{}, false, err
+	}
 	if r.w.Aborted() {
 		return Status{}, false, ErrAborted
 	}
 	if err := r.w.crashedErr(r.id, ctx); err != nil {
 		return Status{}, false, err
 	}
-	st, ok := r.w.boxes[r.id].iprobe(ctx, src, tag)
+	st, ok := r.w.t.Probe(r.id, ctx, src, tag, false)
 	return st, ok, nil
 }
 
@@ -482,28 +589,8 @@ func (r *Rank) Barrier() error {
 	if mx != nil {
 		t0 = time.Now()
 	}
-	b := &r.w.barrier
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.aborted {
-		return ErrAborted
-	}
-	gen := b.gen
-	b.count++
-	if b.count == r.w.size {
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-		if mx != nil {
-			mx.BarrierWait(r.id, time.Since(t0).Nanoseconds())
-		}
-		return nil
-	}
-	for b.gen == gen && !b.aborted {
-		b.cond.Wait()
-	}
-	if b.aborted {
-		return ErrAborted
+	if err := r.w.t.Barrier(r.id); err != nil {
+		return err
 	}
 	if mx != nil {
 		mx.BarrierWait(r.id, time.Since(t0).Nanoseconds())
@@ -538,25 +625,6 @@ func cloneBytes(b []byte) []byte {
 // time without importing package time everywhere.
 func (r *Rank) Sleep(d time.Duration) { time.Sleep(d) }
 
-type barrierState struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	count   int
-	gen     int
-	aborted bool
-}
-
-// envelope is one in-flight message.
-type envelope struct {
-	ctx  int
-	src  int
-	tag  int
-	data []byte
-	// done is non-nil for rendezvous sends; the receiver closes it when the
-	// message has been matched.
-	done chan struct{}
-}
-
 // mailbox is a per-rank queue of in-flight messages with matched receives.
 // Queue order is arrival order, which yields MPI's non-overtaking guarantee
 // for any fixed (context, source, tag).
@@ -571,7 +639,7 @@ type envelope struct {
 // BenchmarkMailboxBacklog).
 type mailbox struct {
 	mu      sync.Mutex
-	queue   []*envelope
+	queue   []*Envelope
 	waiters []*waiter
 	closed  bool
 }
@@ -581,14 +649,14 @@ type mailbox struct {
 type waiter struct {
 	ctx, src, tag int
 	take          bool // take removes the message; probe only observes it
-	ready         chan *envelope
+	ready         chan *Envelope
 }
 
 func newMailbox() *mailbox {
 	return &mailbox{}
 }
 
-func (b *mailbox) put(env *envelope) bool {
+func (b *mailbox) put(env *Envelope) bool {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -597,12 +665,15 @@ func (b *mailbox) put(env *envelope) bool {
 	// Wake exactly the waiters whose pattern matches: probes observe the
 	// envelope, the first matching take consumes it (FIFO among waiters,
 	// preserving non-overtaking order — a registered taker found no
-	// earlier match when it scanned the queue).
+	// earlier match when it scanned the queue). Once a take has consumed
+	// the envelope NO later waiter may see it — not even a probe: a probe
+	// handed a consumed envelope would report a message that can never be
+	// received, violating the probe-then-recv guarantee.
 	taken := false
 	if len(b.waiters) > 0 {
 		kept := b.waiters[:0]
 		for _, w := range b.waiters {
-			if (taken && w.take) || !match(env, w.ctx, w.src, w.tag) {
+			if taken || !match(env, w.ctx, w.src, w.tag) {
 				kept = append(kept, w)
 				continue
 			}
@@ -623,15 +694,15 @@ func (b *mailbox) put(env *envelope) bool {
 	return true
 }
 
-func match(env *envelope, ctx, src, tag int) bool {
-	return env.ctx == ctx &&
-		(src == AnySource || env.src == src) &&
-		(tag == AnyTag || env.tag == tag)
+func match(env *Envelope, ctx, src, tag int) bool {
+	return env.Ctx == ctx &&
+		(src == AnySource || env.Src == src) &&
+		(tag == AnyTag || env.Tag == tag)
 }
 
 // take removes and returns the first matching message, blocking until one
 // arrives. ok=false means the world aborted.
-func (b *mailbox) take(ctx, src, tag int) (*envelope, bool) {
+func (b *mailbox) take(ctx, src, tag int) (*Envelope, bool) {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -639,12 +710,17 @@ func (b *mailbox) take(ctx, src, tag int) (*envelope, bool) {
 	}
 	for i, env := range b.queue {
 		if match(env, ctx, src, tag) {
-			b.queue = append(b.queue[:i], b.queue[i+1:]...)
+			// Shift left and nil the vacated tail slot so the consumed
+			// envelope's payload is not pinned until the slot is reused.
+			copy(b.queue[i:], b.queue[i+1:])
+			last := len(b.queue) - 1
+			b.queue[last] = nil
+			b.queue = b.queue[:last]
 			b.mu.Unlock()
 			return env, true
 		}
 	}
-	w := &waiter{ctx: ctx, src: src, tag: tag, take: true, ready: make(chan *envelope, 1)}
+	w := &waiter{ctx: ctx, src: src, tag: tag, take: true, ready: make(chan *Envelope, 1)}
 	b.waiters = append(b.waiters, w)
 	b.mu.Unlock()
 	env, ok := <-w.ready
@@ -662,7 +738,7 @@ func (b *mailbox) probe(ctx, src, tag int, block bool) (Status, bool) {
 	}
 	for _, env := range b.queue {
 		if match(env, ctx, src, tag) {
-			st := Status{Source: env.src, Tag: env.tag, Len: len(env.data)}
+			st := Status{Source: env.Src, Tag: env.Tag, Len: len(env.Data)}
 			b.mu.Unlock()
 			return st, true
 		}
@@ -671,28 +747,14 @@ func (b *mailbox) probe(ctx, src, tag int, block bool) (Status, bool) {
 		b.mu.Unlock()
 		return Status{}, false
 	}
-	w := &waiter{ctx: ctx, src: src, tag: tag, ready: make(chan *envelope, 1)}
+	w := &waiter{ctx: ctx, src: src, tag: tag, ready: make(chan *Envelope, 1)}
 	b.waiters = append(b.waiters, w)
 	b.mu.Unlock()
 	env, ok := <-w.ready
 	if !ok {
 		return Status{}, false
 	}
-	return Status{Source: env.src, Tag: env.tag, Len: len(env.data)}, true
-}
-
-func (b *mailbox) iprobe(ctx, src, tag int) (Status, bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
-		return Status{}, false
-	}
-	for _, env := range b.queue {
-		if match(env, ctx, src, tag) {
-			return Status{Source: env.src, Tag: env.tag, Len: len(env.data)}, true
-		}
-	}
-	return Status{}, false
+	return Status{Source: env.Src, Tag: env.Tag, Len: len(env.Data)}, true
 }
 
 func (b *mailbox) close() {

@@ -1,0 +1,625 @@
+// The multi-process socket transport: every rank is its own OS process,
+// connected hub-and-spoke to the orchestrator (the process hosting rank
+// 0), which listens, spawns the other ranks, routes their envelopes, runs
+// the barrier, and fans aborts out.
+//
+// Topology. A star rather than a full mesh keeps connection count linear
+// and gives the world exactly one place that knows everything: rank 0,
+// which is also where MPE's Finish merge and the Pilot main process
+// already live. Rank-to-rank traffic relays through the hub — two hops,
+// but each frame is routed by a single goroutine doing a map-free slice
+// index, and the paper's workloads are master/worker shaped around rank 0
+// anyway.
+//
+// Delivery. Each process drains its connection eagerly into the local
+// in-memory mailbox (the same mailbox the in-process transport uses), so
+// the wire never blocks on an unmatched receive and the non-overtaking
+// guarantee reduces to per-connection FIFO plus single-goroutine routing.
+// Rendezvous sends travel as ordinary frames carrying a sequence number;
+// the receiving process acks when its Rank actually matches the message
+// (closing Envelope.Done closes the loop), so blocking semantics are
+// preserved end-to-end without a second round trip for eager traffic.
+//
+// Failure. A connection that drops without a BYE frame is a lost rank:
+// the transport aborts the world with FaultAbortCode, exactly as an
+// injected crash would, and the layers above fall back to spill-v2
+// salvage for the dead rank's log segments.
+package mpi
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// joinTimeout bounds spawn-to-HELLO; a rank that cannot start within
+	// it fails the whole Start rather than hanging the job.
+	joinTimeout = 60 * time.Second
+	// dialRetry is how long a joining rank keeps retrying the hub address
+	// (covers externally launched ranks racing the listener).
+	dialRetry = 10 * time.Second
+	// shutdownGrace is how long Shutdown waits for rank processes to exit
+	// on their own before killing them.
+	shutdownGrace = 10 * time.Second
+)
+
+type socketTransport struct {
+	w       *World
+	size    int
+	local   int
+	network string // "unix" or "tcp"
+	addr    string // join form: "unix:<path>" or "tcp:<host:port>"
+	box     *mailbox
+
+	// Rendezvous bookkeeping: outbound seq → the sender's Done channel,
+	// closed when the matching ACK comes back.
+	seq   atomic.Uint64
+	ackMu sync.Mutex
+	acks  map[uint64]chan struct{}
+
+	teardown sync.Once
+	closing  atomic.Bool
+
+	// barCh delivers this process's barrier release; buffered one deep —
+	// a rank has at most one barrier outstanding.
+	barCh chan struct{}
+
+	// Orchestrator state (rank 0 only).
+	ln         net.Listener
+	conns      []*wireConn // by rank; nil for rank 0
+	cmds       []*exec.Cmd // by rank; nil when not spawned by us
+	readerDone []chan struct{}
+	byed       []atomic.Bool
+	barMu      sync.Mutex
+	barCount   int
+	sockDir    string // temp dir holding the unix socket, removed on Shutdown
+
+	// Rank state (non-zero ranks).
+	hub *wireConn
+}
+
+func newSocketTransport(w *World, n int, opts Options) (*socketTransport, error) {
+	network := "unix"
+	if opts.Transport == TransportTCP {
+		network = "tcp"
+	}
+	t := &socketTransport{
+		w:       w,
+		size:    n,
+		network: network,
+		box:     newMailbox(),
+		acks:    map[uint64]chan struct{}{},
+		barCh:   make(chan struct{}, 1),
+	}
+	if addr, rank, ok := joinTarget(opts); ok {
+		if rank < 1 || rank >= n {
+			return nil, fmt.Errorf("mpi: joining rank %d out of range [1,%d)", rank, n)
+		}
+		t.local = rank
+		return t, t.join(addr, rank)
+	}
+	t.local = 0
+	return t, t.orchestrate(opts)
+}
+
+// joinTarget decides whether this process joins an existing world and at
+// which address/rank: an explicit Options.JoinAddr wins, else the
+// PILOT_MPI_* environment a spawning orchestrator set. The environment
+// variables are consumed (unset) so a joined rank that itself creates a
+// nested world does not accidentally re-join its parent's.
+func joinTarget(opts Options) (addr string, rank int, ok bool) {
+	if opts.JoinAddr != "" {
+		return opts.JoinAddr, opts.JoinRank, true
+	}
+	addr = os.Getenv(EnvAddr)
+	rankStr := os.Getenv(EnvRank)
+	if addr == "" || rankStr == "" {
+		return "", 0, false
+	}
+	rank, err := strconv.Atoi(rankStr)
+	if err != nil {
+		return "", 0, false
+	}
+	os.Unsetenv(EnvAddr)
+	os.Unsetenv(EnvRank)
+	os.Unsetenv(EnvWorld)
+	return addr, rank, true
+}
+
+func splitAddr(addr string) (network, target string, err error) {
+	switch {
+	case strings.HasPrefix(addr, "unix:"):
+		return "unix", addr[len("unix:"):], nil
+	case strings.HasPrefix(addr, "tcp:"):
+		return "tcp", addr[len("tcp:"):], nil
+	default:
+		return "", "", fmt.Errorf("mpi: join address %q (want unix:<path> or tcp:<host:port>)", addr)
+	}
+}
+
+// join connects this process to the hub as the given rank.
+func (t *socketTransport) join(addr string, rank int) error {
+	network, target, err := splitAddr(addr)
+	if err != nil {
+		return err
+	}
+	t.network = network
+	t.addr = addr
+	var conn net.Conn
+	deadline := time.Now().Add(dialRetry)
+	for {
+		conn, err = net.DialTimeout(network, target, time.Second)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("mpi: rank %d cannot reach hub at %s: %w", rank, addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.hub = newWireConn(conn, t.w.metrics, rank)
+	if err := t.hub.write(&frame{typ: frHello, rank: rank, world: t.size}); err != nil {
+		conn.Close()
+		return fmt.Errorf("mpi: rank %d handshake: %w", rank, err)
+	}
+	return nil
+}
+
+// orchestrate makes this process rank 0: listen, spawn the other ranks
+// (unless Options.NoSpawn) and collect their HELLOs.
+func (t *socketTransport) orchestrate(opts Options) error {
+	target := opts.ListenAddr
+	if t.network == "unix" && target == "" {
+		dir, err := os.MkdirTemp("", "pilot-mpi-")
+		if err != nil {
+			return fmt.Errorf("mpi: socket dir: %w", err)
+		}
+		t.sockDir = dir
+		target = filepath.Join(dir, "world.sock")
+	}
+	if t.network == "tcp" && target == "" {
+		target = "127.0.0.1:0"
+	}
+	ln, err := net.Listen(t.network, target)
+	if err != nil {
+		t.cleanupDir()
+		return fmt.Errorf("mpi: listen %s %s: %w", t.network, target, err)
+	}
+	t.ln = ln
+	if t.network == "tcp" {
+		target = ln.Addr().String()
+	}
+	t.addr = t.network + ":" + target
+	t.conns = make([]*wireConn, t.size)
+	t.cmds = make([]*exec.Cmd, t.size)
+	t.readerDone = make([]chan struct{}, t.size)
+	t.byed = make([]atomic.Bool, t.size)
+
+	fail := func(err error) error {
+		for _, cmd := range t.cmds {
+			if cmd != nil {
+				cmd.Process.Kill()
+				cmd.Wait()
+			}
+		}
+		for _, c := range t.conns {
+			if c != nil {
+				c.c.Close()
+			}
+		}
+		ln.Close()
+		t.cleanupDir()
+		return err
+	}
+
+	if !opts.NoSpawn {
+		for rank := 1; rank < t.size; rank++ {
+			cmd, err := t.spawn(rank, opts)
+			if err != nil {
+				return fail(fmt.Errorf("mpi: spawn rank %d: %w", rank, err))
+			}
+			t.cmds[rank] = cmd
+		}
+	}
+
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := ln.(deadliner); ok {
+		d.SetDeadline(time.Now().Add(joinTimeout))
+	}
+	for joined := 1; joined < t.size; joined++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fail(fmt.Errorf("mpi: waiting for %d more ranks: %w", t.size-joined, err))
+		}
+		conn.SetReadDeadline(time.Now().Add(joinTimeout))
+		wc := newWireConn(conn, t.w.metrics, 0)
+		hello, err := wc.read()
+		if err == nil && hello.typ != frHello {
+			err = fmt.Errorf("frame type %d", hello.typ)
+		}
+		if err != nil {
+			conn.Close()
+			return fail(fmt.Errorf("mpi: bad handshake: %v", err))
+		}
+		if hello.world != t.size {
+			conn.Close()
+			return fail(fmt.Errorf("mpi: rank %d built for world size %d, want %d",
+				hello.rank, hello.world, t.size))
+		}
+		if hello.rank < 1 || hello.rank >= t.size || t.conns[hello.rank] != nil {
+			conn.Close()
+			return fail(fmt.Errorf("mpi: bad or duplicate hello for rank %d", hello.rank))
+		}
+		conn.SetReadDeadline(time.Time{})
+		t.conns[hello.rank] = wc
+	}
+	if d, ok := ln.(deadliner); ok {
+		d.SetDeadline(time.Time{})
+	}
+	return nil
+}
+
+func (t *socketTransport) cleanupDir() {
+	if t.sockDir != "" {
+		os.RemoveAll(t.sockDir)
+	}
+}
+
+// spawn launches the process for one remote rank: the configured command
+// or a re-exec of this binary, plus the PILOT_MPI_* join environment.
+func (t *socketTransport) spawn(rank int, opts Options) (*exec.Cmd, error) {
+	argv := opts.SpawnCommand
+	if len(argv) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		argv = append([]string{exe}, os.Args[1:]...)
+	}
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Env = append(os.Environ(), opts.SpawnEnv...)
+	cmd.Env = append(cmd.Env,
+		EnvRank+"="+strconv.Itoa(rank),
+		EnvAddr+"="+t.addr,
+		EnvWorld+"="+strconv.Itoa(t.size),
+	)
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return cmd, nil
+}
+
+// startReaders launches the per-connection reader goroutines. Split from
+// construction so the World is fully wired before any frame can call
+// back into it.
+func (t *socketTransport) startReaders() {
+	if t.local != 0 {
+		go t.rankReader()
+		return
+	}
+	for rank, c := range t.conns {
+		if c == nil {
+			continue
+		}
+		t.readerDone[rank] = make(chan struct{})
+		go t.hubReader(rank, c)
+	}
+}
+
+// expectedEOF reports whether a connection ending now is normal rather
+// than a lost rank.
+func (t *socketTransport) expectedEOF() bool {
+	return t.closing.Load() || t.w.Aborted()
+}
+
+// hubReader drains one rank's connection at the orchestrator: local
+// deliveries go to the mailbox, everything else is routed.
+func (t *socketTransport) hubReader(rank int, c *wireConn) {
+	defer close(t.readerDone[rank])
+	for {
+		fr, err := c.read()
+		if err != nil {
+			if !t.byed[rank].Load() && !t.expectedEOF() {
+				// Lost rank: the process died without a goodbye. Tear the
+				// job down like an injected crash so salvage can run.
+				t.w.abort(FaultAbortCode)
+			}
+			return
+		}
+		switch fr.typ {
+		case frMsg, frAck:
+			if fr.dst == 0 {
+				t.deliver(fr)
+				break
+			}
+			if fr.dst < 0 || fr.dst >= t.size || t.conns[fr.dst] == nil {
+				t.w.abort(FaultAbortCode)
+				return
+			}
+			if t.byed[fr.dst].Load() {
+				break // rank exited cleanly; drop like mail to a finished rank
+			}
+			if err := t.conns[fr.dst].write(fr); err != nil && !t.byed[fr.dst].Load() && !t.expectedEOF() {
+				t.w.abort(FaultAbortCode)
+				return
+			}
+		case frBarrier:
+			t.barrierEnter()
+		case frAbort:
+			t.w.abort(fr.code)
+		case frBye:
+			t.w.sent[rank].Add(fr.traffic.Sent)
+			t.w.sentBytes[rank].Add(fr.traffic.SentBytes)
+			t.w.recvd[rank].Add(fr.traffic.Received)
+			t.w.recvdBytes[rank].Add(fr.traffic.RecvBytes)
+			t.byed[rank].Store(true)
+		}
+	}
+}
+
+// rankReader drains the hub connection at a non-zero rank.
+func (t *socketTransport) rankReader() {
+	for {
+		fr, err := t.hub.read()
+		if err != nil {
+			if !t.expectedEOF() {
+				t.w.abort(FaultAbortCode)
+			}
+			return
+		}
+		switch fr.typ {
+		case frMsg, frAck:
+			t.deliver(fr)
+		case frRelease:
+			select {
+			case t.barCh <- struct{}{}:
+			default:
+			}
+		case frAbort:
+			t.w.abort(fr.code)
+		}
+	}
+}
+
+// deliver lands a MSG in the local mailbox (reconstructing the
+// rendezvous Done/ACK linkage) or resolves an ACK.
+func (t *socketTransport) deliver(fr *frame) {
+	if fr.typ == frAck {
+		t.ackMu.Lock()
+		done := t.acks[fr.seq]
+		delete(t.acks, fr.seq)
+		t.ackMu.Unlock()
+		if done != nil {
+			close(done)
+		}
+		return
+	}
+	env := &Envelope{Ctx: fr.ctx, Src: fr.src, Tag: fr.tag, Data: fr.payload}
+	if fr.flags&flagNeedAck != 0 {
+		env.Done = make(chan struct{})
+		src, seq := fr.src, fr.seq
+		// The local Rank closes Done when it matches the message; relay
+		// that release back to the blocked sender as an ACK.
+		go func() {
+			select {
+			case <-env.Done:
+				t.writeTo(src, &frame{typ: frAck, dst: src, seq: seq})
+			case <-t.w.abortCh:
+			}
+		}()
+	}
+	t.box.put(env)
+}
+
+// errRankGone marks a write to a rank that already said goodbye; the
+// message is dropped, matching the in-process semantics of mail to a
+// finished rank sitting unread in its mailbox.
+var errRankGone = fmt.Errorf("mpi: rank exited")
+
+// writeTo sends one frame toward rank dst: directly at the hub, via the
+// hub elsewhere.
+func (t *socketTransport) writeTo(dst int, fr *frame) error {
+	if t.local != 0 {
+		return t.hub.write(fr)
+	}
+	if dst < 1 || dst >= t.size || t.conns[dst] == nil {
+		return fmt.Errorf("mpi: no connection for rank %d", dst)
+	}
+	if t.byed[dst].Load() {
+		return errRankGone
+	}
+	if err := t.conns[dst].write(fr); err != nil {
+		if t.byed[dst].Load() || t.expectedEOF() {
+			return errRankGone
+		}
+		return err
+	}
+	return nil
+}
+
+func (t *socketTransport) LocalRank() int { return t.local }
+
+func (t *socketTransport) Put(dst int, env *Envelope) bool {
+	if t.w.Aborted() {
+		return false
+	}
+	if dst == t.local {
+		return t.box.put(env)
+	}
+	fr := &frame{typ: frMsg, dst: dst, ctx: env.Ctx, src: env.Src, tag: env.Tag, payload: env.Data}
+	if env.Done != nil {
+		fr.flags |= flagNeedAck
+		fr.seq = t.seq.Add(1)
+		t.ackMu.Lock()
+		t.acks[fr.seq] = env.Done
+		t.ackMu.Unlock()
+	}
+	if err := t.writeTo(dst, fr); err != nil {
+		if env.Done != nil {
+			t.ackMu.Lock()
+			delete(t.acks, fr.seq)
+			t.ackMu.Unlock()
+		}
+		if err == errRankGone {
+			// Clean exit on the other side: the message is undeliverable
+			// but the world is healthy. A rendezvous send to a finished
+			// rank would block forever in-process too.
+			return true
+		}
+		if !t.expectedEOF() {
+			t.w.abort(FaultAbortCode)
+		}
+		return false
+	}
+	return true
+}
+
+func (t *socketTransport) Take(me, ctx, src, tag int) (*Envelope, bool) {
+	t.checkLocal(me)
+	return t.box.take(ctx, src, tag)
+}
+
+func (t *socketTransport) Probe(me, ctx, src, tag int, block bool) (Status, bool) {
+	t.checkLocal(me)
+	return t.box.probe(ctx, src, tag, block)
+}
+
+func (t *socketTransport) checkLocal(me int) {
+	if me != t.local {
+		panic(invariantf("mpi: rank %d is not hosted by this process (local rank %d)", me, t.local))
+	}
+}
+
+// barrierEnter counts one rank into the barrier at the hub; the size'th
+// entry releases everyone.
+func (t *socketTransport) barrierEnter() {
+	t.barMu.Lock()
+	t.barCount++
+	fire := t.barCount == t.size
+	if fire {
+		t.barCount = 0
+	}
+	t.barMu.Unlock()
+	if !fire {
+		return
+	}
+	for _, c := range t.conns {
+		if c != nil {
+			c.write(&frame{typ: frRelease}) // best-effort; a lost rank aborts elsewhere
+		}
+	}
+	select {
+	case t.barCh <- struct{}{}:
+	default:
+	}
+}
+
+func (t *socketTransport) Barrier(me int) error {
+	t.checkLocal(me)
+	if t.w.Aborted() {
+		return ErrAborted
+	}
+	if t.local == 0 {
+		t.barrierEnter()
+	} else if err := t.hub.write(&frame{typ: frBarrier, rank: me}); err != nil {
+		return ErrAborted
+	}
+	select {
+	case <-t.barCh:
+		return nil
+	case <-t.w.abortCh:
+		return ErrAborted
+	}
+}
+
+func (t *socketTransport) Abort(code int) {
+	t.teardown.Do(func() {
+		t.box.close()
+		fr := &frame{typ: frAbort, code: code}
+		if t.hub != nil {
+			t.hub.write(fr)
+		}
+		for _, c := range t.conns {
+			if c != nil {
+				c.write(fr)
+			}
+		}
+	})
+}
+
+func (t *socketTransport) Addr() string { return t.addr }
+
+func (t *socketTransport) childPID(rank int) int {
+	if t.local != 0 || rank < 0 || rank >= t.size || t.cmds[rank] == nil {
+		return -1
+	}
+	return t.cmds[rank].Process.Pid
+}
+
+func (t *socketTransport) Shutdown() error {
+	t.closing.Store(true)
+	if t.local != 0 {
+		// Goodbye carries this rank's traffic counters so the
+		// orchestrator's totals stay complete after the process is gone.
+		t.hub.write(&frame{typ: frBye, rank: t.local, traffic: t.w.Traffic(t.local)})
+		return t.hub.c.Close()
+	}
+	deadline := time.Now().Add(shutdownGrace)
+	remaining := func() time.Duration {
+		d := time.Until(deadline)
+		if d < 0 {
+			return 0
+		}
+		return d
+	}
+	// First let each rank's reader drain to EOF (clean exits close their
+	// end after BYE), then reap the processes we spawned.
+	for rank := 1; rank < t.size; rank++ {
+		if ch := t.readerDone[rank]; ch != nil {
+			select {
+			case <-ch:
+			case <-time.After(remaining()):
+			}
+		}
+	}
+	var failed []string
+	for rank := 1; rank < t.size; rank++ {
+		cmd := t.cmds[rank]
+		if cmd == nil {
+			continue
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		var err error
+		select {
+		case err = <-done:
+		case <-time.After(remaining()):
+			cmd.Process.Kill()
+			err = fmt.Errorf("killed after %s: %w", shutdownGrace, <-done)
+		}
+		if err != nil {
+			failed = append(failed, fmt.Sprintf("rank %d: %v", rank, err))
+		}
+	}
+	t.ln.Close()
+	for _, c := range t.conns {
+		if c != nil {
+			c.c.Close()
+		}
+	}
+	t.cleanupDir()
+	if len(failed) > 0 && !t.w.Aborted() {
+		return fmt.Errorf("mpi: rank processes failed: %s", strings.Join(failed, "; "))
+	}
+	return nil
+}

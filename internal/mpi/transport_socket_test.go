@@ -1,0 +1,295 @@
+package mpi
+
+// Socket transport tests that keep every rank inside this test process:
+// the orchestrator listens with NoSpawn and the other ranks join over the
+// unix socket from their own goroutines. One address space puts the
+// join/orchestrate/routing paths under the race detector and the coverage
+// profile; the spawned-process paths are exercised by the transport
+// conformance tests.
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// socketWorlds starts an n-rank socket world in-process, one World per
+// rank, and registers a cleanup that shuts the ranks down children-first
+// (so the orchestrator's readers drain instead of waiting out the grace
+// period).
+func socketWorlds(t *testing.T, n int, opts Options) []*World {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "world.sock")
+	worlds := make([]*World, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for rank := 0; rank < n; rank++ {
+		o := opts
+		o.Transport = TransportSocket
+		if rank == 0 {
+			o.ListenAddr = sock
+			o.NoSpawn = true
+		} else {
+			o.JoinAddr = "unix:" + sock
+			o.JoinRank = rank
+		}
+		wg.Add(1)
+		go func(rank int, o Options) {
+			defer wg.Done()
+			worlds[rank], errs[rank] = Start(n, o)
+		}(rank, o)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d start: %v", rank, err)
+		}
+	}
+	t.Cleanup(func() {
+		for rank := n - 1; rank >= 0; rank-- {
+			worlds[rank].Shutdown()
+		}
+	})
+	return worlds
+}
+
+// runSocketRanks runs f as each world's local rank concurrently and
+// returns the per-rank errors.
+func runSocketRanks(t *testing.T, worlds []*World, f func(r *Rank) error) []error {
+	t.Helper()
+	out := make([]error, len(worlds))
+	var wg sync.WaitGroup
+	for rank, w := range worlds {
+		wg.Add(1)
+		go func(rank int, w *World) {
+			defer wg.Done()
+			out[rank] = w.Run(f)[rank]
+		}(rank, w)
+	}
+	wg.Wait()
+	return out
+}
+
+// Point-to-point over the wire: child-to-hub delivery, hub-relayed
+// child-to-child delivery, wildcard matching, probe and iprobe, and a
+// full barrier.
+func TestSocketWorldBasics(t *testing.T) {
+	worlds := socketWorlds(t, 3, Options{})
+	if addr := worlds[0].Addr(); addr == "" {
+		t.Error("orchestrator Addr() is empty")
+	}
+	errs := runSocketRanks(t, worlds, func(r *Rank) error {
+		switch r.ID() {
+		case 0:
+			st, err := r.Probe(1, 7)
+			if err != nil {
+				return err
+			}
+			if st.Source != 1 || st.Tag != 7 || st.Len != 7 {
+				return fmt.Errorf("probe status %+v", st)
+			}
+			m, err := r.Recv(st.Source, st.Tag)
+			if err != nil {
+				return err
+			}
+			if string(m.Data) != "to-zero" {
+				return fmt.Errorf("got %q, want %q", m.Data, "to-zero")
+			}
+			if _, ok, err := r.Iprobe(AnySource, AnyTag); err != nil || ok {
+				return fmt.Errorf("iprobe after drain: ok=%v err=%v", ok, err)
+			}
+		case 1:
+			if err := r.Send(0, 7, []byte("to-zero")); err != nil {
+				return err
+			}
+			if err := r.Send(2, 9, []byte("relayed")); err != nil {
+				return err
+			}
+		case 2:
+			m, err := r.Recv(AnySource, AnyTag)
+			if err != nil {
+				return err
+			}
+			if m.Source != 1 || m.Tag != 9 || string(m.Data) != "relayed" {
+				return fmt.Errorf("relay delivered %+v %q", m.Status, m.Data)
+			}
+		}
+		return r.Barrier()
+	})
+	for rank, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", rank, err)
+		}
+	}
+}
+
+// Rendezvous semantics must survive the wire: a forced-rendezvous send
+// may not return before the receiver has matched the message.
+func TestSocketWorldRendezvous(t *testing.T) {
+	worlds := socketWorlds(t, 2, Options{EagerLimit: -1})
+	var matched atomic.Bool
+	errs := runSocketRanks(t, worlds, func(r *Rank) error {
+		if r.ID() == 0 {
+			if err := r.Send(1, 1, []byte("rendezvous")); err != nil {
+				return err
+			}
+			if !matched.Load() {
+				return errors.New("rendezvous send returned before the receive matched")
+			}
+			return nil
+		}
+		r.Sleep(50 * time.Millisecond)
+		matched.Store(true)
+		m, err := r.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if string(m.Data) != "rendezvous" {
+			return fmt.Errorf("got %q", m.Data)
+		}
+		return nil
+	})
+	for rank, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", rank, err)
+		}
+	}
+}
+
+// Collectives are built on SendCtx/RecvCtx, so they must work unchanged
+// over the socket transport.
+func TestSocketWorldCollectives(t *testing.T) {
+	worlds := socketWorlds(t, 3, Options{})
+	errs := runSocketRanks(t, worlds, func(r *Rank) error {
+		got, err := r.Bcast(0, []byte("seed"))
+		if err != nil {
+			return err
+		}
+		if string(got) != "seed" {
+			return fmt.Errorf("bcast delivered %q", got)
+		}
+		all, err := r.Gather(0, []byte{byte('a' + r.ID())})
+		if err != nil {
+			return err
+		}
+		if r.ID() == 0 {
+			joined := ""
+			for _, part := range all {
+				joined += string(part)
+			}
+			if joined != "abc" {
+				return fmt.Errorf("gather assembled %q", joined)
+			}
+		}
+		return nil
+	})
+	for rank, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", rank, err)
+		}
+	}
+}
+
+// An abort raised by any rank must fan out: every blocked operation on
+// every rank fails with ErrAborted and every World records the code.
+func TestSocketWorldAbortFanOut(t *testing.T) {
+	worlds := socketWorlds(t, 3, Options{})
+	errs := runSocketRanks(t, worlds, func(r *Rank) error {
+		switch r.ID() {
+		case 1:
+			r.Sleep(30 * time.Millisecond)
+			r.Abort(42)
+			return nil
+		default:
+			_, err := r.Recv((r.ID()+2)%3, 1) // blocks until the abort lands
+			return err
+		}
+	})
+	if !errors.Is(errs[0], ErrAborted) || !errors.Is(errs[2], ErrAborted) {
+		t.Errorf("blocked ranks returned %v / %v, want ErrAborted", errs[0], errs[2])
+	}
+	for rank, w := range worlds {
+		if !w.Aborted() || w.AbortCode() != 42 {
+			t.Errorf("world %d: aborted=%v code=%d, want code 42", rank, w.Aborted(), w.AbortCode())
+		}
+	}
+}
+
+// A clean goodbye carries the rank's traffic counters, so after every
+// rank has shut down the orchestrator's totals are complete.
+func TestSocketWorldTrafficFolding(t *testing.T) {
+	worlds := socketWorlds(t, 3, Options{})
+	errs := runSocketRanks(t, worlds, func(r *Rank) error {
+		payload := []byte("0123456789")
+		switch r.ID() {
+		case 0:
+			for got := 0; got < 5; got++ {
+				if _, err := r.Recv(AnySource, AnyTag); err != nil {
+					return err
+				}
+			}
+		case 1:
+			for i := 0; i < 3; i++ {
+				if err := r.Send(0, 1, payload); err != nil {
+					return err
+				}
+			}
+		case 2:
+			for i := 0; i < 2; i++ {
+				if err := r.Send(0, 2, payload); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	// Goodbyes first, then the orchestrator waits out its readers — after
+	// which the remote counters must have been folded in.
+	for rank := 2; rank >= 0; rank-- {
+		if err := worlds[rank].Shutdown(); err != nil {
+			t.Fatalf("rank %d shutdown: %v", rank, err)
+		}
+	}
+	tot := worlds[0].TotalTraffic()
+	if tot.Sent != 5 || tot.SentBytes != 50 || tot.Received != 5 || tot.RecvBytes != 50 {
+		t.Errorf("TotalTraffic = %+v, want 5 msgs / 50 bytes each way", tot)
+	}
+	if tr := worlds[0].Traffic(1); tr.Sent != 3 || tr.SentBytes != 30 {
+		t.Errorf("Traffic(1) = %+v, want 3 sends / 30 bytes folded from the BYE", tr)
+	}
+}
+
+// A connection that drops without a BYE is a lost rank: the hub must
+// abort the world with FaultAbortCode — the same code an injected crash
+// uses, so the layers above fall back to spill salvage identically.
+func TestSocketWorldLostRankAborts(t *testing.T) {
+	worlds := socketWorlds(t, 2, Options{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := worlds[0].Rank(0).Recv(1, 1)
+		done <- err
+	}()
+	// Sever rank 1's connection without a goodbye: a crash, as the hub
+	// sees it.
+	worlds[1].t.(*socketTransport).hub.c.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("recv after lost rank: %v, want ErrAborted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("lost rank did not abort the world")
+	}
+	if code := worlds[0].AbortCode(); code != FaultAbortCode {
+		t.Fatalf("abort code %d, want FaultAbortCode %d", code, FaultAbortCode)
+	}
+}

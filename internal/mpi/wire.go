@@ -1,0 +1,237 @@
+// Wire framing for the multi-process socket transport.
+//
+// Every connection carries a stream of length-prefixed frames:
+//
+//	u32  body length (little-endian, excludes itself)
+//	u8   frame type
+//	...  type-specific fields, little-endian, then the raw payload
+//
+// Frame types:
+//
+//	HELLO    rank u32, world u32            — joining rank's handshake
+//	MSG      dst u32, ctx u8, src u32,      — one envelope; the hub routes
+//	         tag i64, flags u8, seq u64,      on dst, the payload is the
+//	         payload                          message body
+//	ACK      dst u32, seq u64               — rendezvous release for the
+//	                                          sender's seq
+//	BARRIER  rank u32                       — rank entered the barrier
+//	RELEASE  (empty)                        — hub: barrier is complete
+//	ABORT    code i64                       — world teardown fan-out
+//	BYE      rank u32, traffic 4×i64        — clean goodbye; carries the
+//	                                          rank's user-traffic counters
+//	                                          so the orchestrator's totals
+//	                                          stay complete
+//
+// Integers that are rank numbers fit u32 by construction; tags and abort
+// codes travel as i64 so the wire never narrows an application value.
+package mpi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Frame types.
+const (
+	frHello byte = iota + 1
+	frMsg
+	frAck
+	frBarrier
+	frRelease
+	frAbort
+	frBye
+)
+
+// MSG flags.
+const flagNeedAck byte = 1 << 0
+
+// maxWireFrame bounds a frame body so a corrupt length prefix cannot ask
+// for gigabytes; it must exceed any message the examples or tests send.
+const maxWireFrame = 1 << 30
+
+// frame is the decoded form of one wire frame; only the fields of its
+// type are meaningful.
+type frame struct {
+	typ     byte
+	rank    int // hello, barrier, bye: the sending rank
+	world   int // hello: expected world size
+	dst     int // msg, ack: routing destination
+	ctx     int // msg
+	src     int // msg: originating rank
+	tag     int // msg
+	flags   byte
+	seq     uint64 // msg, ack: rendezvous sequence number
+	code    int    // abort
+	traffic Traffic
+	payload []byte
+}
+
+func encodeFrame(fr *frame) []byte {
+	var b []byte
+	u32 := func(v int) { b = binary.LittleEndian.AppendUint32(b, uint32(v)) }
+	i64 := func(v int64) { b = binary.LittleEndian.AppendUint64(b, uint64(v)) }
+	b = append(b, fr.typ)
+	switch fr.typ {
+	case frHello:
+		u32(fr.rank)
+		u32(fr.world)
+	case frMsg:
+		u32(fr.dst)
+		b = append(b, byte(fr.ctx))
+		u32(fr.src)
+		i64(int64(fr.tag))
+		b = append(b, fr.flags)
+		b = binary.LittleEndian.AppendUint64(b, fr.seq)
+		b = append(b, fr.payload...)
+	case frAck:
+		u32(fr.dst)
+		b = binary.LittleEndian.AppendUint64(b, fr.seq)
+	case frBarrier:
+		u32(fr.rank)
+	case frRelease:
+	case frAbort:
+		i64(int64(fr.code))
+	case frBye:
+		u32(fr.rank)
+		i64(fr.traffic.Sent)
+		i64(fr.traffic.SentBytes)
+		i64(fr.traffic.Received)
+		i64(fr.traffic.RecvBytes)
+	}
+	return b
+}
+
+func decodeFrame(b []byte) (*frame, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("mpi: empty wire frame")
+	}
+	fr := &frame{typ: b[0]}
+	b = b[1:]
+	short := fmt.Errorf("mpi: truncated wire frame type %d", fr.typ)
+	u32 := func(dst *int) bool {
+		if len(b) < 4 {
+			return false
+		}
+		*dst = int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		return true
+	}
+	i64 := func(dst *int64) bool {
+		if len(b) < 8 {
+			return false
+		}
+		*dst = int64(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+		return true
+	}
+	switch fr.typ {
+	case frHello:
+		if !u32(&fr.rank) || !u32(&fr.world) {
+			return nil, short
+		}
+	case frMsg:
+		if !u32(&fr.dst) || len(b) < 1 {
+			return nil, short
+		}
+		fr.ctx = int(b[0])
+		b = b[1:]
+		var tag int64
+		if !u32(&fr.src) || !i64(&tag) {
+			return nil, short
+		}
+		fr.tag = int(tag)
+		if len(b) < 9 {
+			return nil, short
+		}
+		fr.flags = b[0]
+		fr.seq = binary.LittleEndian.Uint64(b[1:9])
+		fr.payload = b[9:]
+	case frAck:
+		if !u32(&fr.dst) {
+			return nil, short
+		}
+		if len(b) < 8 {
+			return nil, short
+		}
+		fr.seq = binary.LittleEndian.Uint64(b)
+	case frBarrier:
+		if !u32(&fr.rank) {
+			return nil, short
+		}
+	case frRelease:
+	case frAbort:
+		var code int64
+		if !i64(&code) {
+			return nil, short
+		}
+		fr.code = int(code)
+	case frBye:
+		if !u32(&fr.rank) ||
+			!i64(&fr.traffic.Sent) || !i64(&fr.traffic.SentBytes) ||
+			!i64(&fr.traffic.Received) || !i64(&fr.traffic.RecvBytes) {
+			return nil, short
+		}
+	default:
+		return nil, fmt.Errorf("mpi: unknown wire frame type %d", fr.typ)
+	}
+	return fr, nil
+}
+
+// wireConn is one framed connection. Writes are serialised by a mutex so
+// concurrent senders interleave whole frames, never bytes; reads happen
+// from a single reader goroutine per connection.
+type wireConn struct {
+	c  net.Conn
+	r  *bufio.Reader
+	mu sync.Mutex
+
+	// Wire accounting: every frame written or read is attributed to the
+	// local rank of the observing process (nil collector disables it for
+	// free, as everywhere).
+	mx   *stats.Collector
+	attr int
+}
+
+func newWireConn(c net.Conn, mx *stats.Collector, attr int) *wireConn {
+	return &wireConn{c: c, r: bufio.NewReader(c), mx: mx, attr: attr}
+}
+
+func (wc *wireConn) write(fr *frame) error {
+	body := encodeFrame(fr)
+	buf := make([]byte, 4+len(body))
+	binary.LittleEndian.PutUint32(buf, uint32(len(body)))
+	copy(buf[4:], body)
+	wc.mu.Lock()
+	_, err := wc.c.Write(buf)
+	wc.mu.Unlock()
+	if err == nil {
+		wc.mx.WireObserved(wc.attr, 1, len(buf))
+	}
+	return err
+}
+
+func (wc *wireConn) read() (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(wc.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxWireFrame {
+		return nil, fmt.Errorf("mpi: wire frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(wc.r, body); err != nil {
+		return nil, err
+	}
+	fr, err := decodeFrame(body)
+	if err == nil {
+		wc.mx.WireObserved(wc.attr, 1, 4+len(body))
+	}
+	return fr, err
+}

@@ -47,6 +47,11 @@ const (
 	CtrSpillBytes
 	// CtrFaultsInjected counts fired fault-plan events.
 	CtrFaultsInjected
+	// CtrWireFrames / CtrWireBytes count multi-process transport frames
+	// and bytes this process wrote to the wire, attributed to its local
+	// rank (always zero under the in-process transport).
+	CtrWireFrames
+	CtrWireBytes
 	numCounters
 )
 
@@ -55,6 +60,7 @@ var counterNames = [numCounters]string{
 	"msgs_sent", "msgs_recv", "bytes_sent", "bytes_recv",
 	"barriers", "selects", "probes",
 	"spill_segments", "spill_bytes", "faults_injected",
+	"wire_frames", "wire_bytes",
 }
 
 // Histogram indices into a shard's histogram array.
@@ -273,6 +279,18 @@ func (c *Collector) SpillWrite(rank, nbytes int) {
 	if s := c.shard(rank); s != nil {
 		s.counters[CtrSpillSegments].Add(1)
 		s.counters[CtrSpillBytes].Add(int64(nbytes))
+	}
+}
+
+// WireObserved records frames/nbytes written to the multi-process
+// transport wire by the process hosting rank.
+func (c *Collector) WireObserved(rank, frames, nbytes int) {
+	if c == nil {
+		return
+	}
+	if s := c.shard(rank); s != nil {
+		s.counters[CtrWireFrames].Add(int64(frames))
+		s.counters[CtrWireBytes].Add(int64(nbytes))
 	}
 }
 
