@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci cover bench bench-compare fuzz fuzz-smoke smoke-multiproc chaos clean
+.PHONY: all build vet test race ci cover bench bench-compare fuzz fuzz-smoke smoke-multiproc smoke-serve chaos clean
 
 all: ci
 
@@ -20,7 +20,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: build vet race fuzz-smoke cover smoke-multiproc
+ci: build vet race fuzz-smoke cover smoke-multiproc smoke-serve
 
 # Multi-process smoke: the lab2 exercise with every rank as its own OS
 # process over the socket transport (-pitransport=socket re-executes the
@@ -31,6 +31,16 @@ smoke-multiproc:
 	$(GO) build -o out/pilot-lab2 ./cmd/pilot-lab2
 	./out/pilot-lab2 -pisvc=j -pitransport=socket -w 3 -num 3000 -clog out/lab2-multiproc.clog2
 	$(GO) run ./cmd/clog2slog -q -o out/lab2-multiproc.slog2 out/lab2-multiproc.clog2
+
+# Trace-service smoke: stand pilot-serve up on a repository of the three
+# golden traces (ephemeral port) and run its end-to-end self-test —
+# tiles byte-agree with a direct Query+render, legend/search answer,
+# ETag revalidation 304s, and hostile requests get HTTP errors instead
+# of killing the server.
+smoke-serve:
+	@mkdir -p out/serve-repo
+	cp testdata/golden/*.slog2 testdata/golden/*.profile.json out/serve-repo/
+	$(GO) run ./cmd/pilot-serve -repo out/serve-repo -smoke -q
 
 # Statement-coverage floors: run the whole suite with cross-package
 # instrumentation, then hold the observability-critical packages above
@@ -63,6 +73,7 @@ bench-compare:
 # `make test` as well).
 fuzz:
 	$(GO) test ./internal/clog2/ -fuzz FuzzReadFile -fuzztime 30s
+	$(GO) test ./internal/slog2/ -fuzz FuzzReadSLOG2 -fuzztime 30s
 
 # CI fuzz smoke: 5 seconds of coverage-guided fuzzing per target. Go only
 # accepts one -fuzz target per invocation, hence one line per target.
@@ -70,6 +81,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadFile$$' -fuzztime 5s ./internal/clog2/
 	$(GO) test -run '^$$' -fuzz '^FuzzSalvageSegments$$' -fuzztime 5s ./internal/clog2/
 	$(GO) test -run '^$$' -fuzz '^FuzzSalvageFragment$$' -fuzztime 5s ./internal/mpe/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadSLOG2$$' -fuzztime 5s ./internal/slog2/
 
 # The kill/corrupt chaos harness: a real example under RobustLog is
 # SIGKILLed at seeded points, its spill files further damaged, and every

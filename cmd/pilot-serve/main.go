@@ -1,0 +1,202 @@
+// Command pilot-serve hosts a repository of SLOG-2 traces over HTTP:
+// tile queries (time×rank window at a zoom level, JSON or SVG) answered
+// by walking only the frames intersecting the viewport, the legend and
+// search endpoints, the .profile.json sidecars, and a built-in browser
+// viewer at /. Production posture: LRU caches with singleflight
+// collapse, ETag revalidation, gzip, graceful shutdown on
+// SIGINT/SIGTERM, expvar at /debug/vars and pprof at /debug/pprof/.
+//
+// Usage:
+//
+//	pilot-serve -repo DIR [-addr :8080] [-max-traces N] [-max-tiles N]
+//	pilot-serve -repo DIR -smoke
+//
+// -smoke starts the server on an ephemeral port, runs an end-to-end
+// client check (tiles byte-agree with a direct render, legend, search,
+// ETag revalidation, corrupt-file handling), then exits; it is what
+// `make smoke-serve` runs against the golden traces.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"repro/internal/jumpshot"
+	"repro/internal/serve"
+	"repro/internal/slog2"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		repoDir   = flag.String("repo", "", "trace repository directory (required)")
+		maxTraces = flag.Int("max-traces", 8, "decoded-trace LRU size")
+		maxTiles  = flag.Int("max-tiles", 4096, "rendered-tile LRU size")
+		smoke     = flag.Bool("smoke", false, "start on an ephemeral port, self-test, exit")
+		quiet     = flag.Bool("q", false, "suppress per-error request logging")
+	)
+	flag.Parse()
+	if *repoDir == "" {
+		fmt.Fprintln(os.Stderr, "usage: pilot-serve -repo DIR [-addr :8080] [-smoke]")
+		os.Exit(2)
+	}
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv, err := serve.New(serve.Config{
+		RepoDir:   *repoDir,
+		MaxTraces: *maxTraces,
+		MaxTiles:  *maxTiles,
+		Logf:      logf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *smoke {
+		if err := runSmoke(srv, *repoDir); err != nil {
+			log.Fatalf("smoke: FAIL: %v", err)
+		}
+		fmt.Println("smoke: ok")
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	log.Printf("pilot-serve: serving %s on http://%s/", *repoDir, ln.Addr())
+	if err := srv.Serve(ctx, ln); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("pilot-serve: drained, bye")
+}
+
+// runSmoke drives the server end to end through a real TCP client:
+// every trace's tile must byte-agree with a direct Query+render, the
+// legend and search endpoints must answer, ETag revalidation must 304,
+// and a corrupt file must come back as an HTTP error, not a dead
+// server.
+func runSmoke(srv *serve.Server, repoDir string) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string, hdr map[string]string) (*http.Response, []byte, error) {
+		req, err := http.NewRequest("GET", base+path, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, body, err
+	}
+
+	check := func() error {
+		traces, err := srv.Repo().List()
+		if err != nil {
+			return err
+		}
+		if len(traces) == 0 {
+			return fmt.Errorf("repository %s holds no .slog2 traces", repoDir)
+		}
+		for _, info := range traces {
+			f, err := slog2.ReadFile(filepath.Join(repoDir, info.ID+".slog2"))
+			if err != nil {
+				return fmt.Errorf("%s: direct decode: %v", info.ID, err)
+			}
+			tr := &serve.Trace{ID: info.ID, File: f}
+			mid := f.Start + (f.End-f.Start)/2
+			win := jumpshot.Window{T0: f.Start, T1: mid, RankLo: 0, RankHi: -1}
+			tileURL := fmt.Sprintf("/trace/%s/tile?t0=%v&t1=%v", info.ID, win.T0, win.T1)
+
+			resp, body, err := get(tileURL, nil)
+			if err != nil {
+				return err
+			}
+			if resp.StatusCode != 200 {
+				return fmt.Errorf("%s: tile status %d", info.ID, resp.StatusCode)
+			}
+			want, err := serve.RenderTileJSON(tr, win)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(body, want) {
+				return fmt.Errorf("%s: served tile differs from direct Query+render", info.ID)
+			}
+			etag := resp.Header.Get("ETag")
+			if etag == "" {
+				return fmt.Errorf("%s: tile has no ETag", info.ID)
+			}
+			resp, body, err = get(tileURL, map[string]string{"If-None-Match": etag})
+			if err != nil {
+				return err
+			}
+			if resp.StatusCode != 304 || len(body) != 0 {
+				return fmt.Errorf("%s: revalidation got %d with %d bytes, want empty 304",
+					info.ID, resp.StatusCode, len(body))
+			}
+			if resp, _, err = get(tileURL+"&format=svg&zoom=1", nil); err != nil || resp.StatusCode != 200 {
+				return fmt.Errorf("%s: svg tile status %v %v", info.ID, resp.StatusCode, err)
+			}
+			if resp, _, err = get("/trace/"+info.ID+"/legend", nil); err != nil || resp.StatusCode != 200 {
+				return fmt.Errorf("%s: legend status %v %v", info.ID, resp.StatusCode, err)
+			}
+			if resp, _, err = get("/search?trace="+info.ID+"&limit=3", nil); err != nil || resp.StatusCode != 200 {
+				return fmt.Errorf("%s: search status %v %v", info.ID, resp.StatusCode, err)
+			}
+		}
+		// Hostile input must be an HTTP error, never a dead server.
+		resp, _, err := get("/trace/no-such-trace/tile", nil)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != 404 {
+			return fmt.Errorf("missing trace: status %d, want 404", resp.StatusCode)
+		}
+		resp, _, err = get("/trace/"+traces[0].ID+"/tile?zoom=99", nil)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != 400 {
+			return fmt.Errorf("bad zoom: status %d, want 400", resp.StatusCode)
+		}
+		if resp, _, err = get("/healthz", nil); err != nil || resp.StatusCode != 200 {
+			return fmt.Errorf("healthz: %v %v", resp.StatusCode, err)
+		}
+		return nil
+	}
+
+	checkErr := check()
+	cancel()
+	if err := <-done; err != nil && checkErr == nil {
+		checkErr = fmt.Errorf("graceful shutdown: %v", err)
+	}
+	return checkErr
+}

@@ -98,6 +98,10 @@ type OverheadReport struct {
 	// table cells with the ns/op divided down to one Pilot call.
 	Micro    []OverheadRow `json:"micro"`
 	Workload []OverheadRow `json:"workload"`
+	// Serve rows are tile-service load-harness phases from
+	// `pilot-bench -serve` (cold vs cached latency, singleflight check);
+	// informational, never gated by CompareOverhead.
+	Serve []ServeRow `json:"serve,omitempty"`
 }
 
 // WriteJSON writes the report, indented, to path.

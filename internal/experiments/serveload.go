@@ -1,0 +1,310 @@
+// The tile-service load harness behind `pilot-bench -serve`: drive a
+// live pilot-serve instance with concurrent viewer-shaped clients and
+// measure tile latency cold (every request renders) versus cached
+// (every request is an LRU hit), plus the singleflight guarantee —
+// concurrent first hits on a trace cost exactly one decode. The rows
+// land in BENCH_overhead.json next to the logging-overhead tables.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/slog2"
+)
+
+// ServeRow is one load-harness phase: latency percentiles and
+// throughput over Clients concurrent clients issuing Requests tile
+// fetches against a repository of Traces traces.
+type ServeRow struct {
+	// Phase is "cold" (distinct windows, every tile rendered) or
+	// "cached" (the same windows replayed, every tile an LRU hit).
+	Phase    string `json:"phase"`
+	Clients  int    `json:"clients"`
+	Requests int    `json:"requests"`
+	Traces   int    `json:"traces"`
+	// P50Ms and P99Ms are per-request tile latency percentiles.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// TilesPerSec is aggregate throughput over the phase.
+	TilesPerSec float64 `json:"tiles_per_sec"`
+	// Decodes is the repository's decode counter after the phase; on the
+	// cold row it must equal Traces — singleflight collapsed the herd.
+	Decodes int64 `json:"decodes"`
+}
+
+// String renders the row for the pilot-bench console output.
+func (r ServeRow) String() string {
+	return fmt.Sprintf("%-6s clients=%-3d reqs=%-5d p50=%8.3f ms  p99=%8.3f ms  %9.1f tiles/s  decodes=%d/%d",
+		r.Phase, r.Clients, r.Requests, r.P50Ms, r.P99Ms, r.TilesPerSec, r.Decodes, r.Traces)
+}
+
+// ServeLoadOptions tunes RunServeLoad.
+type ServeLoadOptions struct {
+	// RepoDir is the trace repository to serve; empty synthesizes a
+	// dense repository in a temp dir (DenseStates drawables per trace),
+	// so cold tiles cost real render work instead of vanishing into the
+	// HTTP floor.
+	RepoDir string
+	// DenseStates sizes the synthesized traces (default 30000 states
+	// each, plus arrows and events).
+	DenseStates int
+	// Clients is the number of concurrent clients (default 32).
+	Clients int
+	// PerClient is tile requests per client per phase (default 16).
+	PerClient int
+	Logf      func(format string, args ...any)
+}
+
+// synthesizeRepo writes nTraces dense single-frame traces into dir —
+// the workload that makes cold-vs-cached latency a render measurement.
+func synthesizeRepo(dir string, nTraces, nStates int) error {
+	rng := rand.New(rand.NewSource(7))
+	for t := 0; t < nTraces; t++ {
+		const nranks = 16
+		f := &slog2.File{
+			NumRanks: nranks,
+			Start:    0, End: 100,
+			Categories: []slog2.Category{
+				{Name: "PI_Write", Color: "green"},
+				{Name: "PI_Read", Color: "red"},
+				{Name: "MsgArrival", Color: "white", Kind: slog2.KindEvent},
+			},
+		}
+		root := &slog2.Frame{Start: 0, End: 100}
+		for i := 0; i < nStates; i++ {
+			t0 := rng.Float64() * 99
+			root.States = append(root.States, slog2.State{
+				Rank: rng.Intn(nranks), Cat: rng.Intn(2),
+				Start: t0, End: t0 + rng.Float64(),
+				StartCargo: "line: app.go:42",
+			})
+			if i%8 == 0 {
+				root.Arrows = append(root.Arrows, slog2.Arrow{
+					SrcRank: rng.Intn(nranks), DstRank: rng.Intn(nranks),
+					Start: t0, End: t0 + rng.Float64()*0.2, Tag: i % 7, Size: 64,
+				})
+			}
+			if i%16 == 0 {
+				root.Events = append(root.Events, slog2.Event{
+					Rank: rng.Intn(nranks), Cat: 2, Time: t0,
+				})
+			}
+		}
+		f.Root = root
+		if err := slog2.WriteFile(filepath.Join(dir, fmt.Sprintf("dense%d.slog2", t)), f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunServeLoad starts a pilot-serve instance on an ephemeral port and
+// runs two phases over real TCP: cold — every client requests distinct
+// tile windows, so each request renders (and the opening wave hits
+// every trace concurrently, exercising singleflight on the decode
+// path); cached — the identical windows replayed, so every request is
+// a tile-LRU hit. Returns one row per phase. Errors out if the cold
+// phase decoded any trace more than once: that is the singleflight
+// guarantee the service is built around.
+func RunServeLoad(opt ServeLoadOptions) ([]ServeRow, error) {
+	if opt.Clients <= 0 {
+		opt.Clients = 32
+	}
+	if opt.PerClient <= 0 {
+		opt.PerClient = 16
+	}
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if opt.RepoDir == "" {
+		if opt.DenseStates <= 0 {
+			opt.DenseStates = 30000
+		}
+		dir, err := os.MkdirTemp("", "serveload-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		if err := synthesizeRepo(dir, 3, opt.DenseStates); err != nil {
+			return nil, err
+		}
+		opt.RepoDir = dir
+		logf("SV synthesized 3 dense traces (%d states each) in %s", opt.DenseStates, dir)
+	}
+
+	totalTiles := opt.Clients * opt.PerClient
+	srv, err := serve.New(serve.Config{
+		RepoDir: opt.RepoDir,
+		// The cached phase depends on every cold tile still being
+		// resident, so the tile LRU must hold the whole working set.
+		MaxTiles: totalTiles * 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	traces, err := srv.Repo().List()
+	if err != nil {
+		return nil, err
+	}
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("serveload: repository %s holds no traces", opt.RepoDir)
+	}
+
+	// Resolve each trace's time span by decoding directly from disk —
+	// NOT through the repository, whose cache must stay stone cold for
+	// the singleflight check to mean anything.
+	spans := map[string][2]float64{}
+	for _, info := range traces {
+		f, err := slog2.ReadFile(filepath.Join(opt.RepoDir, info.ID+".slog2"))
+		if err != nil {
+			return nil, fmt.Errorf("serveload: %s: %v", info.ID, err)
+		}
+		spans[info.ID] = [2]float64{f.Start, f.End}
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// The clients ask for gzip like a browser would but read the wire
+	// bytes as-is (DisableCompression + explicit header): the harness
+	// times the service — render + compress on cold, cached bytes on
+	// hot — not its own decompression.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        opt.Clients * 2,
+		MaxIdleConnsPerHost: opt.Clients * 2,
+		DisableCompression:  true,
+	}}
+	fetch := func(u string) (*http.Response, error) {
+		req, err := http.NewRequest("GET", u, nil)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Accept-Encoding", "gzip")
+		return client.Do(req)
+	}
+
+	// Pre-compute every client's request URLs: a distinct viewer-sized
+	// window (2–8% of the trace span, distinct offsets) per global
+	// request index, traces round-robin, so the cold phase renders
+	// totalTiles distinct tiles and the cached phase replays them 1:1.
+	urls := make([][]string, opt.Clients)
+	for c := 0; c < opt.Clients; c++ {
+		urls[c] = make([]string, opt.PerClient)
+		for i := 0; i < opt.PerClient; i++ {
+			g := c*opt.PerClient + i
+			id := traces[g%len(traces)].ID
+			sp := spans[id]
+			span := sp[1] - sp[0]
+			t0 := sp[0] + span*(float64(g%83)/92.0)
+			t1 := t0 + span*(0.02+float64(g%7)*0.01)
+			if t1 > sp[1] {
+				t1 = sp[1]
+			}
+			urls[c][i] = fmt.Sprintf("%s/trace/%s/tile?t0=%.9f&t1=%.9f", base, id, t0, t1)
+		}
+	}
+
+	runPhase := func(phase string) (ServeRow, error) {
+		lat := make([][]time.Duration, opt.Clients)
+		var wg sync.WaitGroup
+		errCh := make(chan error, opt.Clients)
+		start := make(chan struct{})
+		for c := 0; c < opt.Clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				lat[c] = make([]time.Duration, 0, opt.PerClient)
+				<-start // barrier: the opening wave is genuinely concurrent
+				for _, u := range urls[c] {
+					t := time.Now()
+					resp, err := fetch(u)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					_, err = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if resp.StatusCode != 200 {
+						errCh <- fmt.Errorf("%s: status %d", u, resp.StatusCode)
+						return
+					}
+					lat[c] = append(lat[c], time.Since(t))
+				}
+			}(c)
+		}
+		t0 := time.Now()
+		close(start)
+		wg.Wait()
+		wall := time.Since(t0)
+		close(errCh)
+		for err := range errCh {
+			return ServeRow{}, err
+		}
+		var all []time.Duration
+		for _, l := range lat {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		pct := func(p float64) float64 {
+			i := int(p * float64(len(all)-1))
+			return float64(all[i].Nanoseconds()) / 1e6
+		}
+		row := ServeRow{
+			Phase: phase, Clients: opt.Clients, Requests: len(all), Traces: len(traces),
+			P50Ms: pct(0.50), P99Ms: pct(0.99),
+			TilesPerSec: float64(len(all)) / wall.Seconds(),
+			Decodes:     srv.Repo().Decodes(),
+		}
+		logf("SV %s", row)
+		return row, nil
+	}
+
+	finish := func() error { cancel(); return <-done }
+
+	cold, err := runPhase("cold")
+	if err != nil {
+		finish()
+		return nil, err
+	}
+	cached, err := runPhase("cached")
+	if err != nil {
+		finish()
+		return nil, err
+	}
+	if err := finish(); err != nil {
+		return nil, fmt.Errorf("serveload: shutdown: %v", err)
+	}
+
+	if cold.Decodes != int64(len(traces)) {
+		return nil, fmt.Errorf("serveload: singleflight broken: %d decodes for %d traces under concurrent first hits",
+			cold.Decodes, len(traces))
+	}
+	logf("SV singleflight ok: %d traces, %d decodes under %d concurrent clients",
+		len(traces), cold.Decodes, opt.Clients)
+	if cached.P50Ms*5 > cold.P50Ms {
+		logf("SV warning: cached p50 %.3f ms not 5x faster than cold %.3f ms", cached.P50Ms, cold.P50Ms)
+	}
+	return []ServeRow{cold, cached}, nil
+}

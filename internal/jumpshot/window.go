@@ -1,0 +1,75 @@
+package jumpshot
+
+import "repro/internal/slog2"
+
+// Window is a tile query: a time window crossed with a rank window —
+// the unit a trace-serving viewer fetches. RankLo/RankHi of (0, -1)
+// mean "all ranks".
+type Window struct {
+	T0, T1         float64
+	RankLo, RankHi int
+}
+
+// AllRanks reports whether the window does not cut by rank.
+func (w Window) AllRanks() bool { return w.RankHi < w.RankLo }
+
+// contains reports whether rank falls inside the window's rank cut.
+func (w Window) contains(rank int) bool {
+	return w.AllRanks() || (rank >= w.RankLo && rank <= w.RankHi)
+}
+
+// Tile fetches the drawables of one tile: Query over the time window,
+// then the rank-window cut. States and events need their own rank
+// inside the window; an arrow stays when either endpoint does, so a
+// tile never shows a message stub without its context.
+func Tile(f *slog2.File, w Window) (states []slog2.State, arrows []slog2.Arrow, events []slog2.Event) {
+	states, arrows, events = f.Query(w.T0, w.T1)
+	if w.AllRanks() {
+		return states, arrows, events
+	}
+	return FilterRanks(states, arrows, events, w.RankLo, w.RankHi)
+}
+
+// FilterRanks narrows query results to ranks in [lo, hi]. The inputs
+// are filtered in place-style copies; order is preserved.
+func FilterRanks(states []slog2.State, arrows []slog2.Arrow, events []slog2.Event, lo, hi int) ([]slog2.State, []slog2.Arrow, []slog2.Event) {
+	w := Window{RankLo: lo, RankHi: hi}
+	fs := make([]slog2.State, 0, len(states))
+	for _, s := range states {
+		if w.contains(s.Rank) {
+			fs = append(fs, s)
+		}
+	}
+	fa := make([]slog2.Arrow, 0, len(arrows))
+	for _, a := range arrows {
+		if w.contains(a.SrcRank) || w.contains(a.DstRank) {
+			fa = append(fa, a)
+		}
+	}
+	fe := make([]slog2.Event, 0, len(events))
+	for _, e := range events {
+		if w.contains(e.Rank) {
+			fe = append(fe, e)
+		}
+	}
+	return fs, fa, fe
+}
+
+// TileRankOrder lists the ranks a tile's SVG rendering shows, in
+// timeline order — the View.RankOrder for a rank-windowed render.
+func TileRankOrder(f *slog2.File, w Window) []int {
+	lo, hi := 0, f.NumRanks-1
+	if !w.AllRanks() {
+		if w.RankLo > lo {
+			lo = w.RankLo
+		}
+		if w.RankHi < hi {
+			hi = w.RankHi
+		}
+	}
+	var ranks []int
+	for r := lo; r <= hi; r++ {
+		ranks = append(ranks, r)
+	}
+	return ranks
+}

@@ -1,0 +1,109 @@
+package jumpshot
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/slog2"
+)
+
+// randomTileFile builds a multi-rank frame tree straight from slog2
+// structures (the jumpshot tests' usual shortcut).
+func randomTileFile(t *testing.T, seed int64, nranks, n int) *slog2.File {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	f := &slog2.File{
+		NumRanks: nranks,
+		Start:    0, End: 100,
+		Categories: []slog2.Category{
+			{Name: "A", Color: "red"},
+			{Name: "B", Color: "green"},
+			{Name: "E", Color: "yellow", Kind: slog2.KindEvent},
+		},
+	}
+	root := &slog2.Frame{Start: 0, End: 100}
+	for i := 0; i < n; i++ {
+		rank := rng.Intn(nranks)
+		t0 := rng.Float64() * 95
+		root.States = append(root.States, slog2.State{
+			Rank: rank, Cat: rng.Intn(2), Start: t0, End: t0 + rng.Float64()*5,
+		})
+		if rng.Intn(3) == 0 {
+			root.Events = append(root.Events, slog2.Event{Rank: rank, Cat: 2, Time: t0})
+		}
+		if rng.Intn(4) == 0 {
+			root.Arrows = append(root.Arrows, slog2.Arrow{
+				SrcRank: rank, DstRank: rng.Intn(nranks),
+				Start: t0, End: t0 + rng.Float64(),
+			})
+		}
+	}
+	f.Root = root
+	return f
+}
+
+// Property: Tile equals brute-force filtering of All over random time
+// and rank windows — the contract the pilot-serve tile handler relies
+// on for correctness.
+func TestTileMatchesBruteForce(t *testing.T) {
+	f := randomTileFile(t, 3, 6, 800)
+	all := struct {
+		s []slog2.State
+		a []slog2.Arrow
+		e []slog2.Event
+	}{}
+	all.s, all.a, all.e = f.All()
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 120; trial++ {
+		t0 := rng.Float64() * 100
+		t1 := t0 + rng.Float64()*(100-t0)
+		lo := rng.Intn(f.NumRanks)
+		hi := lo + rng.Intn(f.NumRanks-lo)
+		w := Window{T0: t0, T1: t1, RankLo: lo, RankHi: hi}
+		if trial%10 == 0 {
+			w.RankLo, w.RankHi = 0, -1 // all ranks
+		}
+		qs, qa, qe := Tile(f, w)
+		var ws, wa, we int
+		for _, s := range all.s {
+			if s.End >= t0 && s.Start <= t1 && w.contains(s.Rank) {
+				ws++
+			}
+		}
+		for _, a := range all.a {
+			alo, ahi := a.Start, a.End
+			if ahi < alo {
+				alo, ahi = ahi, alo
+			}
+			if ahi >= t0 && alo <= t1 && (w.contains(a.SrcRank) || w.contains(a.DstRank)) {
+				wa++
+			}
+		}
+		for _, e := range all.e {
+			if e.Time >= t0 && e.Time <= t1 && w.contains(e.Rank) {
+				we++
+			}
+		}
+		if len(qs) != ws || len(qa) != wa || len(qe) != we {
+			t.Fatalf("window %+v: Tile %d/%d/%d, brute force %d/%d/%d",
+				w, len(qs), len(qa), len(qe), ws, wa, we)
+		}
+	}
+}
+
+func TestTileRankOrder(t *testing.T) {
+	f := &slog2.File{NumRanks: 5, Root: &slog2.Frame{}}
+	got := TileRankOrder(f, Window{RankLo: 0, RankHi: -1})
+	if len(got) != 5 || got[0] != 0 || got[4] != 4 {
+		t.Fatalf("all-ranks order %v", got)
+	}
+	got = TileRankOrder(f, Window{RankLo: 2, RankHi: 3})
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("window order %v", got)
+	}
+	// Out-of-range windows clamp to the file's ranks.
+	got = TileRankOrder(f, Window{RankLo: 3, RankHi: 99})
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("clamped order %v", got)
+	}
+}

@@ -1,0 +1,196 @@
+// Package serve is the trace-tile HTTP service behind pilot-serve: a
+// long-lived server hosting a repository of SLOG-2 traces (plus their
+// .profile.json sidecars) and answering tile queries — time window ×
+// rank window at a zoom level — by walking only the frames that
+// intersect the viewport, exactly the level-of-detail access pattern
+// the SLOG-2 frame tree exists for. Production posture: LRU caches
+// over decoded files and rendered tiles, singleflight collapse on hot
+// misses, ETag revalidation and gzip on the wire, graceful shutdown,
+// and expvar/pprof observability.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/slog2"
+)
+
+// Errors the HTTP layer maps onto status codes.
+var (
+	// ErrNotFound: no such trace in the repository (404).
+	ErrNotFound = errors.New("serve: trace not found")
+	// ErrBadID: the trace id could escape the repository dir (400).
+	ErrBadID = errors.New("serve: invalid trace id")
+	// ErrCorrupt: the trace file exists but does not decode (422) — the
+	// hostile-file case the hardened slog2 reader turns into an error
+	// instead of a panic.
+	ErrCorrupt = errors.New("serve: corrupt trace")
+)
+
+// maxProfileSidecar caps how much profile JSON the server will buffer.
+const maxProfileSidecar = 64 << 20
+
+// Repo is the trace repository: a directory of <id>.slog2 files and
+// optional <id>.profile.json sidecars, fronted by an LRU of decoded
+// files with singleflight collapse so a thundering herd on a cold
+// trace costs one decode.
+type Repo struct {
+	dir    string
+	traces *lruCache // id+"\x00"+generation -> *Trace
+	sf     flightGroup
+
+	// decodes counts real slog2.ReadFile calls — the singleflight
+	// verification hook the load harness and tests assert on.
+	decodes atomic.Int64
+}
+
+// NewRepo opens the repository at dir, caching up to maxTraces decoded
+// files.
+func NewRepo(dir string, maxTraces int) (*Repo, error) {
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("serve: %s is not a directory", dir)
+	}
+	if maxTraces < 1 {
+		maxTraces = 8
+	}
+	return &Repo{dir: dir, traces: newLRU(maxTraces)}, nil
+}
+
+// Dir returns the repository directory.
+func (r *Repo) Dir() string { return r.dir }
+
+// Decodes returns how many times a trace file was actually decoded
+// (cache misses that did real work).
+func (r *Repo) Decodes() int64 { return r.decodes.Load() }
+
+// Trace is one decoded repository entry, immutable once built.
+type Trace struct {
+	ID   string
+	File *slog2.File
+	// Gen fingerprints the on-disk bytes (mtime+size); it feeds tile
+	// cache keys and ETags so a rewritten trace invalidates both.
+	Gen string
+}
+
+// TraceInfo is one /traces listing row: cheap stat-level facts, no
+// decode.
+type TraceInfo struct {
+	ID         string `json:"id"`
+	SizeBytes  int64  `json:"size_bytes"`
+	ModTime    string `json:"mod_time"`
+	HasProfile bool   `json:"has_profile"`
+}
+
+// validID rejects ids that could traverse outside the repository dir.
+func validID(id string) bool {
+	if id == "" || len(id) > 255 {
+		return false
+	}
+	if strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") {
+		return false
+	}
+	return id[0] != '.'
+}
+
+// List enumerates the repository's traces by scanning the directory;
+// nothing is decoded.
+func (r *Repo) List() ([]TraceInfo, error) {
+	ents, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []TraceInfo
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".slog2") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".slog2")
+		if !validID(id) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		_, perr := os.Stat(r.profilePath(id))
+		out = append(out, TraceInfo{
+			ID:         id,
+			SizeBytes:  info.Size(),
+			ModTime:    info.ModTime().UTC().Format("2006-01-02T15:04:05Z"),
+			HasProfile: perr == nil,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+func (r *Repo) tracePath(id string) string   { return filepath.Join(r.dir, id+".slog2") }
+func (r *Repo) profilePath(id string) string { return filepath.Join(r.dir, id+".profile.json") }
+
+// Open returns the decoded trace for id, via the LRU, collapsing
+// concurrent cold opens into one decode.
+func (r *Repo) Open(id string) (*Trace, error) {
+	if !validID(id) {
+		return nil, ErrBadID
+	}
+	info, err := os.Stat(r.tracePath(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		return nil, err
+	}
+	gen := fmt.Sprintf("%d-%d", info.ModTime().UnixNano(), info.Size())
+	key := id + "\x00" + gen
+	if v, ok := r.traces.get(key); ok {
+		return v.(*Trace), nil
+	}
+	v, err, _ := r.sf.Do("decode\x00"+key, func() (any, error) {
+		// Double-check under the flight: a racing caller may have
+		// populated the cache between our miss and the flight start.
+		if v, ok := r.traces.get(key); ok {
+			return v, nil
+		}
+		r.decodes.Add(1)
+		f, err := slog2.ReadFile(r.tracePath(id))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, id, err)
+		}
+		tr := &Trace{ID: id, File: f, Gen: gen}
+		r.traces.add(key, tr)
+		return tr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Trace), nil
+}
+
+// Profile returns the raw profile sidecar JSON for id, or ErrNotFound.
+func (r *Repo) Profile(id string) ([]byte, error) {
+	if !validID(id) {
+		return nil, ErrBadID
+	}
+	info, err := os.Stat(r.profilePath(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s profile", ErrNotFound, id)
+		}
+		return nil, err
+	}
+	if info.Size() > maxProfileSidecar {
+		return nil, fmt.Errorf("%w: %s profile sidecar is %d bytes", ErrCorrupt, id, info.Size())
+	}
+	return os.ReadFile(r.profilePath(id))
+}

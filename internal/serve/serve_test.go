@@ -1,0 +1,497 @@
+package serve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/jumpshot"
+	"repro/internal/slog2"
+)
+
+const goldenDir = "../../testdata/golden"
+
+var goldenIDs = []string{"collisions", "lab2", "thumbnail"}
+
+func newTestServer(t *testing.T, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(Config{RepoDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	// Transport-level DisableCompression keeps Go from transparently
+	// injecting Accept-Encoding and hiding the gzip layer from tests.
+	client := &http.Client{Transport: &http.Transport{DisableCompression: true}}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// Served tiles must byte-agree with a direct Query + render over
+// random windows on all three golden traces — the acceptance contract.
+func TestTileAgreesWithDirectRender(t *testing.T) {
+	_, ts := newTestServer(t, goldenDir)
+	rng := rand.New(rand.NewSource(42))
+	for _, id := range goldenIDs {
+		f, err := slog2.ReadFile(filepath.Join(goldenDir, id+".slog2"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := &Trace{ID: id, File: f}
+		for trial := 0; trial < 12; trial++ {
+			span := f.End - f.Start
+			t0 := f.Start + rng.Float64()*span
+			t1 := t0 + rng.Float64()*(f.End-t0)
+			lo, hi := 0, -1
+			if trial%3 == 0 && f.NumRanks > 1 {
+				lo = rng.Intn(f.NumRanks)
+				hi = lo + rng.Intn(f.NumRanks-lo)
+			}
+			win := jumpshot.Window{T0: t0, T1: t1, RankLo: lo, RankHi: hi}
+			url := fmt.Sprintf("%s/trace/%s/tile?t0=%v&t1=%v&r0=%d&r1=%d", ts.URL, id, t0, t1, lo, hi)
+
+			resp, body := get(t, url, nil)
+			if resp.StatusCode != 200 {
+				t.Fatalf("%s: status %d: %s", url, resp.StatusCode, body)
+			}
+			want, err := RenderTileJSON(tr, win)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(body, want) {
+				t.Fatalf("%s: served JSON tile differs from direct render", url)
+			}
+
+			resp, body = get(t, url+"&format=svg&zoom=2", nil)
+			if resp.StatusCode != 200 {
+				t.Fatalf("%s svg: status %d", url, resp.StatusCode)
+			}
+			if wantSVG := RenderTileSVG(tr, win, 2); !bytes.Equal(body, wantSVG) {
+				t.Fatalf("%s: served SVG tile differs from direct render", url)
+			}
+		}
+	}
+}
+
+// Corrupt and truncated repository files must answer with an HTTP
+// error — including fuzz-shaped inputs — never kill the server.
+func TestCorruptTraceAnswersHTTPError(t *testing.T) {
+	dir := t.TempDir()
+	good, err := os.ReadFile(filepath.Join(goldenDir, "lab2.slog2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeTrace := func(name string, data []byte) {
+		if err := os.WriteFile(filepath.Join(dir, name+".slog2"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeTrace("garbage", []byte("this is not a slog2 file at all"))
+	writeTrace("truncated", good[:len(good)/3])
+	writeTrace("rootless", []byte(slog2.Magic+"\x01\x00\x00\x0000000000"+
+		"00000000\x00\x00\x00\x00\x00\x00\x00\x00\x00")) // fuzz-found shape: header only, no root
+	writeTrace("empty", nil)
+	writeTrace("ok", good)
+
+	_, ts := newTestServer(t, dir)
+	for _, id := range []string{"garbage", "truncated", "rootless", "empty"} {
+		for _, ep := range []string{"/tile", "/legend", ""} {
+			resp, _ := get(t, ts.URL+"/trace/"+id+ep, nil)
+			if resp.StatusCode < 400 || resp.StatusCode > 599 {
+				t.Fatalf("%s%s: status %d, want 4xx/5xx", id, ep, resp.StatusCode)
+			}
+		}
+		resp, _ := get(t, ts.URL+"/search?trace="+id, nil)
+		if resp.StatusCode < 400 || resp.StatusCode > 599 {
+			t.Fatalf("search %s: status %d, want 4xx/5xx", id, resp.StatusCode)
+		}
+	}
+	// The server survived all of it and still serves the good trace.
+	resp, _ := get(t, ts.URL+"/trace/ok/tile", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("good trace after corrupt ones: status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts.URL+"/trace/missing/tile", nil)
+	if resp.StatusCode != 404 {
+		t.Fatalf("missing trace: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestBadParamsAnswer400(t *testing.T) {
+	_, ts := newTestServer(t, goldenDir)
+	for _, q := range []string{
+		"t0=abc", "t1=NaN", "r0=-1", "r0=x", "zoom=99", "zoom=-1",
+		"format=gif", "t0=5&t1=1",
+	} {
+		resp, _ := get(t, ts.URL+"/trace/lab2/tile?"+q, nil)
+		if resp.StatusCode != 400 {
+			t.Fatalf("tile?%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+	resp, _ := get(t, ts.URL+"/search", nil)
+	if resp.StatusCode != 400 {
+		t.Fatalf("search without trace: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRepoRejectsTraversalIDs(t *testing.T) {
+	repo, err := NewRepo(goldenDir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", ".", "..", "../lab2", "a/../b", `a\b`, ".hidden", strings.Repeat("x", 300)} {
+		if _, err := repo.Open(id); err == nil {
+			t.Fatalf("Open(%q) succeeded", id)
+		}
+	}
+}
+
+// ETag revalidation: the second fetch with If-None-Match costs a 304
+// with no payload; a changed file changes the tag.
+func TestETagRevalidation(t *testing.T) {
+	dir := t.TempDir()
+	good, err := os.ReadFile(filepath.Join(goldenDir, "lab2.slog2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "run.slog2"), good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, dir)
+	url := ts.URL + "/trace/run/tile"
+
+	resp, body := get(t, url, nil)
+	etag := resp.Header.Get("ETag")
+	if resp.StatusCode != 200 || etag == "" || len(body) == 0 {
+		t.Fatalf("first fetch: status %d etag %q", resp.StatusCode, etag)
+	}
+	resp, body = get(t, url, map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != 304 {
+		t.Fatalf("revalidation: status %d, want 304", resp.StatusCode)
+	}
+	if len(body) != 0 {
+		t.Fatalf("304 carried %d payload bytes", len(body))
+	}
+	resp, _ = get(t, url, map[string]string{"If-None-Match": `"deadbeef", ` + etag})
+	if resp.StatusCode != 304 {
+		t.Fatalf("list revalidation: status %d, want 304", resp.StatusCode)
+	}
+	resp, _ = get(t, url, map[string]string{"If-None-Match": `"stale"`})
+	if resp.StatusCode != 200 {
+		t.Fatalf("stale tag: status %d, want 200", resp.StatusCode)
+	}
+
+	// Rewriting the trace invalidates: new generation, new tile, and the
+	// old ETag no longer matches.
+	f, err := slog2.ReadFile(filepath.Join(goldenDir, "collisions.slog2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := slog2.WriteFile(filepath.Join(dir, "run.slog2"), f); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = get(t, url, map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != 200 {
+		t.Fatalf("after rewrite: status %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("ETag") == etag {
+		t.Fatal("ETag unchanged after the trace file changed")
+	}
+}
+
+func TestGzipOnTiles(t *testing.T) {
+	_, ts := newTestServer(t, goldenDir)
+	url := ts.URL + "/trace/thumbnail/tile"
+	resp, body := get(t, url, map[string]string{"Accept-Encoding": "gzip"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatal("tile not gzipped despite Accept-Encoding")
+	}
+	gz, err := gzip.NewReader(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, raw := get(t, url, nil)
+	if !bytes.Equal(plain, raw) {
+		t.Fatal("gzipped tile decompresses to different bytes")
+	}
+	if len(body) >= len(raw) {
+		t.Fatalf("gzip did not shrink the tile: %d >= %d", len(body), len(raw))
+	}
+}
+
+// Concurrent first hits must collapse to one decode per trace and one
+// render per tile (singleflight).
+func TestSingleflightCollapsesColdHits(t *testing.T) {
+	dir := t.TempDir()
+	for _, id := range goldenIDs {
+		data, err := os.ReadFile(filepath.Join(goldenDir, id+".slog2"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, id+".slog2"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, ts := newTestServer(t, dir)
+	const clients = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*len(goldenIDs))
+	for _, id := range goldenIDs {
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				resp, err := http.Get(ts.URL + "/trace/" + id + "/tile")
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errs <- fmt.Errorf("%s: status %d", id, resp.StatusCode)
+				}
+			}(id)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := s.Repo().Decodes(); got != int64(len(goldenIDs)) {
+		t.Fatalf("decodes = %d under concurrent first hits, want %d (one per trace)", got, len(goldenIDs))
+	}
+	if got := s.tilesRendered.Load(); got != int64(len(goldenIDs)) {
+		t.Fatalf("tile renders = %d, want %d (one per distinct tile)", got, len(goldenIDs))
+	}
+}
+
+func TestLegendAndSearchMatchDirect(t *testing.T) {
+	_, ts := newTestServer(t, goldenDir)
+	f, err := slog2.ReadFile(filepath.Join(goldenDir, "lab2.slog2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &Trace{ID: "lab2", File: f}
+
+	resp, body := get(t, ts.URL+"/trace/lab2/legend", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("legend: status %d", resp.StatusCode)
+	}
+	want, err := RenderLegendJSON(tr, f.Start, f.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatal("served legend differs from direct render")
+	}
+
+	resp, body = get(t, ts.URL+"/search?trace=lab2&name=PI_Read&limit=5", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("search: status %d", resp.StatusCode)
+	}
+	want, err = RenderSearchJSON(tr, jumpshot.SearchOptions{Name: "PI_Read", Rank: -1, Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatal("served search differs from direct call")
+	}
+	var hits []searchHitJSON
+	if err := json.Unmarshal(body, &hits); err != nil || len(hits) == 0 || len(hits) > 5 {
+		t.Fatalf("search hits: %v (%d)", err, len(hits))
+	}
+}
+
+func TestTracesMetaProfileViewer(t *testing.T) {
+	_, ts := newTestServer(t, goldenDir)
+
+	resp, body := get(t, ts.URL+"/traces", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("/traces: status %d", resp.StatusCode)
+	}
+	var list []TraceInfo
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 || list[0].ID != "collisions" || !list[0].HasProfile {
+		t.Fatalf("listing %+v", list)
+	}
+
+	resp, body = get(t, ts.URL+"/trace/lab2", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("meta: status %d", resp.StatusCode)
+	}
+	var meta traceMetaJSON
+	if err := json.Unmarshal(body, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.NumRanks < 2 || len(meta.Categories) == 0 || !meta.HasProfile {
+		t.Fatalf("meta %+v", meta)
+	}
+
+	resp, body = get(t, ts.URL+"/trace/lab2/profile", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("profile: status %d", resp.StatusCode)
+	}
+	disk, err := os.ReadFile(filepath.Join(goldenDir, "lab2.profile.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, disk) {
+		t.Fatal("served profile differs from sidecar")
+	}
+
+	resp, body = get(t, ts.URL+"/", nil)
+	if resp.StatusCode != 200 || !bytes.Contains(body, []byte("pilot-serve")) {
+		t.Fatalf("viewer: status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts.URL+"/healthz", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts.URL+"/debug/vars", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("debug/vars: status %d", resp.StatusCode)
+	}
+}
+
+// Serve drains gracefully when its context is cancelled.
+func TestServeGracefulShutdown(t *testing.T) {
+	s, err := New(Config{RepoDir: goldenDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v after graceful shutdown", err)
+	}
+}
+
+func TestLRUCache(t *testing.T) {
+	c := newLRU(2)
+	c.add("a", 1)
+	c.add("b", 2)
+	if v, ok := c.get("a"); !ok || v.(int) != 1 {
+		t.Fatal("a missing")
+	}
+	c.add("c", 3) // evicts b (a was refreshed)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b not evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted out of order")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len %d", c.len())
+	}
+	c.add("a", 10) // refresh in place
+	if v, _ := c.get("a"); v.(int) != 10 {
+		t.Fatal("refresh lost")
+	}
+	if c.hits.Load() == 0 || c.misses.Load() == 0 {
+		t.Fatal("hit/miss counters dead")
+	}
+}
+
+func TestFlightGroupCollapses(t *testing.T) {
+	var g flightGroup
+	var calls, shared atomic_int
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, sh := g.Do("k", func() (any, error) {
+				calls.add(1)
+				<-gate
+				return 7, nil
+			})
+			if err != nil || v.(int) != 7 {
+				panic("wrong flight result")
+			}
+			if sh {
+				shared.add(1)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if calls.load()+shared.load() != 16 {
+		t.Fatalf("calls %d + shared %d != 16", calls.load(), shared.load())
+	}
+	if calls.load() < 1 {
+		t.Fatal("no call ran")
+	}
+}
+
+// tiny atomic int to avoid importing sync/atomic twice in tests.
+type atomic_int struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (a *atomic_int) add(d int64) { a.mu.Lock(); a.v += d; a.mu.Unlock() }
+func (a *atomic_int) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v }

@@ -1,0 +1,545 @@
+package serve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/jumpshot"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// RepoDir is the trace repository directory (required).
+	RepoDir string
+	// MaxTraces bounds the decoded-file LRU (default 8).
+	MaxTraces int
+	// MaxTiles bounds the rendered-tile LRU (default 4096).
+	MaxTiles int
+	// Logf, when set, receives one line per request error; nil is quiet.
+	Logf func(format string, args ...any)
+}
+
+// Server answers tile queries over a trace repository. Create with
+// New, mount via Handler, or run with Serve for the full production
+// posture (graceful shutdown included).
+type Server struct {
+	repo  *Repo
+	tiles *lruCache
+	sf    flightGroup
+	mux   *http.ServeMux
+	logf  func(string, ...any)
+
+	// counters behind the "pilot_serve" expvar.
+	requests      atomic.Int64
+	errors        atomic.Int64
+	tilesRendered atomic.Int64
+	tilesShared   atomic.Int64 // singleflight-collapsed tile renders
+	notModified   atomic.Int64
+	bytesSent     atomic.Int64
+}
+
+// New builds a Server over cfg.RepoDir.
+func New(cfg Config) (*Server, error) {
+	repo, err := NewRepo(cfg.RepoDir, cfg.MaxTraces)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxTiles < 1 {
+		cfg.MaxTiles = 4096
+	}
+	s := &Server{
+		repo:  repo,
+		tiles: newLRU(cfg.MaxTiles),
+		logf:  cfg.Logf,
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /{$}", s.handleViewer)
+	s.mux.HandleFunc("GET /traces", s.handleTraces)
+	s.mux.HandleFunc("GET /trace/{id}", s.handleMeta)
+	s.mux.HandleFunc("GET /trace/{id}/tile", s.handleTile)
+	s.mux.HandleFunc("GET /trace/{id}/legend", s.handleLegend)
+	s.mux.HandleFunc("GET /trace/{id}/profile", s.handleProfile)
+	s.mux.HandleFunc("GET /search", s.handleSearch)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	// Observability: the expvar page (carrying "pilot_serve" and, when a
+	// run publishes one, "pilot_stats") and the pprof family — the same
+	// endpoint machinery pilot-bench -metrics-addr exposes, mounted on
+	// this mux instead of the default one.
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	publishServeExpvar(s)
+	return s, nil
+}
+
+// Repo exposes the underlying repository (the load harness asserts on
+// its decode counter).
+func (s *Server) Repo() *Repo { return s.repo }
+
+// Handler returns the server's HTTP handler, wrapped in panic
+// recovery: a bug in a render path becomes a 500, never a dead server.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.errors.Add(1)
+				s.logf("serve: panic serving %s: %v", r.URL.Path, rec)
+				// Headers may already be out; WriteHeader after that is
+				// a no-op and the connection just drops.
+				http.Error(w, "internal error", http.StatusInternalServerError)
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Serve runs the server on ln until ctx is cancelled, then drains
+// in-flight requests (graceful shutdown, 10s grace).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(shutCtx)
+	}()
+	err := srv.Serve(ln)
+	if !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-done
+}
+
+// ---- response plumbing: errors, ETag, gzip ----
+
+// httpStatus maps repository/parse errors onto status codes: the
+// hostile-file contract is "4xx/5xx, never die".
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBadID):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrCorrupt):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
+	s.errors.Add(1)
+	code := httpStatus(err)
+	s.logf("serve: %s %s: %d %v", r.Method, r.URL.Path, code, err)
+	http.Error(w, err.Error(), code)
+}
+
+func (s *Server) failBadRequest(w http.ResponseWriter, r *http.Request, err error) {
+	s.errors.Add(1)
+	s.logf("serve: %s %s: 400 %v", r.Method, r.URL.Path, err)
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+// etagOf computes the strong ETag for a response body.
+func etagOf(body []byte) string {
+	h := fnv.New64a()
+	h.Write(body)
+	return fmt.Sprintf(`"%016x"`, h.Sum64())
+}
+
+// etagMatch implements the If-None-Match comparison (strong tags only,
+// plus the "*" wildcard).
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if header == "*" {
+		return true
+	}
+	for _, part := range splitComma(header) {
+		if part == etag {
+			return true
+		}
+	}
+	return false
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			part := s[start:i]
+			for len(part) > 0 && (part[0] == ' ' || part[0] == '\t') {
+				part = part[1:]
+			}
+			for len(part) > 0 && (part[len(part)-1] == ' ' || part[len(part)-1] == '\t') {
+				part = part[:len(part)-1]
+			}
+			if part != "" {
+				out = append(out, part)
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+var gzipPool = sync.Pool{New: func() any { return gzip.NewWriter(nil) }}
+
+// gzipMinBytes is the body size below which compression costs more
+// than it saves.
+const gzipMinBytes = 512
+
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range splitComma(r.Header.Get("Accept-Encoding")) {
+		if part == "gzip" || len(part) > 4 && part[:5] == "gzip;" {
+			return true
+		}
+	}
+	return false
+}
+
+// writeBody sends body with ETag revalidation and optional gzip: a
+// matching If-None-Match costs a 304 and zero payload bytes — the
+// cache policy that makes a browser viewer cheap to refresh.
+func (s *Server) writeBody(w http.ResponseWriter, r *http.Request, ctype, etag string, body []byte) {
+	s.writeBodyGz(w, r, ctype, etag, body, nil)
+}
+
+// writeBodyGz is writeBody with an optional pre-compressed form: when
+// gz is non-nil and the client accepts gzip, it goes out as-is — the
+// hot path for cached tiles, which compress once at render time and
+// never again.
+func (s *Server) writeBodyGz(w http.ResponseWriter, r *http.Request, ctype, etag string, body, gz []byte) {
+	h := w.Header()
+	h.Set("Content-Type", ctype)
+	h.Set("ETag", etag)
+	h.Set("Vary", "Accept-Encoding")
+	h.Set("Cache-Control", "no-cache") // revalidate via ETag, don't go stale
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		s.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	if acceptsGzip(r) {
+		if gz != nil {
+			h.Set("Content-Encoding", "gzip")
+			h.Set("Content-Length", strconv.Itoa(len(gz)))
+			n, _ := w.Write(gz)
+			s.bytesSent.Add(int64(n))
+			return
+		}
+		if len(body) >= gzipMinBytes {
+			h.Set("Content-Encoding", "gzip")
+			zw := gzipPool.Get().(*gzip.Writer)
+			zw.Reset(&countingWriter{w: w, n: &s.bytesSent})
+			zw.Write(body)
+			zw.Close()
+			gzipPool.Put(zw)
+			return
+		}
+	}
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	n, _ := w.Write(body)
+	s.bytesSent.Add(int64(n))
+}
+
+type countingWriter struct {
+	w http.ResponseWriter
+	n *atomic.Int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// cachedBody is one tile-cache entry: the rendered bytes, their
+// precomputed ETag, and (for bodies worth compressing) the gzip form,
+// built once so cache hits never pay for compression again.
+type cachedBody struct {
+	body  []byte
+	gz    []byte // nil when body is below gzipMinBytes
+	ctype string
+	etag  string
+}
+
+// newCachedBody precomputes the ETag and, for large bodies, the gzip
+// form of one rendered tile.
+func newCachedBody(body []byte, ctype string) *cachedBody {
+	cb := &cachedBody{body: body, ctype: ctype, etag: etagOf(body)}
+	if len(body) >= gzipMinBytes {
+		var buf bytes.Buffer
+		zw := gzipPool.Get().(*gzip.Writer)
+		zw.Reset(&buf)
+		zw.Write(body)
+		zw.Close()
+		gzipPool.Put(zw)
+		cb.gz = buf.Bytes()
+	}
+	return cb
+}
+
+// ---- handlers ----
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	list, err := s.repo.List()
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	body, err := json.Marshal(list)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	s.writeBody(w, r, "application/json; charset=utf-8", etagOf(body), body)
+}
+
+// traceMetaJSON is the /trace/{id} header card.
+type traceMetaJSON struct {
+	ID         string            `json:"id"`
+	NumRanks   int               `json:"num_ranks"`
+	Start      float64           `json:"start"`
+	End        float64           `json:"end"`
+	Depth      int               `json:"tree_depth"`
+	Categories []legendEntryJSON `json:"categories"`
+	Warnings   []string          `json:"warnings,omitempty"`
+	HasProfile bool              `json:"has_profile"`
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	tr, err := s.repo.Open(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	f := tr.File
+	meta := traceMetaJSON{
+		ID: tr.ID, NumRanks: f.NumRanks, Start: f.Start, End: f.End,
+		Depth: f.Depth(), Warnings: f.Warnings,
+	}
+	for _, c := range f.Categories {
+		kind := "state"
+		if c.Kind != 0 {
+			kind = "event"
+		}
+		meta.Categories = append(meta.Categories, legendEntryJSON{Name: c.Name, Color: c.Color, Kind: kind})
+	}
+	if _, perr := s.repo.Profile(tr.ID); perr == nil {
+		meta.HasProfile = true
+	}
+	body, err := json.Marshal(meta)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	s.writeBody(w, r, "application/json; charset=utf-8", etagOf(body), body)
+}
+
+func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
+	tr, err := s.repo.Open(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	p, err := parseTileParams(r.URL.Query(), tr.File)
+	if err != nil {
+		s.failBadRequest(w, r, err)
+		return
+	}
+	key := p.cacheKey(tr)
+	if v, ok := s.tiles.get(key); ok {
+		cb := v.(*cachedBody)
+		s.writeBodyGz(w, r, cb.ctype, cb.etag, cb.body, cb.gz)
+		return
+	}
+	v, err, shared := s.sf.Do(key, func() (any, error) {
+		if v, ok := s.tiles.get(key); ok {
+			return v, nil
+		}
+		body, ctype, err := renderTile(tr, p)
+		if err != nil {
+			return nil, err
+		}
+		s.tilesRendered.Add(1)
+		cb := newCachedBody(body, ctype)
+		s.tiles.add(key, cb)
+		return cb, nil
+	})
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	if shared {
+		s.tilesShared.Add(1)
+	}
+	cb := v.(*cachedBody)
+	s.writeBodyGz(w, r, cb.ctype, cb.etag, cb.body, cb.gz)
+}
+
+func (s *Server) handleLegend(w http.ResponseWriter, r *http.Request) {
+	tr, err := s.repo.Open(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	q := r.URL.Query()
+	t0, t1 := tr.File.Start, tr.File.End
+	if v := q.Get("t0"); v != "" {
+		if t0, err = strconv.ParseFloat(v, 64); err != nil {
+			s.failBadRequest(w, r, fmt.Errorf("serve: bad t0=%q", v))
+			return
+		}
+	}
+	if v := q.Get("t1"); v != "" {
+		if t1, err = strconv.ParseFloat(v, 64); err != nil {
+			s.failBadRequest(w, r, fmt.Errorf("serve: bad t1=%q", v))
+			return
+		}
+	}
+	body, err := RenderLegendJSON(tr, t0, t1)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	s.writeBody(w, r, "application/json; charset=utf-8", etagOf(body), body)
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	body, err := s.repo.Profile(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	s.writeBody(w, r, "application/json; charset=utf-8", etagOf(body), body)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	id := q.Get("trace")
+	if id == "" {
+		s.failBadRequest(w, r, fmt.Errorf("serve: /search needs ?trace="))
+		return
+	}
+	tr, err := s.repo.Open(id)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	opts := jumpshot.SearchOptions{Rank: -1, Limit: 1000}
+	opts.Name = q.Get("name")
+	opts.Cargo = q.Get("cargo")
+	parse := func(key string, set func(float64)) error {
+		if v := q.Get(key); v != "" {
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fmt.Errorf("serve: bad %s=%q", key, v)
+			}
+			set(x)
+		}
+		return nil
+	}
+	if err := parse("from", func(x float64) { opts.From = x }); err != nil {
+		s.failBadRequest(w, r, err)
+		return
+	}
+	if err := parse("to", func(x float64) { opts.To = x }); err != nil {
+		s.failBadRequest(w, r, err)
+		return
+	}
+	if err := parse("mindur", func(x float64) { opts.MinDuration = x }); err != nil {
+		s.failBadRequest(w, r, err)
+		return
+	}
+	for _, key := range []string{"rank", "limit"} {
+		if v := q.Get(key); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				s.failBadRequest(w, r, fmt.Errorf("serve: bad %s=%q", key, v))
+				return
+			}
+			if key == "rank" {
+				opts.Rank = n
+			} else if n > 0 && n < opts.Limit {
+				opts.Limit = n
+			}
+		}
+	}
+	body, err := RenderSearchJSON(tr, opts)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	s.writeBody(w, r, "application/json; charset=utf-8", etagOf(body), body)
+}
+
+// ---- expvar ----
+
+// Like stats.Publish, the expvar name registers once per process and
+// reads through an atomic pointer, so test suites creating many
+// servers never panic on a duplicate name.
+var (
+	serveExpvarOnce sync.Once
+	publishedServer atomic.Pointer[Server]
+)
+
+func publishServeExpvar(s *Server) {
+	publishedServer.Store(s)
+	serveExpvarOnce.Do(func() {
+		expvar.Publish("pilot_serve", expvar.Func(func() any {
+			srv := publishedServer.Load()
+			if srv == nil {
+				return nil
+			}
+			return srv.MetricsSnapshot()
+		}))
+	})
+}
+
+// MetricsSnapshot returns the server's counters as a flat map — the
+// "pilot_serve" expvar payload.
+func (s *Server) MetricsSnapshot() map[string]int64 {
+	return map[string]int64{
+		"requests":                  s.requests.Load(),
+		"errors":                    s.errors.Load(),
+		"tiles_rendered":            s.tilesRendered.Load(),
+		"tiles_singleflight_shared": s.tilesShared.Load(),
+		"tile_cache_hits":           s.tiles.hits.Load(),
+		"tile_cache_misses":         s.tiles.misses.Load(),
+		"trace_cache_hits":          s.repo.traces.hits.Load(),
+		"trace_cache_misses":        s.repo.traces.misses.Load(),
+		"trace_decodes":             s.repo.Decodes(),
+		"responses_304":             s.notModified.Load(),
+		"bytes_sent":                s.bytesSent.Load(),
+	}
+}

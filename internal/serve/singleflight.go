@@ -1,0 +1,66 @@
+package serve
+
+import "sync"
+
+// flightGroup collapses concurrent duplicate work: when n requests ask
+// for the same cold tile (or the same undecoded trace) at once, one
+// does the work and n-1 wait for its result. A miniature of
+// golang.org/x/sync/singleflight — the stdlib-only constraint rules
+// out the real one, and pilot-serve needs exactly Do.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// Do runs fn once per key among concurrent callers; every caller gets
+// the same result. shared reports whether the result came from another
+// caller's flight.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	func() {
+		defer func() {
+			// A panicking fn must not strand waiters: record it as an
+			// error and release them, then let the panic continue to
+			// the handler's recovery layer.
+			if r := recover(); r != nil {
+				c.err = panicError{r}
+				g.finish(key, c)
+				panic(r)
+			}
+		}()
+		c.val, c.err = fn()
+	}()
+	g.finish(key, c)
+	return c.val, c.err, false
+}
+
+func (g *flightGroup) finish(key string, c *flightCall) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.wg.Done()
+}
+
+// panicError is the error waiters see when the flight's worker panics.
+type panicError struct{ v any }
+
+func (p panicError) Error() string { return "serve: concurrent request panicked" }

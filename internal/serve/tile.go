@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"strconv"
+
+	"repro/internal/jumpshot"
+	"repro/internal/slog2"
+)
+
+// tileParams is one parsed tile query: the time×rank window, the zoom
+// level (raster width for SVG tiles), and the output format.
+type tileParams struct {
+	win    jumpshot.Window
+	zoom   int
+	format string // "json" or "svg"
+}
+
+const (
+	// tileBaseWidth is the SVG pixel width at zoom 0; each zoom level
+	// doubles it.
+	tileBaseWidth = 512
+	maxZoom       = 6
+)
+
+// parseTileParams reads t0/t1/r0/r1/zoom/format from the query,
+// defaulting to the whole log, all ranks, zoom 0, JSON. Hostile or
+// nonsensical values come back as errors for a 400, never a panic.
+func parseTileParams(q url.Values, f *slog2.File) (tileParams, error) {
+	p := tileParams{
+		win:    jumpshot.Window{T0: f.Start, T1: f.End, RankLo: 0, RankHi: -1},
+		format: "json",
+	}
+	getF := func(key string, dst *float64) error {
+		s := q.Get(key)
+		if s == "" {
+			return nil
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v != v { // reject NaN: it poisons window math
+			return fmt.Errorf("serve: bad %s=%q", key, s)
+		}
+		*dst = v
+		return nil
+	}
+	getI := func(key string, dst *int) error {
+		s := q.Get(key)
+		if s == "" {
+			return nil
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return fmt.Errorf("serve: bad %s=%q", key, s)
+		}
+		*dst = v
+		return nil
+	}
+	if err := getF("t0", &p.win.T0); err != nil {
+		return p, err
+	}
+	if err := getF("t1", &p.win.T1); err != nil {
+		return p, err
+	}
+	if err := getI("r0", &p.win.RankLo); err != nil {
+		return p, err
+	}
+	if err := getI("r1", &p.win.RankHi); err != nil {
+		return p, err
+	}
+	if err := getI("zoom", &p.zoom); err != nil {
+		return p, err
+	}
+	if p.win.T1 < p.win.T0 {
+		return p, fmt.Errorf("serve: empty time window [%g,%g]", p.win.T0, p.win.T1)
+	}
+	if p.zoom < 0 || p.zoom > maxZoom {
+		return p, fmt.Errorf("serve: zoom %d outside [0,%d]", p.zoom, maxZoom)
+	}
+	if p.win.RankLo < 0 {
+		return p, fmt.Errorf("serve: r0 %d negative", p.win.RankLo)
+	}
+	switch fm := q.Get("format"); fm {
+	case "", "json":
+		p.format = "json"
+	case "svg":
+		p.format = "svg"
+	default:
+		return p, fmt.Errorf("serve: unknown format %q", fm)
+	}
+	return p, nil
+}
+
+// cacheKey identifies one rendered tile: trace identity+generation
+// crossed with every parameter that affects the bytes.
+func (p tileParams) cacheKey(tr *Trace) string {
+	return fmt.Sprintf("tile\x00%s\x00%s\x00%s|t0=%.12g|t1=%.12g|r0=%d|r1=%d|z=%d",
+		tr.ID, tr.Gen, p.format, p.win.T0, p.win.T1, p.win.RankLo, p.win.RankHi, p.zoom)
+}
+
+// Tile JSON DTOs: the wire schema, decoupled from the slog2 structs.
+type tileStateJSON struct {
+	Rank  int     `json:"rank"`
+	Cat   int     `json:"cat"`
+	Start float64 `json:"t0"`
+	End   float64 `json:"t1"`
+	Cargo string  `json:"cargo,omitempty"`
+}
+
+type tileArrowJSON struct {
+	Src   int     `json:"src"`
+	Dst   int     `json:"dst"`
+	Start float64 `json:"t0"`
+	End   float64 `json:"t1"`
+	Tag   int     `json:"tag"`
+	Size  int     `json:"size"`
+}
+
+type tileEventJSON struct {
+	Rank  int     `json:"rank"`
+	Cat   int     `json:"cat"`
+	Time  float64 `json:"t"`
+	Cargo string  `json:"cargo,omitempty"`
+}
+
+type tileJSON struct {
+	Trace  string          `json:"trace"`
+	T0     float64         `json:"t0"`
+	T1     float64         `json:"t1"`
+	RankLo int             `json:"r0"`
+	RankHi int             `json:"r1"`
+	States []tileStateJSON `json:"states"`
+	Arrows []tileArrowJSON `json:"arrows"`
+	Events []tileEventJSON `json:"events"`
+}
+
+// RenderTileJSON fetches the tile's drawables via the frame tree and
+// marshals them. Exported so tests and the smoke client can byte-compare
+// a served tile against a direct render.
+func RenderTileJSON(tr *Trace, win jumpshot.Window) ([]byte, error) {
+	states, arrows, events := jumpshot.Tile(tr.File, win)
+	out := tileJSON{
+		Trace: tr.ID, T0: win.T0, T1: win.T1, RankLo: win.RankLo, RankHi: win.RankHi,
+		States: make([]tileStateJSON, 0, len(states)),
+		Arrows: make([]tileArrowJSON, 0, len(arrows)),
+		Events: make([]tileEventJSON, 0, len(events)),
+	}
+	for _, s := range states {
+		out.States = append(out.States, tileStateJSON{
+			Rank: s.Rank, Cat: s.Cat, Start: s.Start, End: s.End, Cargo: s.StartCargo,
+		})
+	}
+	for _, a := range arrows {
+		out.Arrows = append(out.Arrows, tileArrowJSON{
+			Src: a.SrcRank, Dst: a.DstRank, Start: a.Start, End: a.End, Tag: a.Tag, Size: a.Size,
+		})
+	}
+	for _, e := range events {
+		out.Events = append(out.Events, tileEventJSON{
+			Rank: e.Rank, Cat: e.Cat, Time: e.Time, Cargo: e.Cargo,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// RenderTileSVG renders the tile as an SVG document via the jumpshot
+// renderer, rank-windowed through View.RankOrder; zoom picks the raster
+// width (512px at zoom 0, doubling per level).
+func RenderTileSVG(tr *Trace, win jumpshot.Window, zoom int) []byte {
+	v := jumpshot.View{
+		From: win.T0, To: win.T1,
+		Width:     tileBaseWidth << zoom,
+		RankOrder: jumpshot.TileRankOrder(tr.File, win),
+		Title:     fmt.Sprintf("%s [%.6g, %.6g]", tr.ID, win.T0, win.T1),
+	}
+	return []byte(jumpshot.RenderSVG(tr.File, v))
+}
+
+// renderTile dispatches on format and returns (body, content type).
+func renderTile(tr *Trace, p tileParams) ([]byte, string, error) {
+	if p.format == "svg" {
+		return RenderTileSVG(tr, p.win, p.zoom), "image/svg+xml; charset=utf-8", nil
+	}
+	body, err := RenderTileJSON(tr, p.win)
+	return body, "application/json; charset=utf-8", err
+}
+
+// Legend JSON DTO.
+type legendEntryJSON struct {
+	Name  string  `json:"name"`
+	Color string  `json:"color"`
+	Kind  string  `json:"kind"`
+	Count int     `json:"count"`
+	Incl  float64 `json:"incl"`
+	Excl  float64 `json:"excl"`
+}
+
+// RenderLegendJSON computes the legend table over [t0, t1] and
+// marshals it.
+func RenderLegendJSON(tr *Trace, t0, t1 float64) ([]byte, error) {
+	entries := jumpshot.Legend(tr.File, t0, t1)
+	out := make([]legendEntryJSON, 0, len(entries))
+	for _, e := range entries {
+		kind := "state"
+		if e.Kind == slog2.KindEvent {
+			kind = "event"
+		}
+		out = append(out, legendEntryJSON{
+			Name: e.Name, Color: e.Color, Kind: kind,
+			Count: e.Count, Incl: e.Incl, Excl: e.Excl,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// searchHitJSON is one /search result row.
+type searchHitJSON struct {
+	Kind   string  `json:"kind"`
+	Name   string  `json:"name"`
+	Rank   int     `json:"rank"`
+	Start  float64 `json:"t0"`
+	End    float64 `json:"t1"`
+	Detail string  `json:"detail"`
+}
+
+// RenderSearchJSON wraps jumpshot.Search and marshals its hits.
+func RenderSearchJSON(tr *Trace, opts jumpshot.SearchOptions) ([]byte, error) {
+	hits := jumpshot.Search(tr.File, opts)
+	out := make([]searchHitJSON, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, searchHitJSON{
+			Kind: h.Kind, Name: h.Name, Rank: h.Rank,
+			Start: h.Start, End: h.End, Detail: h.Detail,
+		})
+	}
+	return json.Marshal(out)
+}

@@ -7,11 +7,25 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
+
+	"repro/internal/clog2"
 )
 
 // Magic begins every SLOG-2 file; the digits are this format's version.
 const Magic = "SLOG-R0206"
+
+// maxFrameDepth bounds the frame-tree recursion while decoding. The
+// converter builds a height-balanced tree (depth ~ log2(drawables /
+// capacity)), so any legitimate file stays far below this; a crafted
+// left-spine chain that would otherwise exhaust the goroutine stack is
+// rejected as corrupt instead.
+const maxFrameDepth = 64
+
+// maxRanks bounds NumRanks on the read side; the same ceiling the
+// category count already gets.
+const maxRanks = 1 << 24
 
 // Write serialises f onto w.
 func Write(w io.Writer, f *File) error {
@@ -40,17 +54,45 @@ func Write(w io.Writer, f *File) error {
 	return e.w.Flush()
 }
 
-// WriteFile serialises f to a file at path.
+// WriteFile serialises f to a file at path. The bytes land in a
+// temporary file in the same directory which is renamed over path only
+// after a successful write, so a mid-write failure (full disk, crash)
+// never leaves a truncated .slog2 where a serve repository would pick
+// it up.
 func WriteFile(path string, f *File) error {
-	out, err := os.Create(path)
+	return writeFileAtomic(path, func(w io.Writer) error { return Write(w, f) })
+}
+
+// writeFileAtomic streams fill into a temp file next to path and
+// renames it into place on success; on any error the temp file is
+// removed and path is left untouched.
+func writeFileAtomic(path string, fill func(io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := Write(out, f); err != nil {
-		out.Close()
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := fill(tmp); err != nil {
 		return err
 	}
-	return out.Close()
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		tmp = nil
+		return err
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
 }
 
 // Read parses a complete SLOG-2 file.
@@ -65,6 +107,9 @@ func Read(r io.Reader) (*File, error) {
 	}
 	f := &File{}
 	f.NumRanks = int(d.i32())
+	if d.err == nil && (f.NumRanks < 0 || f.NumRanks > maxRanks) {
+		return nil, fmt.Errorf("slog2: implausible rank count %d", f.NumRanks)
+	}
 	f.Start = d.f64()
 	f.End = d.f64()
 	ncats := d.i32()
@@ -85,9 +130,19 @@ func Read(r io.Reader) (*File, error) {
 	for i := int32(0); i < nwarn && d.err == nil; i++ {
 		f.Warnings = append(f.Warnings, d.str())
 	}
-	f.Root = d.frame()
+	// The frame decoder validates every drawable's category and rank
+	// against the header so downstream consumers (search, legend, tile
+	// rendering) can index f.Categories without rechecking.
+	d.ncats = int(ncats)
+	d.nranks = f.NumRanks
+	f.Root = d.frame(0)
 	if d.err != nil {
 		return nil, d.err
+	}
+	// Write refuses to serialise a file without a root frame, so a
+	// root-less stream can only be hand-crafted: reject it for symmetry.
+	if f.Root == nil {
+		return nil, fmt.Errorf("slog2: file has no root frame")
 	}
 	return f, nil
 }
@@ -141,9 +196,9 @@ func (e *encoder) f64(v float64) {
 }
 
 func (e *encoder) str(s string) {
-	if len(s) > math.MaxUint16 {
-		s = s[:math.MaxUint16]
-	}
+	// Rune-safe truncation: a multibyte rune straddling the length limit
+	// is dropped whole instead of leaking invalid UTF-8 into cargo.
+	s = clog2.Trunc(s, math.MaxUint16)
 	var buf [2]byte
 	binary.LittleEndian.PutUint16(buf[:], uint16(len(s)))
 	e.raw(buf[:])
@@ -210,6 +265,10 @@ func (e *encoder) frame(fr *Frame) {
 type decoder struct {
 	r   *bufio.Reader
 	err error
+	// ncats and nranks bound drawable category and rank indices while
+	// decoding frames (set from the header before the root frame).
+	ncats  int
+	nranks int
 }
 
 func (d *decoder) fail(err error) {
@@ -280,8 +339,33 @@ func (d *decoder) count(limit int32) int32 {
 	return n
 }
 
-func (d *decoder) frame() *Frame {
+// cat reads a drawable's category index and rejects anything the
+// header's category table cannot satisfy — the index that made
+// jumpshot.Search panic on hostile files.
+func (d *decoder) cat() int {
+	c := int(d.i32())
+	if d.err == nil && (c < 0 || c >= d.ncats) {
+		d.err = fmt.Errorf("slog2: drawable category %d out of range [0,%d)", c, d.ncats)
+	}
+	return c
+}
+
+// rank reads a drawable's rank and rejects negatives and ranks beyond
+// the header's NumRanks.
+func (d *decoder) rank() int {
+	r := int(d.i32())
+	if d.err == nil && (r < 0 || r >= d.nranks) {
+		d.err = fmt.Errorf("slog2: drawable rank %d out of range [0,%d)", r, d.nranks)
+	}
+	return r
+}
+
+func (d *decoder) frame(depth int) *Frame {
 	if d.err != nil {
+		return nil
+	}
+	if depth > maxFrameDepth {
+		d.err = fmt.Errorf("slog2: frame tree deeper than %d (corrupt or hostile file)", maxFrameDepth)
 		return nil
 	}
 	present := d.b()
@@ -294,8 +378,8 @@ func (d *decoder) frame() *Frame {
 	ns := d.count(1 << 28)
 	for i := int32(0); i < ns && d.err == nil; i++ {
 		var s State
-		s.Rank = int(d.i32())
-		s.Cat = int(d.i32())
+		s.Rank = d.rank()
+		s.Cat = d.cat()
 		s.Start = d.f64()
 		s.End = d.f64()
 		s.StartCargo = d.str()
@@ -305,8 +389,8 @@ func (d *decoder) frame() *Frame {
 	na := d.count(1 << 28)
 	for i := int32(0); i < na && d.err == nil; i++ {
 		var a Arrow
-		a.SrcRank = int(d.i32())
-		a.DstRank = int(d.i32())
+		a.SrcRank = d.rank()
+		a.DstRank = d.rank()
 		a.Start = d.f64()
 		a.End = d.f64()
 		a.Tag = int(d.i32())
@@ -316,8 +400,8 @@ func (d *decoder) frame() *Frame {
 	ne := d.count(1 << 28)
 	for i := int32(0); i < ne && d.err == nil; i++ {
 		var ev Event
-		ev.Rank = int(d.i32())
-		ev.Cat = int(d.i32())
+		ev.Rank = d.rank()
+		ev.Cat = d.cat()
 		ev.Time = d.f64()
 		ev.Cargo = d.str()
 		fr.Events = append(fr.Events, ev)
@@ -327,17 +411,17 @@ func (d *decoder) frame() *Frame {
 		fr.Preview = map[int]map[int]float64{}
 	}
 	for i := int32(0); i < nr && d.err == nil; i++ {
-		rank := int(d.i32())
+		rank := d.rank()
 		nc := d.count(1 << 20)
 		m := map[int]float64{}
 		for j := int32(0); j < nc && d.err == nil; j++ {
-			cat := int(d.i32())
+			cat := d.cat()
 			m[cat] = d.f64()
 		}
 		fr.Preview[rank] = m
 	}
-	fr.Left = d.frame()
-	fr.Right = d.frame()
+	fr.Left = d.frame(depth + 1)
+	fr.Right = d.frame(depth + 1)
 	if d.err != nil {
 		return nil
 	}

@@ -488,6 +488,69 @@ func TestWriteNilFileFails(t *testing.T) {
 	}
 }
 
+// Property: Query over random windows equals a brute-force filter of
+// All — the agreement the pilot-serve tile handler relies on.
+func TestQueryMatchesBruteForceRandomWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := newCLOG(5)
+	b.defState(1, "A", "red")
+	b.defState(2, "B", "green")
+	b.defEvent(1, "E", "yellow")
+	for i := 0; i < 1500; i++ {
+		rank := int32(rng.Intn(5))
+		t0 := rng.Float64() * 60
+		b.state(rank, int32(rng.Intn(2)+1), t0, t0+rng.Float64()*2, "")
+		if rng.Intn(4) == 0 {
+			b.event(rank, 1, t0, "")
+		}
+		if rng.Intn(6) == 0 {
+			dst := int32(rng.Intn(5))
+			tm := rng.Float64() * 60
+			b.send(rank, dst, int32(i), tm, 8)
+			b.recv(dst, rank, int32(i), tm+rng.Float64(), 8)
+		}
+	}
+	f, _, err := Convert(b.file(), ConvertOptions{FrameCapacity: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, arrows, events := f.All()
+	for trial := 0; trial < 200; trial++ {
+		t0 := f.Start + rng.Float64()*(f.End-f.Start)
+		t1 := t0 + rng.Float64()*(f.End-t0)
+		qs, qa, qe := f.Query(t0, t1)
+		var ws, wa, we int
+		for _, s := range states {
+			if s.End >= t0 && s.Start <= t1 {
+				ws++
+			}
+		}
+		for _, a := range arrows {
+			lo, hi := a.Start, a.End
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			if hi >= t0 && lo <= t1 {
+				wa++
+			}
+		}
+		for _, e := range events {
+			if e.Time >= t0 && e.Time <= t1 {
+				we++
+			}
+		}
+		if len(qs) != ws || len(qa) != wa || len(qe) != we {
+			t.Fatalf("window [%v,%v]: Query %d/%d/%d, brute force %d/%d/%d",
+				t0, t1, len(qs), len(qa), len(qe), ws, wa, we)
+		}
+		for i := 1; i < len(qs); i++ {
+			if qs[i].Start < qs[i-1].Start {
+				t.Fatal("Query states out of start order")
+			}
+		}
+	}
+}
+
 // Property: random logs convert to invariant-satisfying trees that
 // preserve every drawable, at several frame capacities.
 func TestConvertRandomProperty(t *testing.T) {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/jumpshot"
@@ -223,4 +224,23 @@ func PipelineWithProfile(clogPath, slogPath, svgPath string, opts ConvertOptions
 		}
 	}
 	return f, rep, p, nil
+}
+
+// PipelineToRepo converts the CLOG-2 at clogPath and registers the run
+// in a pilot-serve trace repository: repoDir/<id>.slog2 plus the
+// repoDir/<id>.profile.json sidecar — the handoff from a program run
+// to the trace service. The id must be a valid pilot-serve trace id
+// (no separators, no leading dot).
+func PipelineToRepo(clogPath, repoDir, id string, opts ConvertOptions) (*File, *Report, *Profile, error) {
+	if id == "" || strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") || id[0] == '.' {
+		return nil, nil, nil, fmt.Errorf("vis: invalid repository trace id %q", id)
+	}
+	info, err := os.Stat(repoDir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if !info.IsDir() {
+		return nil, nil, nil, fmt.Errorf("vis: %s is not a directory", repoDir)
+	}
+	return PipelineWithProfile(clogPath, filepath.Join(repoDir, id+".slog2"), "", opts, View{})
 }

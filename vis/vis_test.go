@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/lab2"
+	"repro/internal/serve"
 	"repro/vis"
 )
 
@@ -111,5 +112,47 @@ func TestFacadeRenderers(t *testing.T) {
 	// PI_MAIN's Compute spans the whole run, so it overlaps any worker's.
 	if o := vis.Overlap(f, "Compute", 0, 1, f.Start, f.End); o <= 0 {
 		t.Errorf("overlap %v", o)
+	}
+}
+
+func TestPipelineToRepo(t *testing.T) {
+	clog := runLab2(t)
+	repoDir := t.TempDir()
+	f, rep, p, err := vis.PipelineToRepo(clog, repoDir, "lab2-run", vis.ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.States == 0 || p == nil || f.NumRanks != 4 {
+		t.Fatalf("rep=%+v profile=%v ranks=%d", rep, p != nil, f.NumRanks)
+	}
+	for _, name := range []string{"lab2-run.slog2", "lab2-run.profile.json"} {
+		if _, err := os.Stat(filepath.Join(repoDir, name)); err != nil {
+			t.Errorf("%s not registered: %v", name, err)
+		}
+	}
+	// The registered trace must round-trip through the serve repository.
+	repo, err := serve.NewRepo(repoDir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos, err := repo.List()
+	if err != nil || len(infos) != 1 || infos[0].ID != "lab2-run" || !infos[0].HasProfile {
+		t.Fatalf("repo list = %+v, %v", infos, err)
+	}
+	tr, err := repo.Open("lab2-run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.File.NumRanks != f.NumRanks {
+		t.Fatalf("served trace ranks %d vs %d", tr.File.NumRanks, f.NumRanks)
+	}
+	// Invalid ids and a missing repo dir must be rejected up front.
+	for _, id := range []string{"", "a/b", "..", ".hidden"} {
+		if _, _, _, err := vis.PipelineToRepo(clog, repoDir, id, vis.ConvertOptions{}); err == nil {
+			t.Errorf("id %q accepted", id)
+		}
+	}
+	if _, _, _, err := vis.PipelineToRepo(clog, filepath.Join(repoDir, "nope"), "x", vis.ConvertOptions{}); err == nil {
+		t.Error("missing repo dir accepted")
 	}
 }
