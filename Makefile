@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci cover bench bench-compare fuzz fuzz-smoke smoke-multiproc smoke-serve chaos clean
+.PHONY: all build vet test race ci cover bench bench-compare fuzz fuzz-smoke smoke-multiproc smoke-serve smoke-index chaos clean
 
 all: ci
 
@@ -20,7 +20,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: build vet race fuzz-smoke cover smoke-multiproc smoke-serve
+ci: build vet race fuzz-smoke cover smoke-multiproc smoke-serve smoke-index
 
 # Multi-process smoke: the lab2 exercise with every rank as its own OS
 # process over the socket transport (-pitransport=socket re-executes the
@@ -42,6 +42,21 @@ smoke-serve:
 	cp testdata/golden/*.slog2 testdata/golden/*.profile.json out/serve-repo/
 	$(GO) run ./cmd/pilot-serve -repo out/serve-repo -smoke -q
 
+# Index-sidecar smoke: build a ".idx" for each golden trace and prove
+# every indexed answer (windowed profiles, filtered record selections)
+# byte-identical to the full scan; pilot-index exits 1 on the first
+# disagreement. Runs on copies so the goldens stay pristine.
+smoke-index:
+	@mkdir -p out/idx-smoke
+	cp testdata/golden/*.clog2 out/idx-smoke/
+	$(GO) build -o out/pilot-index ./cmd/pilot-index
+	./out/pilot-index build out/idx-smoke/lab2.clog2
+	./out/pilot-index build out/idx-smoke/collisions.clog2
+	./out/pilot-index build out/idx-smoke/thumbnail.clog2
+	./out/pilot-index verify out/idx-smoke/lab2.clog2
+	./out/pilot-index verify out/idx-smoke/collisions.clog2
+	./out/pilot-index verify out/idx-smoke/thumbnail.clog2
+
 # Statement-coverage floors: run the whole suite with cross-package
 # instrumentation, then hold the observability-critical packages above
 # their checked-in minimums (coverfloor exits 1 below a floor).
@@ -52,6 +67,7 @@ cover:
 		-floor repro/internal/stats=90 \
 		-floor repro/internal/mpi=88 \
 		-floor repro/internal/clog2=87 \
+		-floor repro/internal/idx=85 \
 		out/cover.out
 
 # The logging-overhead harness (ns/op, B/op, allocs/op per Pilot call,
@@ -65,7 +81,11 @@ bench:
 
 # Re-measure the logging hot path and diff against the committed
 # BENCH_overhead.json baseline; fails when a micro row's ns/op regressed
-# by more than 20%.
+# past 2x. The tolerance sits above the shared-machine noise band
+# (identical code swings up to ~60% between machine load modes); tight
+# budgets — the <=5% index-emission cost, the 0-alloc hot paths — are
+# gated within a single run instead, where both sides see the same
+# machine conditions.
 bench-compare:
 	$(GO) run ./cmd/pilot-bench -overhead -overhead-out out/BENCH_overhead.json -compare BENCH_overhead.json
 
@@ -74,6 +94,7 @@ bench-compare:
 fuzz:
 	$(GO) test ./internal/clog2/ -fuzz FuzzReadFile -fuzztime 30s
 	$(GO) test ./internal/slog2/ -fuzz FuzzReadSLOG2 -fuzztime 30s
+	$(GO) test ./internal/idx/ -fuzz FuzzReadIndex -fuzztime 30s
 
 # CI fuzz smoke: 5 seconds of coverage-guided fuzzing per target. Go only
 # accepts one -fuzz target per invocation, hence one line per target.
@@ -82,6 +103,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSalvageSegments$$' -fuzztime 5s ./internal/clog2/
 	$(GO) test -run '^$$' -fuzz '^FuzzSalvageFragment$$' -fuzztime 5s ./internal/mpe/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSLOG2$$' -fuzztime 5s ./internal/slog2/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadIndex$$' -fuzztime 5s ./internal/idx/
 
 # The kill/corrupt chaos harness: a real example under RobustLog is
 # SIGKILLed at seeded points, its spill files further damaged, and every

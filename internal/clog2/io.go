@@ -11,12 +11,20 @@ import (
 // Magic begins every file; the trailing digits are this format's version.
 const Magic = "CLOG-R0260"
 
+// HeaderSize is the byte length of the file header (magic plus the
+// little-endian int32 rank count): the offset of the first block.
+const HeaderSize = len(Magic) + 4
+
 // Writer emits a CLOG-2 file incrementally: a header, then blocks of
 // records, then Close writes the end-log marker.
 type Writer struct {
 	w      *bufio.Writer
 	closed bool
 	err    error
+	// off counts the bytes emitted so far (including any still sitting in
+	// the bufio buffer): the byte offset the next write lands at, which is
+	// what an index sidecar records as a block's position.
+	off int64
 	// num is the fixed-size field scratch buffer. Local [N]byte arrays
 	// escape to the heap here (they cross the io.Writer interface), which
 	// costs an allocation per record field; a struct field does not.
@@ -35,8 +43,14 @@ func NewWriter(w io.Writer, numRanks int) (*Writer, error) {
 	if err := binary.Write(bw, binary.LittleEndian, int32(numRanks)); err != nil {
 		return nil, err
 	}
-	return &Writer{w: bw}, nil
+	return &Writer{w: bw, off: int64(HeaderSize)}, nil
 }
+
+// Offset returns the byte offset the next write will land at, counting
+// from the start of the file (the header is HeaderSize bytes). Calling it
+// immediately before WriteBlock gives the block's start offset;
+// immediately after, the offset one past its end-block marker.
+func (w *Writer) Offset() int64 { return w.off }
 
 // WriteBlock appends one rank's block of records.
 func (w *Writer) WriteBlock(rank int32, recs []Record) error {
@@ -152,7 +166,11 @@ func (w *Writer) putByte(b uint8) {
 	if w.err != nil {
 		return
 	}
-	w.fail(w.w.WriteByte(b))
+	if err := w.w.WriteByte(b); err != nil {
+		w.fail(err)
+		return
+	}
+	w.off++
 }
 
 func (w *Writer) put32(v int32) {
@@ -160,8 +178,11 @@ func (w *Writer) put32(v int32) {
 		return
 	}
 	binary.LittleEndian.PutUint32(w.num[:4], uint32(v))
-	_, err := w.w.Write(w.num[:4])
-	w.fail(err)
+	if _, err := w.w.Write(w.num[:4]); err != nil {
+		w.fail(err)
+		return
+	}
+	w.off += 4
 }
 
 func (w *Writer) putF64(v float64) {
@@ -169,8 +190,11 @@ func (w *Writer) putF64(v float64) {
 		return
 	}
 	binary.LittleEndian.PutUint64(w.num[:8], math.Float64bits(v))
-	_, err := w.w.Write(w.num[:8])
-	w.fail(err)
+	if _, err := w.w.Write(w.num[:8]); err != nil {
+		w.fail(err)
+		return
+	}
+	w.off += 8
 }
 
 func (w *Writer) putBytes(b []byte) {
@@ -186,8 +210,11 @@ func (w *Writer) putBytes(b []byte) {
 		w.fail(err)
 		return
 	}
-	_, err := w.w.Write(b)
-	w.fail(err)
+	if _, err := w.w.Write(b); err != nil {
+		w.fail(err)
+		return
+	}
+	w.off += 2 + int64(len(b))
 }
 
 func (w *Writer) putStr(s string) {
@@ -203,8 +230,11 @@ func (w *Writer) putStr(s string) {
 		w.fail(err)
 		return
 	}
-	_, err := w.w.WriteString(s)
-	w.fail(err)
+	if _, err := w.w.WriteString(s); err != nil {
+		w.fail(err)
+		return
+	}
+	w.off += 2 + int64(len(s))
 }
 
 // ReadLenient parses as much of a CLOG-2 stream as possible: complete
@@ -236,6 +266,13 @@ type BlockReader struct {
 	d        *decoder
 	numRanks int
 	done     bool
+	// rs is the underlying seekable source when the reader was opened via
+	// NewBlockReaderAt; nil for plain streams (SeekTo then fails).
+	rs io.ReadSeeker
+	// lastStart/lastEnd bracket the block most recently returned by
+	// NextReuse: [lastStart, lastEnd) are its bytes in the file, header
+	// through end-block marker inclusive.
+	lastStart, lastEnd int64
 }
 
 // NewBlockReader reads the file header from r and returns a streaming
@@ -256,11 +293,57 @@ func NewBlockReader(r io.Reader) (*BlockReader, error) {
 	if nranks < 1 || nranks > 1<<20 {
 		return nil, fmt.Errorf("clog2: implausible rank count %d", nranks)
 	}
-	return &BlockReader{d: &decoder{r: br}, numRanks: int(nranks)}, nil
+	return &BlockReader{d: &decoder{r: br, off: int64(HeaderSize)}, numRanks: int(nranks)}, nil
+}
+
+// NewBlockReaderAt opens a block iterator positioned at offset in rs — a
+// block-start byte offset previously reported by BlockBounds or recorded
+// in an index sidecar. The file header is not re-read or re-validated
+// (the caller brings numRanks, typically from the index); the returned
+// reader supports SeekTo for jumping between blocks.
+func NewBlockReaderAt(rs io.ReadSeeker, offset int64, numRanks int) (*BlockReader, error) {
+	if numRanks < 1 || numRanks > 1<<20 {
+		return nil, fmt.Errorf("clog2: implausible rank count %d", numRanks)
+	}
+	if offset < int64(HeaderSize) {
+		return nil, fmt.Errorf("clog2: block offset %d inside the file header", offset)
+	}
+	if _, err := rs.Seek(offset, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return &BlockReader{
+		d:        &decoder{r: bufio.NewReader(rs), off: offset},
+		numRanks: numRanks,
+		rs:       rs,
+	}, nil
+}
+
+// SeekTo repositions the reader at a block-start offset, discarding any
+// buffered bytes. Only readers opened with NewBlockReaderAt are seekable.
+func (br *BlockReader) SeekTo(offset int64) error {
+	if br.rs == nil {
+		return fmt.Errorf("clog2: block reader over a plain stream is not seekable")
+	}
+	if offset < int64(HeaderSize) {
+		return fmt.Errorf("clog2: block offset %d inside the file header", offset)
+	}
+	if _, err := br.rs.Seek(offset, io.SeekStart); err != nil {
+		return err
+	}
+	br.d.r.Reset(br.rs)
+	br.d.off = offset
+	br.d.err = nil
+	br.done = false
+	return nil
 }
 
 // NumRanks returns the rank count from the file header.
 func (br *BlockReader) NumRanks() int { return br.numRanks }
+
+// BlockBounds returns the byte range [start, end) of the block most
+// recently returned by Next/NextReuse: its header through its end-block
+// marker. Zero before the first successful Next.
+func (br *BlockReader) BlockBounds() (start, end int64) { return br.lastStart, br.lastEnd }
 
 // Next returns the next block, or io.EOF after the end-log marker. The
 // returned Records slice is freshly allocated and owned by the caller.
@@ -280,6 +363,7 @@ func (br *BlockReader) NextReuse(buf []Record) (Block, error) {
 	if err != nil {
 		return Block{}, err
 	}
+	start := d.off
 	if t == RecEndLog {
 		d.getByte()
 		if d.err != nil {
@@ -318,6 +402,7 @@ func (br *BlockReader) NextReuse(buf []Record) (Block, error) {
 	if d.err != nil {
 		return Block{}, d.err
 	}
+	br.lastStart, br.lastEnd = start, d.off
 	b.Records = recs
 	return b, nil
 }
@@ -354,6 +439,9 @@ func (e *partialError) Unwrap() error { return e.err }
 type decoder struct {
 	r   *bufio.Reader
 	err error
+	// off is the byte offset of the next unread byte, counted from the
+	// start of the file — the source of block-bounds reporting.
+	off int64
 	// num is the fixed-size field scratch buffer: local [N]byte arrays
 	// escape to the heap when passed through io.ReadFull, costing an
 	// allocation per record field; a struct field does not.
@@ -438,6 +526,7 @@ func (d *decoder) getByte() uint8 {
 		d.err = fmt.Errorf("clog2: truncated file: %w", err)
 		return 0
 	}
+	d.off++
 	return b
 }
 
@@ -449,6 +538,7 @@ func (d *decoder) get32() int32 {
 		d.err = fmt.Errorf("clog2: truncated file: %w", err)
 		return 0
 	}
+	d.off += 4
 	return int32(binary.LittleEndian.Uint32(d.num[:4]))
 }
 
@@ -460,6 +550,7 @@ func (d *decoder) getF64() float64 {
 		d.err = fmt.Errorf("clog2: truncated file: %w", err)
 		return 0
 	}
+	d.off += 8
 	return math.Float64frombits(binary.LittleEndian.Uint64(d.num[:8]))
 }
 
@@ -489,8 +580,10 @@ func (d *decoder) getCargo(r *Record) {
 	if n > keep {
 		if _, err := d.r.Discard(n - keep); err != nil {
 			d.err = fmt.Errorf("clog2: truncated file: %w", err)
+			return
 		}
 	}
+	d.off += 2 + int64(n)
 }
 
 func (d *decoder) getStr() string {
@@ -503,6 +596,7 @@ func (d *decoder) getStr() string {
 	}
 	n := int(binary.LittleEndian.Uint16(d.num[:2]))
 	if n == 0 {
+		d.off += 2
 		return ""
 	}
 	if cap(d.scratch) < n {
@@ -513,5 +607,6 @@ func (d *decoder) getStr() string {
 		d.err = fmt.Errorf("clog2: truncated file: %w", err)
 		return ""
 	}
+	d.off += 2 + int64(n)
 	return string(s)
 }

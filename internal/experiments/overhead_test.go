@@ -58,6 +58,18 @@ func TestCompareOverheadGatesMicroRows(t *testing.T) {
 	if _, regressed = CompareOverhead(base, overheadFixture(40, 400), 20); regressed {
 		t.Error("improvement flagged as regression")
 	}
+
+	// A sub-noise-floor delta never fails, however large in percent: a
+	// 50ns row drifting to 65ns is +30% but only +15ns — CPU frequency
+	// jitter on a shared machine, not a regression.
+	small := overheadFixture(50, 1000)
+	if _, regressed = CompareOverhead(small, overheadFixture(65, 1000), 20); regressed {
+		t.Error("15ns drift on a 50ns row flagged as regression")
+	}
+	// Past tolerance and past the floor still fails (50 -> 80: +60%, +30ns).
+	if _, regressed = CompareOverhead(small, overheadFixture(80, 1000), 20); !regressed {
+		t.Error("30ns regression on a 50ns row not flagged")
+	}
 }
 
 func TestCompareOverheadSkipsUnmatchedRows(t *testing.T) {

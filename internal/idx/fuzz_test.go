@@ -1,0 +1,90 @@
+package idx
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/clog2"
+)
+
+// fuzzSeedIndex builds a small real index to seed the corpus with a
+// structurally valid encoding (mutations of which probe every
+// validation branch, not just the magic check).
+func fuzzSeedIndex(f *testing.F) []byte {
+	f.Helper()
+	path := filepath.Join(f.TempDir(), "seed.clog2")
+	fh, err := os.Create(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	w, err := clog2.NewWriter(fh, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for rank := int32(0); rank < 2; rank++ {
+		recs := []clog2.Record{
+			{Type: clog2.RecStateDef, ID: 1, Aux1: 2, Aux2: 3, Name: "A", Color: "red"},
+			{Type: clog2.RecBareEvt, Rank: rank, Time: float64(rank) + 0.5, ID: 2},
+			{Type: clog2.RecMsgEvt, Rank: rank, Time: float64(rank) + 0.7,
+				Dir: clog2.DirSend, Aux1: 1 - rank, Aux2: 5, Aux3: 64},
+		}
+		if err := w.WriteBlock(rank, recs); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	fh.Close()
+	ix, err := BuildFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ix.SourceSize, ix.SourceModNanos = 1000, 2000
+	return Encode(ix)
+}
+
+// FuzzReadIndex asserts the sidecar decoder never panics or
+// over-allocates on hostile bytes, and that anything it does accept
+// round-trips: Decode(Encode(Decode(data))) is identity.
+func FuzzReadIndex(f *testing.F) {
+	valid := fuzzSeedIndex(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	// A few targeted mutants so the fuzzer starts at the deep branches.
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)/2] ^= 0x40
+	f.Add(flip)
+	short := append([]byte(nil), valid[:len(valid)-9]...)
+	f.Add(short)
+	noCRC := append([]byte(nil), valid[:len(valid)-4]...)
+	f.Add(noCRC)
+	bigCounts := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(bigCounts[len(Magic)+4+8+8:], math.MaxUint32)
+	f.Add(bigCounts)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted: the re-encoding must byte-match the input (the format
+		// has exactly one encoding per index) and decode to the same index.
+		re := Encode(ix)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted input does not re-encode identically:\n in  %x\n out %x", data, re)
+		}
+		back, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded index failed to decode: %v", err)
+		}
+		if len(back.Blocks) != len(ix.Blocks) || back.TotalRecords != ix.TotalRecords {
+			t.Fatalf("round trip changed the index: %+v vs %+v", back, ix)
+		}
+	})
+}

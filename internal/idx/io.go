@@ -1,0 +1,476 @@
+package idx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/clog2"
+)
+
+// On-disk layout (all integers little-endian):
+//
+//	magic        10 bytes  "CLOGIDX-01"
+//	version      u32
+//	sourceSize   i64   ┐ generation stamp of the indexed log
+//	sourceMtime  i64   ┘ (UnixNano; 0,0 = unstamped, always stale)
+//	numRanks     i32
+//	totalRecords i64
+//	nblocks      u32, then per block (64 bytes):
+//	  offset i64, length i64, rank i32, records i32, defs i32, msgs i32,
+//	  tmin f64, tmax f64, rankMin i32, rankMax i32, chanMin i32, chanMax i32
+//	nchannels    u32, then per channel (36 bytes):
+//	  chan i32, sends i64, recvs i64, sendBytes i64, recvBytes i64
+//	netypes      u32, then per etype (12 bytes):
+//	  etype i32, count i64
+//	crc32        u32 (IEEE, over every preceding byte)
+
+const (
+	blockEntrySize = 64
+	chanEntrySize  = 36
+	etypeEntrySize = 12
+	fixedHeadSize  = len(Magic) + 4 + 8 + 8 + 4 + 8
+)
+
+// Encode serialises the index. The byte form is deterministic for a
+// given Index (tables are kept sorted by Builder.Index).
+func Encode(ix *Index) []byte {
+	return AppendEncode(nil, ix)
+}
+
+// AppendEncode is Encode appending to dst — the allocation-free path
+// when dst's capacity already fits (mpe's pooled emission reuses one
+// buffer across runs).
+func AppendEncode(dst []byte, ix *Index) []byte {
+	need := fixedHeadSize + 4 + len(ix.Blocks)*blockEntrySize +
+		4 + len(ix.Channels)*chanEntrySize + 4 + len(ix.Etypes)*etypeEntrySize + 4
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	base := len(dst)
+	dst = append(dst, Magic...)
+	dst = le32(dst, Version)
+	dst = le64(dst, uint64(ix.SourceSize))
+	dst = le64(dst, uint64(ix.SourceModNanos))
+	dst = le32(dst, uint32(int32(ix.NumRanks)))
+	dst = le64(dst, uint64(ix.TotalRecords))
+	dst = le32(dst, uint32(len(ix.Blocks)))
+	for i := range ix.Blocks {
+		b := &ix.Blocks[i]
+		dst = le64(dst, uint64(b.Offset))
+		dst = le64(dst, uint64(b.Length))
+		dst = le32(dst, uint32(b.Rank))
+		dst = le32(dst, uint32(b.Records))
+		dst = le32(dst, uint32(b.Defs))
+		dst = le32(dst, uint32(b.Msgs))
+		dst = le64(dst, math.Float64bits(b.TMin))
+		dst = le64(dst, math.Float64bits(b.TMax))
+		dst = le32(dst, uint32(b.RankMin))
+		dst = le32(dst, uint32(b.RankMax))
+		dst = le32(dst, uint32(b.ChanMin))
+		dst = le32(dst, uint32(b.ChanMax))
+	}
+	dst = le32(dst, uint32(len(ix.Channels)))
+	for i := range ix.Channels {
+		c := &ix.Channels[i]
+		dst = le32(dst, uint32(c.Chan))
+		dst = le64(dst, uint64(c.Sends))
+		dst = le64(dst, uint64(c.Recvs))
+		dst = le64(dst, uint64(c.SendBytes))
+		dst = le64(dst, uint64(c.RecvBytes))
+	}
+	dst = le32(dst, uint32(len(ix.Etypes)))
+	for i := range ix.Etypes {
+		e := &ix.Etypes[i]
+		dst = le32(dst, uint32(e.Etype))
+		dst = le64(dst, uint64(e.Count))
+	}
+	dst = le32(dst, crc32.ChecksumIEEE(dst[base:]))
+	return dst
+}
+
+func le32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func le64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// Decode parses and validates a sidecar. Every failure — short data, bad
+// magic or version, CRC mismatch, implausible geometry — wraps
+// ErrCorrupt, so consumers can treat "fails validation" as one
+// degradation case.
+func Decode(data []byte) (*Index, error) {
+	if len(data) < fixedHeadSize+3*4+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than any index", ErrCorrupt, len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:len(Magic)])
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("%w: CRC mismatch (%08x != %08x)", ErrCorrupt, got, want)
+	}
+	c := cursor{data: body, pos: len(Magic)}
+	if v := c.u32(); v != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	ix := &Index{
+		SourceSize:     int64(c.u64()),
+		SourceModNanos: int64(c.u64()),
+		NumRanks:       int(int32(c.u32())),
+		TotalRecords:   int64(c.u64()),
+	}
+	if ix.NumRanks < 1 || ix.NumRanks > 1<<20 {
+		return nil, fmt.Errorf("%w: implausible rank count %d", ErrCorrupt, ix.NumRanks)
+	}
+	nblocks := int(c.u32())
+	if c.err != nil || nblocks < 0 || !c.fits(nblocks, blockEntrySize) {
+		return nil, fmt.Errorf("%w: block table overruns the file", ErrCorrupt)
+	}
+	ix.Blocks = make([]BlockMeta, nblocks)
+	var sum int64
+	for i := range ix.Blocks {
+		b := &ix.Blocks[i]
+		b.Offset = int64(c.u64())
+		b.Length = int64(c.u64())
+		b.Rank = int32(c.u32())
+		b.Records = int32(c.u32())
+		b.Defs = int32(c.u32())
+		b.Msgs = int32(c.u32())
+		b.TMin = math.Float64frombits(c.u64())
+		b.TMax = math.Float64frombits(c.u64())
+		b.RankMin = int32(c.u32())
+		b.RankMax = int32(c.u32())
+		b.ChanMin = int32(c.u32())
+		b.ChanMax = int32(c.u32())
+		if b.Offset < int64(clog2.HeaderSize) || b.Length <= 0 {
+			return nil, fmt.Errorf("%w: block %d spans [%d,+%d)", ErrCorrupt, i, b.Offset, b.Length)
+		}
+		if i > 0 {
+			prev := &ix.Blocks[i-1]
+			if b.Offset < prev.Offset+prev.Length {
+				return nil, fmt.Errorf("%w: block %d overlaps its predecessor", ErrCorrupt, i)
+			}
+		}
+		if b.Records < 0 || b.Defs < 0 || b.Msgs < 0 ||
+			b.Defs > b.Records || b.Msgs > b.Records-b.Defs {
+			return nil, fmt.Errorf("%w: block %d counts are inconsistent", ErrCorrupt, i)
+		}
+		sum += int64(b.Records)
+	}
+	if sum != ix.TotalRecords {
+		return nil, fmt.Errorf("%w: block records sum to %d, header says %d", ErrCorrupt, sum, ix.TotalRecords)
+	}
+	nchans := int(c.u32())
+	if c.err != nil || nchans < 0 || !c.fits(nchans, chanEntrySize) {
+		return nil, fmt.Errorf("%w: channel table overruns the file", ErrCorrupt)
+	}
+	ix.Channels = make([]ChannelCount, nchans)
+	for i := range ix.Channels {
+		cc := &ix.Channels[i]
+		cc.Chan = int32(c.u32())
+		cc.Sends = int64(c.u64())
+		cc.Recvs = int64(c.u64())
+		cc.SendBytes = int64(c.u64())
+		cc.RecvBytes = int64(c.u64())
+	}
+	netypes := int(c.u32())
+	if c.err != nil || netypes < 0 || !c.fits(netypes, etypeEntrySize) {
+		return nil, fmt.Errorf("%w: etype table overruns the file", ErrCorrupt)
+	}
+	ix.Etypes = make([]EtypeCount, netypes)
+	for i := range ix.Etypes {
+		ix.Etypes[i].Etype = int32(c.u32())
+		ix.Etypes[i].Count = int64(c.u64())
+	}
+	if c.err != nil {
+		return nil, fmt.Errorf("%w: truncated", ErrCorrupt)
+	}
+	if c.pos != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(body)-c.pos)
+	}
+	return ix, nil
+}
+
+// cursor is a bounds-checked little-endian reader over a byte slice.
+type cursor struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (c *cursor) fits(n, size int) bool {
+	return c.err == nil && n <= (len(c.data)-c.pos)/size
+}
+
+func (c *cursor) u32() uint32 {
+	if c.err != nil || c.pos+4 > len(c.data) {
+		c.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.data[c.pos:])
+	c.pos += 4
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if c.err != nil || c.pos+8 > len(c.data) {
+		c.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.data[c.pos:])
+	c.pos += 8
+	return v
+}
+
+// maxSidecarSize caps how much of a claimed sidecar Read will buffer: a
+// hostile file cannot force an unbounded allocation. 64 MiB of entries
+// indexes roughly a terabyte of log at the merge's block granularity.
+const maxSidecarSize = 64 << 20
+
+// Read parses a sidecar from r.
+func Read(r io.Reader) (*Index, error) {
+	data, err := io.ReadAll(io.LimitReader(r, maxSidecarSize+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > maxSidecarSize {
+		return nil, fmt.Errorf("%w: sidecar exceeds %d bytes", ErrCorrupt, maxSidecarSize)
+	}
+	return Decode(data)
+}
+
+// Write serialises ix onto w.
+func Write(w io.Writer, ix *Index) error {
+	_, err := w.Write(Encode(ix))
+	return err
+}
+
+// Generation returns the staleness stamp for the file behind info — the
+// same size+mtime scheme internal/serve uses for its caches.
+func Generation(info os.FileInfo) (size, modNanos int64) {
+	return info.Size(), info.ModTime().UnixNano()
+}
+
+// WriteFileFor stamps ix with clogPath's current generation and writes
+// the sidecar next to it (SidecarPath), via a temp file and rename so a
+// crash never leaves a torn sidecar that parses.
+func WriteFileFor(clogPath string, ix *Index) error {
+	info, err := os.Stat(clogPath)
+	if err != nil {
+		return err
+	}
+	ix.SourceSize, ix.SourceModNanos = Generation(info)
+	dir := filepath.Dir(clogPath)
+	tmp, err := os.CreateTemp(dir, ".idx-*")
+	if err != nil {
+		return err
+	}
+	if err := Write(tmp, ix); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), SidecarPath(clogPath)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Load reads and validates the sidecar for clogPath. Degradation is
+// reported through the sentinel errors: ErrNoIndex when no sidecar
+// exists, ErrCorrupt when it fails validation, ErrStale when its
+// generation stamp no longer matches the log on disk.
+func Load(clogPath string) (*Index, error) {
+	f, err := os.Open(SidecarPath(clogPath))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w (%s)", ErrNoIndex, SidecarPath(clogPath))
+		}
+		return nil, err
+	}
+	defer f.Close()
+	ix, err := Read(f)
+	if err != nil {
+		return nil, err
+	}
+	info, err := os.Stat(clogPath)
+	if err != nil {
+		return nil, err
+	}
+	if size, mod := Generation(info); size != ix.SourceSize || mod != ix.SourceModNanos {
+		return nil, fmt.Errorf("%w: log is %d bytes @%d, index was built for %d bytes @%d",
+			ErrStale, size, mod, ix.SourceSize, ix.SourceModNanos)
+	}
+	if n := ix.Blocks; len(n) > 0 {
+		if last := n[len(n)-1]; last.Offset+last.Length > ix.SourceSize {
+			return nil, fmt.Errorf("%w: block table extends past the log", ErrCorrupt)
+		}
+	}
+	return ix, nil
+}
+
+// Status classifies a trace's sidecar for reporting (pilot-serve meta,
+// pilot-index info).
+type Status int
+
+// Sidecar states.
+const (
+	StatusNone Status = iota
+	StatusOK
+	StatusStale
+	StatusCorrupt
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusNone:
+		return "none"
+	case StatusOK:
+		return "ok"
+	case StatusStale:
+		return "stale"
+	case StatusCorrupt:
+		return "corrupt"
+	}
+	return "unknown"
+}
+
+// ProbeHeader classifies clogPath's sidecar from its fixed header alone
+// — magic, version, generation stamp — without reading or checksumming
+// the body: the stat-cheap form directory listings use. Body corruption
+// is invisible to it; Load still validates fully before any consumer
+// trusts the index.
+func ProbeHeader(clogPath string) Status {
+	f, err := os.Open(SidecarPath(clogPath))
+	if err != nil {
+		return StatusNone
+	}
+	defer f.Close()
+	var head [fixedHeadSize]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return StatusCorrupt
+	}
+	if string(head[:len(Magic)]) != Magic {
+		return StatusCorrupt
+	}
+	c := cursor{data: head[:], pos: len(Magic)}
+	if v := c.u32(); v != Version {
+		return StatusCorrupt
+	}
+	srcSize, srcMod := int64(c.u64()), int64(c.u64())
+	info, err := os.Stat(clogPath)
+	if err != nil {
+		return StatusStale
+	}
+	if size, mod := Generation(info); size != srcSize || mod != srcMod {
+		return StatusStale
+	}
+	return StatusOK
+}
+
+// Probe reports the sidecar state for clogPath without returning the
+// index.
+func Probe(clogPath string) Status {
+	_, err := Load(clogPath)
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, ErrNoIndex):
+		return StatusNone
+	case errors.Is(err, ErrStale):
+		return StatusStale
+	default:
+		return StatusCorrupt
+	}
+}
+
+// BuildFile rebuilds an index by scanning the whole CLOG-2 file at path
+// — the fallback producer for logs that predate inline emission.
+func BuildFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br, err := clog2.NewBlockReader(f)
+	if err != nil {
+		return nil, err
+	}
+	return BuildReader(br)
+}
+
+// ScanFile visits the selected blocks of the log at path in file order,
+// seeking over everything in between; consecutive selected blocks are
+// read without a seek. Each visited block is checked against its index
+// entry (rank and record count) — a mismatch means the index lies about
+// the file and surfaces as an ErrCorrupt-wrapped error, so callers can
+// degrade to the full scan. Block record slices are reused across
+// callbacks: fn must not retain them.
+func ScanFile(path string, ix *Index, sel []int, fn func(clog2.Block) error) error {
+	if len(sel) == 0 {
+		return nil
+	}
+	for _, i := range sel {
+		if i < 0 || i >= len(ix.Blocks) {
+			return fmt.Errorf("idx: block selection %d out of range", i)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br, err := clog2.NewBlockReaderAt(f, ix.Blocks[sel[0]].Offset, ix.NumRanks)
+	if err != nil {
+		return err
+	}
+	pos := ix.Blocks[sel[0]].Offset
+	var buf []clog2.Record
+	for _, i := range sel {
+		bm := &ix.Blocks[i]
+		if bm.Offset != pos {
+			if err := br.SeekTo(bm.Offset); err != nil {
+				return err
+			}
+		}
+		blk, err := br.NextReuse(buf)
+		if err != nil {
+			return fmt.Errorf("%w: block %d at offset %d: %v", ErrCorrupt, i, bm.Offset, err)
+		}
+		if blk.Rank != bm.Rank || int32(len(blk.Records)) != bm.Records {
+			return fmt.Errorf("%w: block %d at offset %d does not match its index entry", ErrCorrupt, i, bm.Offset)
+		}
+		buf = blk.Records[:0]
+		if err := fn(blk); err != nil {
+			return err
+		}
+		pos = bm.Offset + bm.Length
+	}
+	return nil
+}
+
+func sortChannels(cs []ChannelCount) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Chan < cs[j].Chan })
+}
+
+func sortEtypes(es []EtypeCount) {
+	sort.Slice(es, func(i, j int) bool { return es[i].Etype < es[j].Etype })
+}

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"repro/internal/clog2"
+	"repro/internal/idx"
 	"repro/internal/mpi"
 )
 
@@ -370,7 +371,37 @@ var recordBufPool = sync.Pool{New: func() any { return new([]clog2.Record) }}
 //
 // If the world has aborted, Finish fails and the log is lost — the
 // behaviour the paper documents for PI_Abort.
-func (l *Logger) Finish(w io.Writer) error {
+func (l *Logger) Finish(w io.Writer) error { return l.finishInto(w, nil) }
+
+// FinishInto is Finish with an index builder riding the merge: as rank 0
+// streams each block into w, b records its byte offsets, time fences and
+// counts — the inline production of the ".idx" sidecar, at the cost of
+// one extra pass over records already in cache and no allocations (b is
+// Reset-reused; see the merge benchmarks' with/without-index rows). Only
+// rank 0 consults b; other ranks may pass nil.
+func (l *Logger) FinishInto(w io.Writer, b *idx.Builder) error { return l.finishInto(w, b) }
+
+// FinishIndexed is Finish returning the index of the file it just wrote
+// (rank 0; other ranks get nil). The generation stamp is left zero —
+// WriteFileFor fills it when the index is written beside a real file.
+func (l *Logger) FinishIndexed(w io.Writer) (*idx.Index, error) {
+	if l.rank.ID() != 0 {
+		return nil, l.finishInto(nil, nil)
+	}
+	b := idxBuilderPool.Get().(*idx.Builder)
+	b.Reset(l.rank.Size())
+	defer idxBuilderPool.Put(b)
+	if err := l.finishInto(w, b); err != nil {
+		return nil, err
+	}
+	return b.Index(), nil
+}
+
+// idxBuilderPool recycles the merge's index builders, like bufPool does
+// the encode buffers: steady-state emission allocates nothing.
+var idxBuilderPool = sync.Pool{New: func() any { return idx.NewBuilder(1) }}
+
+func (l *Logger) finishInto(w io.Writer, b *idx.Builder) error {
 	// Unwind still-open states innermost-first so the log keeps proper
 	// nesting; all synthetic ends share the rank's log-final timestamp.
 	for i := len(l.openStates) - 1; i >= 0; i-- {
@@ -429,8 +460,18 @@ func (l *Logger) Finish(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := cw.WriteBlockChunks(0, l.recs.slices([][]clog2.Record{l.g.defRecords()})...); err != nil {
+	chunks := l.recs.slices([][]clog2.Record{l.g.defRecords()})
+	if b != nil {
+		b.StartBlock(0, cw.Offset())
+		for _, c := range chunks {
+			b.AddRecords(c)
+		}
+	}
+	if err := cw.WriteBlockChunks(0, chunks...); err != nil {
 		return err
+	}
+	if b != nil {
+		b.EndBlock(cw.Offset())
 	}
 	recBuf := recordBufPool.Get().(*[]clog2.Record)
 	defer recordBufPool.Put(recBuf)
@@ -448,7 +489,7 @@ func (l *Logger) Finish(w io.Writer) error {
 			return fmt.Errorf("mpe: parsing rank %d log: %w", src, err)
 		}
 		for {
-			b, err := br.NextReuse(*recBuf)
+			blk, err := br.NextReuse(*recBuf)
 			if err == io.EOF {
 				break
 			}
@@ -456,12 +497,19 @@ func (l *Logger) Finish(w io.Writer) error {
 				l.closeSpill(false)
 				return fmt.Errorf("mpe: parsing rank %d log: %w", src, err)
 			}
-			if cap(b.Records) > cap(*recBuf) {
-				*recBuf = b.Records
+			if cap(blk.Records) > cap(*recBuf) {
+				*recBuf = blk.Records
 			}
-			if err := cw.WriteBlock(b.Rank, b.Records); err != nil {
+			if b != nil {
+				b.StartBlock(blk.Rank, cw.Offset())
+				b.AddRecords(blk.Records)
+			}
+			if err := cw.WriteBlock(blk.Rank, blk.Records); err != nil {
 				l.closeSpill(false)
 				return err
+			}
+			if b != nil {
+				b.EndBlock(cw.Offset())
 			}
 		}
 	}
@@ -477,7 +525,11 @@ func (l *Logger) Finish(w io.Writer) error {
 	return nil
 }
 
-// FinishFile is Finish writing to a file path on rank 0.
+// FinishFile is Finish writing to a file path on rank 0, plus the index
+// sidecar: the merged CLOG-2 lands at path and its ".idx" lands beside
+// it, built inline with the merge. The sidecar is strictly an
+// accelerator, so a failure writing it never fails the run — consumers
+// fall back to the full scan when it is missing.
 func (l *Logger) FinishFile(path string) error {
 	if l.rank.ID() != 0 {
 		return l.Finish(nil)
@@ -486,11 +538,16 @@ func (l *Logger) FinishFile(path string) error {
 	if err != nil {
 		return err
 	}
-	if err := l.Finish(f); err != nil {
+	ix, err := l.FinishIndexed(f)
+	if err != nil {
 		f.Close()
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	_ = idx.WriteFileFor(path, ix) // best-effort: the log itself is complete
+	return nil
 }
 
 // syncClocks estimates this rank's clock offset relative to rank 0 using

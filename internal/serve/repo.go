@@ -18,7 +18,9 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/idx"
 	"repro/internal/slog2"
+	"repro/internal/stats"
 )
 
 // Errors the HTTP layer maps onto status codes.
@@ -89,6 +91,13 @@ type TraceInfo struct {
 	SizeBytes  int64  `json:"size_bytes"`
 	ModTime    string `json:"mod_time"`
 	HasProfile bool   `json:"has_profile"`
+	// HasClog reports a registered raw CLOG-2 next to the trace — the
+	// prerequisite for windowed (t0/t1) profile queries.
+	HasClog bool `json:"has_clog"`
+	// Index is the raw log's ".idx" sidecar state ("ok", "stale",
+	// "corrupt", "none"), classified from its header (idx.ProbeHeader —
+	// stat-cheap, no body read); empty when there is no raw log.
+	Index string `json:"index,omitempty"`
 }
 
 // validID rejects ids that could traverse outside the repository dir.
@@ -124,12 +133,17 @@ func (r *Repo) List() ([]TraceInfo, error) {
 			continue
 		}
 		_, perr := os.Stat(r.profilePath(id))
-		out = append(out, TraceInfo{
+		ti := TraceInfo{
 			ID:         id,
 			SizeBytes:  info.Size(),
 			ModTime:    info.ModTime().UTC().Format("2006-01-02T15:04:05Z"),
 			HasProfile: perr == nil,
-		})
+		}
+		if _, cerr := os.Stat(r.clogPath(id)); cerr == nil {
+			ti.HasClog = true
+			ti.Index = idx.ProbeHeader(r.clogPath(id)).String()
+		}
+		out = append(out, ti)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, nil
@@ -137,6 +151,42 @@ func (r *Repo) List() ([]TraceInfo, error) {
 
 func (r *Repo) tracePath(id string) string   { return filepath.Join(r.dir, id+".slog2") }
 func (r *Repo) profilePath(id string) string { return filepath.Join(r.dir, id+".profile.json") }
+func (r *Repo) clogPath(id string) string    { return filepath.Join(r.dir, id+".clog2") }
+
+// IndexStatus reports whether id has a registered raw CLOG-2 and, if
+// so, the fully validated state of its ".idx" sidecar (idx.Probe: CRC
+// and geometry checked, not just the header).
+func (r *Repo) IndexStatus(id string) (hasClog bool, status idx.Status) {
+	if !validID(id) {
+		return false, idx.StatusNone
+	}
+	if _, err := os.Stat(r.clogPath(id)); err != nil {
+		return false, idx.StatusNone
+	}
+	return true, idx.Probe(r.clogPath(id))
+}
+
+// WindowedProfile computes a profile of id's raw CLOG-2 restricted to
+// the time window [t0, t1], through the index sidecar when one is valid
+// (the returned bool reports which path answered). Traces registered
+// without a raw log cannot answer windowed queries — ErrNotFound.
+func (r *Repo) WindowedProfile(id string, t0, t1 float64) (*stats.Profile, bool, error) {
+	if !validID(id) {
+		return nil, false, ErrBadID
+	}
+	path := r.clogPath(id)
+	if _, err := os.Stat(path); err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, fmt.Errorf("%w: %s has no raw log registered", ErrNotFound, id)
+		}
+		return nil, false, err
+	}
+	p, usedIndex, err := stats.ComputeProfileFileWindowed(path, t0, t1)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: %s: %v", ErrCorrupt, id, err)
+	}
+	return p, usedIndex, nil
+}
 
 // Open returns the decoded trace for id, via the LRU, collapsing
 // concurrent cold opens into one decode.

@@ -9,6 +9,7 @@ import (
 	"expvar"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -49,6 +50,11 @@ type Server struct {
 	tilesShared   atomic.Int64 // singleflight-collapsed tile renders
 	notModified   atomic.Int64
 	bytesSent     atomic.Int64
+	// windowed-profile accounting: how many t0/t1 profile queries ran,
+	// and how many of those the index sidecar answered (the rest fell
+	// back to the full streaming scan).
+	profilesWindowed atomic.Int64
+	profilesIndexed  atomic.Int64
 }
 
 // New builds a Server over cfg.RepoDir.
@@ -335,6 +341,12 @@ type traceMetaJSON struct {
 	Categories []legendEntryJSON `json:"categories"`
 	Warnings   []string          `json:"warnings,omitempty"`
 	HasProfile bool              `json:"has_profile"`
+	// HasClog/Index surface the raw-log index sidecar: whether windowed
+	// (t0/t1) profile queries are possible and whether they will go
+	// through the index ("ok") or degrade to a full scan ("stale",
+	// "corrupt", "none"). Index here is fully validated (CRC included).
+	HasClog bool   `json:"has_clog"`
+	Index   string `json:"index,omitempty"`
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
@@ -357,6 +369,10 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	}
 	if _, perr := s.repo.Profile(tr.ID); perr == nil {
 		meta.HasProfile = true
+	}
+	if hasClog, st := s.repo.IndexStatus(tr.ID); hasClog {
+		meta.HasClog = true
+		meta.Index = st.String()
 	}
 	body, err := json.Marshal(meta)
 	if err != nil {
@@ -436,7 +452,43 @@ func (s *Server) handleLegend(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
-	body, err := s.repo.Profile(r.PathValue("id"))
+	q := r.URL.Query()
+	if q.Get("t0") == "" && q.Get("t1") == "" {
+		// Whole-run profile: serve the precomputed sidecar JSON.
+		body, err := s.repo.Profile(r.PathValue("id"))
+		if err != nil {
+			s.fail(w, r, err)
+			return
+		}
+		s.writeBody(w, r, "application/json; charset=utf-8", etagOf(body), body)
+		return
+	}
+	// Windowed profile: recompute from the registered raw CLOG-2,
+	// through the index sidecar when one is valid.
+	t0, t1 := math.Inf(-1), math.Inf(1)
+	var err error
+	if v := q.Get("t0"); v != "" {
+		if t0, err = strconv.ParseFloat(v, 64); err != nil || math.IsNaN(t0) {
+			s.failBadRequest(w, r, fmt.Errorf("serve: bad t0=%q", v))
+			return
+		}
+	}
+	if v := q.Get("t1"); v != "" {
+		if t1, err = strconv.ParseFloat(v, 64); err != nil || math.IsNaN(t1) {
+			s.failBadRequest(w, r, fmt.Errorf("serve: bad t1=%q", v))
+			return
+		}
+	}
+	p, usedIndex, err := s.repo.WindowedProfile(r.PathValue("id"), t0, t1)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	s.profilesWindowed.Add(1)
+	if usedIndex {
+		s.profilesIndexed.Add(1)
+	}
+	body, err := p.JSON()
 	if err != nil {
 		s.fail(w, r, err)
 		return
@@ -521,7 +573,10 @@ func publishServeExpvar(s *Server) {
 			if srv == nil {
 				return nil
 			}
-			return srv.MetricsSnapshot()
+			return map[string]any{
+				"counters":    srv.MetricsSnapshot(),
+				"trace_index": srv.TraceIndexSnapshot(),
+			}
 		}))
 	})
 }
@@ -541,5 +596,26 @@ func (s *Server) MetricsSnapshot() map[string]int64 {
 		"trace_decodes":             s.repo.Decodes(),
 		"responses_304":             s.notModified.Load(),
 		"bytes_sent":                s.bytesSent.Load(),
+		"profiles_windowed":         s.profilesWindowed.Load(),
+		"profiles_windowed_indexed": s.profilesIndexed.Load(),
 	}
+}
+
+// TraceIndexSnapshot reports each registered trace's raw-log index
+// sidecar state ("ok"/"stale"/"corrupt"; "none" covers both no sidecar
+// and no raw log) — the per-trace half of the "pilot_serve" expvar.
+func (s *Server) TraceIndexSnapshot() map[string]string {
+	out := map[string]string{}
+	list, err := s.repo.List()
+	if err != nil {
+		return out
+	}
+	for _, ti := range list {
+		if ti.Index != "" {
+			out[ti.ID] = ti.Index
+		} else {
+			out[ti.ID] = "none"
+		}
+	}
+	return out
 }

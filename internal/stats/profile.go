@@ -89,6 +89,15 @@ type ProfileTotals struct {
 	Events    int64 `json:"events"`
 }
 
+// ProfileWindow records the time bounds a windowed profile was computed
+// over (absent from whole-run profiles, so their JSON is unchanged). An
+// open-ended bound is a nil pointer: encoding/json cannot represent the
+// infinities the open bounds use internally.
+type ProfileWindow struct {
+	T0 *float64 `json:"t0,omitempty"`
+	T1 *float64 `json:"t1,omitempty"`
+}
+
 // Profile is the post-run report computed from a merged CLOG-2 stream.
 type Profile struct {
 	Schema   string           `json:"schema"`
@@ -98,8 +107,13 @@ type Profile struct {
 	States   []StateProfile   `json:"states,omitempty"`
 	Totals   ProfileTotals    `json:"totals"`
 	// Unpaired counts state ends with no matching start (salvaged or
-	// damaged logs); well-formed logs have 0.
+	// damaged logs); well-formed logs have 0. A state that opened before
+	// a window's T0 and closes inside it counts here too: the windowed
+	// semantics are "profile exactly the records whose timestamps fall in
+	// [T0, T1]", identical between the full-scan and indexed paths.
 	Unpaired int64 `json:"unpaired,omitempty"`
+	// Window is set on windowed profiles only.
+	Window *ProfileWindow `json:"window,omitempty"`
 }
 
 // openState is one entry of a rank's pairing stack.
@@ -128,178 +142,211 @@ type profRank struct {
 	wall1    float64
 }
 
-// ComputeProfile streams the CLOG-2 file in r (via clog2.BlockReader, so
-// the raw log is never fully materialized) and computes its Profile.
-// State and event classification comes from the StateDef/EventDef
-// records in the stream itself, with the etype parity rules as fallback
-// for defs-less salvaged fragments.
-func ComputeProfile(r io.Reader) (*Profile, error) {
-	br, err := clog2.NewBlockReader(r)
-	if err != nil {
-		return nil, err
-	}
-	p := &Profile{Schema: ProfileSchema, NumRanks: br.NumRanks()}
+// profiler is the in-pass state of one profile computation: the
+// streaming full scan, the windowed scan, and the index-accelerated
+// windowed scan all feed the same addBlock/finish pair, which is what
+// makes "indexed answers == full-scan answers" an identity rather than
+// an approximation.
+type profiler struct {
+	p      *Profile
+	t0, t1 float64
 
-	startOf := map[int32]int32{} // start etype -> state def ID
-	endOf := map[int32]int32{}   // end etype -> state def ID
-	stateName := map[int32]string{}
-	states := map[int32]*stateAgg{} // keyed by state def ID (or synthetic -etype/2)
-	ranks := map[int32]*profRank{}
-	chans := map[int32]*ChannelProfile{}
+	startOf   map[int32]int32 // start etype -> state def ID
+	endOf     map[int32]int32 // end etype -> state def ID
+	stateName map[int32]string
+	states    map[int32]*stateAgg // keyed by state def ID (or synthetic etype/2)
+	ranks     map[int32]*profRank
+	chans     map[int32]*ChannelProfile
+}
 
-	agg := func(id int32, name string) *stateAgg {
-		a := states[id]
-		if a == nil {
-			a = &stateAgg{name: name}
-			a.durHist.min.Store(math.MaxInt64)
-			states[id] = a
-		}
-		return a
+// newProfiler builds a profiler over the inclusive window [t0, t1]; an
+// unbounded window (-Inf, +Inf) reproduces the whole-run profile.
+func newProfiler(numRanks int, t0, t1 float64) *profiler {
+	return &profiler{
+		p:         &Profile{Schema: ProfileSchema, NumRanks: numRanks},
+		t0:        t0,
+		t1:        t1,
+		startOf:   map[int32]int32{},
+		endOf:     map[int32]int32{},
+		stateName: map[int32]string{},
+		states:    map[int32]*stateAgg{},
+		ranks:     map[int32]*profRank{},
+		chans:     map[int32]*ChannelProfile{},
 	}
-	rank := func(id int32) *profRank {
-		pr := ranks[id]
-		if pr == nil {
-			pr = &profRank{rp: RankProfile{Rank: int(id)}}
-			ranks[id] = pr
-		}
-		return pr
-	}
-	// classify maps an event etype to (state ID, isStart, isEnd, name).
-	classify := func(etype int32) (int32, bool, bool, string) {
-		if id, ok := startOf[etype]; ok {
-			return id, true, false, stateName[id]
-		}
-		if id, ok := endOf[etype]; ok {
-			return id, false, true, stateName[id]
-		}
-		if etype < profSoloBase {
-			// No def for this etype: fall back to the mpe parity rule so
-			// salvaged logs still pair.
-			id := etype / 2
-			name := fmt.Sprintf("state %d", id)
-			if etype%2 == 0 {
-				return id, true, false, name
-			}
-			return id, false, true, name
-		}
-		return 0, false, false, ""
-	}
+}
 
-	for {
-		b, err := br.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		for i := range b.Records {
-			rec := &b.Records[i]
-			switch rec.Type {
-			case clog2.RecStateDef:
-				startOf[rec.Aux1] = rec.ID
-				endOf[rec.Aux2] = rec.ID
-				stateName[rec.ID] = rec.Name
-				continue
-			case clog2.RecEventDef, clog2.RecConstDef, clog2.RecSrcLoc,
-				clog2.RecEndBlock, clog2.RecEndLog:
-				continue
-			}
-			pr := rank(rec.Rank)
-			pr.rp.Records++
-			if !pr.haveWall || rec.Time < pr.wall0 {
-				pr.wall0 = rec.Time
-			}
-			if !pr.haveWall || rec.Time > pr.wall1 {
-				pr.wall1 = rec.Time
-			}
-			pr.haveWall = true
+func (pp *profiler) agg(id int32, name string) *stateAgg {
+	a := pp.states[id]
+	if a == nil {
+		a = &stateAgg{name: name}
+		a.durHist.min.Store(math.MaxInt64)
+		pp.states[id] = a
+	}
+	return a
+}
 
-			switch rec.Type {
-			case clog2.RecMsgEvt:
-				cp := chans[rec.Aux2]
-				if cp == nil {
-					cp = &ChannelProfile{Chan: int(rec.Aux2)}
-					chans[rec.Aux2] = cp
-				}
-				if rec.Dir == clog2.DirSend {
-					cp.Sends++
-					cp.SendBytes += int64(rec.Aux3)
-					pr.rp.Sends++
-					pr.rp.SendBytes += int64(rec.Aux3)
-				} else {
-					cp.Recvs++
-					cp.RecvBytes += int64(rec.Aux3)
-					pr.rp.Recvs++
-					pr.rp.RecvBytes += int64(rec.Aux3)
-				}
-			case clog2.RecBareEvt, clog2.RecCargoEvt:
-				etype := rec.ID
-				if etype >= profSoloBase {
-					pr.rp.Events++
-					continue
-				}
-				id, isStart, _, name := classify(etype)
-				if isStart {
-					pr.stack = append(pr.stack, openState{etype: etype, start: rec.Time})
-					continue
-				}
-				// State end: pop the innermost open state (the converter
-				// reports mismatches as nesting errors; the profile just
-				// keeps the stack depth honest, as mpe.popOpenState does).
-				n := len(pr.stack)
-				if n == 0 {
-					p.Unpaired++
-					continue
-				}
-				top := pr.stack[n-1]
-				pr.stack = pr.stack[:n-1]
-				dur := rec.Time - top.start
-				if dur < 0 {
-					dur = 0
-				}
-				self := dur - top.childSec
-				if self < 0 {
-					self = 0
-				}
-				if len(pr.stack) > 0 {
-					pr.stack[len(pr.stack)-1].childSec += dur
-				}
-				a := agg(id, name)
-				a.count++
-				a.total += dur
-				a.self += self
-				if dur > a.max {
-					a.max = dur
-				}
-				a.durHist.observe(int64(dur * 1e9))
-				switch colors.CategoryOf(name) {
-				case colors.Input, colors.Output:
-					pr.rp.BlockedSec += self
-				default:
-					pr.rp.BusySec += self
-				}
-			}
+func (pp *profiler) rank(id int32) *profRank {
+	pr := pp.ranks[id]
+	if pr == nil {
+		pr = &profRank{rp: RankProfile{Rank: int(id)}}
+		pp.ranks[id] = pr
+	}
+	return pr
+}
+
+// classify maps an event etype to (state ID, isStart, isEnd, name).
+func (pp *profiler) classify(etype int32) (int32, bool, bool, string) {
+	if id, ok := pp.startOf[etype]; ok {
+		return id, true, false, pp.stateName[id]
+	}
+	if id, ok := pp.endOf[etype]; ok {
+		return id, false, true, pp.stateName[id]
+	}
+	if etype < profSoloBase {
+		// No def for this etype: fall back to the mpe parity rule so
+		// salvaged logs still pair.
+		id := etype / 2
+		name := fmt.Sprintf("state %d", id)
+		if etype%2 == 0 {
+			return id, true, false, name
+		}
+		return id, false, true, name
+	}
+	return 0, false, false, ""
+}
+
+// addBlock feeds one block's records through the profiler. Blocks must
+// arrive in file order — the order both the full scan and idx.ScanFile
+// deliver.
+func (pp *profiler) addBlock(b clog2.Block) {
+	for i := range b.Records {
+		pp.addRecord(&b.Records[i])
+	}
+}
+
+func (pp *profiler) addRecord(rec *clog2.Record) {
+	switch rec.Type {
+	case clog2.RecStateDef:
+		// Definitions are metadata: always processed, whatever the
+		// window, so windowed classification matches the whole run's.
+		pp.startOf[rec.Aux1] = rec.ID
+		pp.endOf[rec.Aux2] = rec.ID
+		pp.stateName[rec.ID] = rec.Name
+		return
+	case clog2.RecEventDef, clog2.RecConstDef, clog2.RecSrcLoc,
+		clog2.RecEndBlock, clog2.RecEndLog:
+		return
+	}
+	if rec.Time < pp.t0 || rec.Time > pp.t1 {
+		return
+	}
+	pr := pp.rank(rec.Rank)
+	pr.rp.Records++
+	if !pr.haveWall || rec.Time < pr.wall0 {
+		pr.wall0 = rec.Time
+	}
+	if !pr.haveWall || rec.Time > pr.wall1 {
+		pr.wall1 = rec.Time
+	}
+	pr.haveWall = true
+
+	switch rec.Type {
+	case clog2.RecMsgEvt:
+		cp := pp.chans[rec.Aux2]
+		if cp == nil {
+			cp = &ChannelProfile{Chan: int(rec.Aux2)}
+			pp.chans[rec.Aux2] = cp
+		}
+		if rec.Dir == clog2.DirSend {
+			cp.Sends++
+			cp.SendBytes += int64(rec.Aux3)
+			pr.rp.Sends++
+			pr.rp.SendBytes += int64(rec.Aux3)
+		} else {
+			cp.Recvs++
+			cp.RecvBytes += int64(rec.Aux3)
+			pr.rp.Recvs++
+			pr.rp.RecvBytes += int64(rec.Aux3)
+		}
+	case clog2.RecBareEvt, clog2.RecCargoEvt:
+		etype := rec.ID
+		if etype >= profSoloBase {
+			pr.rp.Events++
+			return
+		}
+		id, isStart, _, name := pp.classify(etype)
+		if isStart {
+			pr.stack = append(pr.stack, openState{etype: etype, start: rec.Time})
+			return
+		}
+		// State end: pop the innermost open state (the converter
+		// reports mismatches as nesting errors; the profile just
+		// keeps the stack depth honest, as mpe.popOpenState does).
+		n := len(pr.stack)
+		if n == 0 {
+			pp.p.Unpaired++
+			return
+		}
+		top := pr.stack[n-1]
+		pr.stack = pr.stack[:n-1]
+		dur := rec.Time - top.start
+		if dur < 0 {
+			dur = 0
+		}
+		self := dur - top.childSec
+		if self < 0 {
+			self = 0
+		}
+		if len(pr.stack) > 0 {
+			pr.stack[len(pr.stack)-1].childSec += dur
+		}
+		a := pp.agg(id, name)
+		a.count++
+		a.total += dur
+		a.self += self
+		if dur > a.max {
+			a.max = dur
+		}
+		a.durHist.observe(int64(dur * 1e9))
+		switch colors.CategoryOf(name) {
+		case colors.Input, colors.Output:
+			pr.rp.BlockedSec += self
+		default:
+			pr.rp.BusySec += self
 		}
 	}
+}
 
-	// Assemble the sorted tables.
-	chanIDs := make([]int, 0, len(chans))
-	for id := range chans {
+// finish assembles the sorted tables and returns the Profile.
+func (pp *profiler) finish() *Profile {
+	p := pp.p
+	if !math.IsInf(pp.t0, -1) || !math.IsInf(pp.t1, 1) {
+		p.Window = &ProfileWindow{}
+		if !math.IsInf(pp.t0, -1) {
+			t0 := pp.t0
+			p.Window.T0 = &t0
+		}
+		if !math.IsInf(pp.t1, 1) {
+			t1 := pp.t1
+			p.Window.T1 = &t1
+		}
+	}
+	chanIDs := make([]int, 0, len(pp.chans))
+	for id := range pp.chans {
 		chanIDs = append(chanIDs, int(id))
 	}
 	sort.Ints(chanIDs)
 	for _, id := range chanIDs {
-		p.Channels = append(p.Channels, *chans[int32(id)])
+		p.Channels = append(p.Channels, *pp.chans[int32(id)])
 	}
 
-	rankIDs := make([]int, 0, len(ranks))
-	for id := range ranks {
+	rankIDs := make([]int, 0, len(pp.ranks))
+	for id := range pp.ranks {
 		rankIDs = append(rankIDs, int(id))
 	}
 	sort.Ints(rankIDs)
 	for _, id := range rankIDs {
-		pr := ranks[int32(id)]
+		pr := pp.ranks[int32(id)]
 		pr.rp.WallSec = pr.wall1 - pr.wall0
 		p.Ranks = append(p.Ranks, pr.rp)
 		p.Totals.Records += pr.rp.Records
@@ -310,13 +357,13 @@ func ComputeProfile(r io.Reader) (*Profile, error) {
 		p.Totals.Events += pr.rp.Events
 	}
 
-	stateIDs := make([]int, 0, len(states))
-	for id := range states {
+	stateIDs := make([]int, 0, len(pp.states))
+	for id := range pp.states {
 		stateIDs = append(stateIDs, int(id))
 	}
 	sort.Ints(stateIDs)
 	for _, id := range stateIDs {
-		a := states[int32(id)]
+		a := pp.states[int32(id)]
 		h := a.durHist.snapshot()
 		p.States = append(p.States, StateProfile{
 			Name:      a.name,
@@ -330,7 +377,43 @@ func ComputeProfile(r io.Reader) (*Profile, error) {
 			Durations: h,
 		})
 	}
-	return p, nil
+	return p
+}
+
+// ComputeProfile streams the CLOG-2 file in r (via clog2.BlockReader, so
+// the raw log is never fully materialized) and computes its Profile.
+// State and event classification comes from the StateDef/EventDef
+// records in the stream itself, with the etype parity rules as fallback
+// for defs-less salvaged fragments.
+func ComputeProfile(r io.Reader) (*Profile, error) {
+	return ComputeProfileWindowed(r, math.Inf(-1), math.Inf(1))
+}
+
+// ComputeProfileWindowed is ComputeProfile restricted to records whose
+// timestamps fall in the inclusive window [t0, t1]. Definition records
+// are always processed (classification must not depend on where the
+// window lands); everything else outside the window is skipped entirely.
+// An unbounded window reproduces ComputeProfile exactly, without the
+// Window field.
+func ComputeProfileWindowed(r io.Reader, t0, t1 float64) (*Profile, error) {
+	br, err := clog2.NewBlockReader(r)
+	if err != nil {
+		return nil, err
+	}
+	pp := newProfiler(br.NumRanks(), t0, t1)
+	var buf []clog2.Record
+	for {
+		b, err := br.NextReuse(buf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		pp.addBlock(b)
+		buf = b.Records[:0]
+	}
+	return pp.finish(), nil
 }
 
 // ComputeProfileFile is ComputeProfile over the CLOG-2 file at path.

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/idx"
 	"repro/internal/jumpshot"
 	"repro/internal/slog2"
 	"repro/internal/stats"
@@ -228,9 +229,13 @@ func PipelineWithProfile(clogPath, slogPath, svgPath string, opts ConvertOptions
 
 // PipelineToRepo converts the CLOG-2 at clogPath and registers the run
 // in a pilot-serve trace repository: repoDir/<id>.slog2 plus the
-// repoDir/<id>.profile.json sidecar — the handoff from a program run
-// to the trace service. The id must be a valid pilot-serve trace id
-// (no separators, no leading dot).
+// repoDir/<id>.profile.json sidecar, and — so the service can answer
+// windowed queries without streaming the whole raw log — a copy of the
+// raw CLOG-2 as repoDir/<id>.clog2 with its ".idx" index sidecar built
+// beside it. The id must be a valid pilot-serve trace id (no
+// separators, no leading dot). Raw-log registration is best-effort: a
+// failure copying or indexing never fails the registration, it only
+// costs the service its windowed fast path.
 func PipelineToRepo(clogPath, repoDir, id string, opts ConvertOptions) (*File, *Report, *Profile, error) {
 	if id == "" || strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") || id[0] == '.' {
 		return nil, nil, nil, fmt.Errorf("vis: invalid repository trace id %q", id)
@@ -242,5 +247,39 @@ func PipelineToRepo(clogPath, repoDir, id string, opts ConvertOptions) (*File, *
 	if !info.IsDir() {
 		return nil, nil, nil, fmt.Errorf("vis: %s is not a directory", repoDir)
 	}
-	return PipelineWithProfile(clogPath, filepath.Join(repoDir, id+".slog2"), "", opts, View{})
+	f, rep, p, err := PipelineWithProfile(clogPath, filepath.Join(repoDir, id+".slog2"), "", opts, View{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	registerRawLog(clogPath, filepath.Join(repoDir, id+".clog2"))
+	return f, rep, p, nil
+}
+
+// registerRawLog copies the raw CLOG-2 to dst and builds its index
+// sidecar there. Best-effort by design: the sidecar is an accelerator
+// and every consumer degrades to the full scan without it.
+func registerRawLog(src, dst string) {
+	in, err := os.Open(src)
+	if err != nil {
+		return
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		os.Remove(dst)
+		return
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(dst)
+		return
+	}
+	ix, err := idx.BuildFile(dst)
+	if err != nil {
+		return
+	}
+	_ = idx.WriteFileFor(dst, ix)
 }
