@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci cover bench bench-compare fuzz fuzz-smoke smoke-multiproc smoke-serve smoke-index chaos clean
+.PHONY: all build vet test race ci cover bench bench-compare fuzz fuzz-smoke smoke-multiproc smoke-serve smoke-index chaos chaos-wire clean
 
 all: ci
 
@@ -20,7 +20,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: build vet race fuzz-smoke cover smoke-multiproc smoke-serve smoke-index
+ci: build vet race fuzz-smoke cover smoke-multiproc smoke-serve smoke-index chaos-wire
 
 # Multi-process smoke: the lab2 exercise with every rank as its own OS
 # process over the socket transport (-pitransport=socket re-executes the
@@ -110,6 +110,17 @@ fuzz-smoke:
 # seed must still salvage into a convertible SLOG-2. Race-clean.
 chaos:
 	$(GO) test -race -run '^TestChaosKillSalvage$$' -v .
+
+# The wire-fault chaos harness: lab2, thumbnail and collisions run over
+# the multi-process socket transport while the seeded injector delays,
+# corrupts, duplicates, drops, tears and stalls frames on every link.
+# Every cell must terminate diagnosed within its deadline — transparent
+# recovery with the clean-run outcome, or a FaultAbortCode abort whose
+# salvaged log still converts — and a replayed seed must reproduce the
+# same bucket and outcome. Cells run sequentially (each spawns its own
+# rank processes). Race-clean.
+chaos-wire:
+	$(GO) test -race -run '^TestChaosWireSweep$$|^TestChaosWireReplay$$' -v .
 
 clean:
 	rm -rf out

@@ -194,7 +194,12 @@ func (c Config) needsSvcRank() bool {
 //	-pisvc=LETTERS   enable services, e.g. -pisvc=cj
 //	-picheck=N       set the error-check level 0-3
 //	-piprocs=N       world size (stands in for mpirun -np N)
-//	-pifaults=SPEC   install a fault-injection plan (mpi.ParseFaultPlan)
+//	-pifaults=SPEC   install a fault-injection plan (mpi.ParseFaultPlan);
+//	                 besides the per-operation kinds this includes the
+//	                 wire-level ones — wiredelay, wirecorrupt, wiredup,
+//	                 wiredrop, wirereset, wirestall — which the socket
+//	                 transport injects deterministically on its links,
+//	                 e.g. -pifaults="seed=7;wiredrop:rank=1,op=3"
 //	-pistats         enable the live metrics collector (package stats)
 //	-pitransport=T   rank substrate: inproc (default), socket, tcp
 //

@@ -61,7 +61,37 @@ const (
 	// FaultRendezvous forces an eager send to rendezvous, so the sender
 	// blocks until the receiver matches the message.
 	FaultRendezvous
+
+	// The wire-level kinds below target the multi-process socket
+	// transport's links rather than rank operations: Rank selects the
+	// link (the non-hub rank it connects), Op the link-level frame
+	// sequence number, and each decision is a pure function of (seed,
+	// rule, link, direction, frame seq) — see wirefault.go. They are
+	// no-ops on the in-process transport.
+
+	// FaultWireDelay delays one frame's transmission on the wire.
+	FaultWireDelay
+	// FaultWireCorrupt flips bytes in a frame's body on the wire; the
+	// link-layer CRC detects it and the frame is recovered by
+	// retransmission.
+	FaultWireCorrupt
+	// FaultWireDup transmits a frame twice; the receiver's sequence
+	// dedup drops the replay.
+	FaultWireDup
+	// FaultWireDrop closes the connection instead of transmitting the
+	// frame (a clean connection kill; the frame stays in the unacked
+	// window for retransmission after resume).
+	FaultWireDrop
+	// FaultWireReset writes a torn prefix of the frame and then closes
+	// the connection (a mid-frame connection reset).
+	FaultWireReset
+	// FaultWireStall pauses the receiver after reading the selected
+	// frame, so backpressure builds toward the writer.
+	FaultWireStall
 )
+
+// wire reports whether the kind targets the socket transport's links.
+func (k FaultKind) wire() bool { return k >= FaultWireDelay && k <= FaultWireStall }
 
 // String implements fmt.Stringer.
 func (k FaultKind) String() string {
@@ -76,6 +106,18 @@ func (k FaultKind) String() string {
 		return "jump"
 	case FaultRendezvous:
 		return "rendezvous"
+	case FaultWireDelay:
+		return "wiredelay"
+	case FaultWireCorrupt:
+		return "wirecorrupt"
+	case FaultWireDup:
+		return "wiredup"
+	case FaultWireDrop:
+		return "wiredrop"
+	case FaultWireReset:
+		return "wirereset"
+	case FaultWireStall:
+		return "wirestall"
 	}
 	return fmt.Sprintf("FaultKind(%d)", uint8(k))
 }
@@ -220,10 +262,13 @@ func splitmix(state *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-// unit draws a float64 in [0, 1).
-func (rf *rankFaults) unit() float64 {
-	return float64(splitmix(&rf.rng)>>11) / (1 << 53)
+// unitFrom draws a float64 in [0, 1) from a splitmix64 state.
+func unitFrom(state *uint64) float64 {
+	return float64(splitmix(state)>>11) / (1 << 53)
 }
+
+// unit draws a float64 in [0, 1).
+func (rf *rankFaults) unit() float64 { return unitFrom(&rf.rng) }
 
 func (fs *faultState) record(ev FaultEvent) {
 	fs.mu.Lock()
@@ -232,6 +277,17 @@ func (fs *faultState) record(ev FaultEvent) {
 	if fs.plan.OnFault != nil {
 		fs.plan.OnFault(ev)
 	}
+}
+
+// recordWire logs a wire-level fault event. Unlike record it never calls
+// plan.OnFault: wire faults fire on transport goroutines, not on the
+// faulting rank's own goroutine, and OnFault implementations (the
+// runtime's MPE fault logger) assume the latter. Wire events still show
+// up in FaultEvents for replay assertions.
+func (fs *faultState) recordWire(ev FaultEvent) {
+	fs.mu.Lock()
+	fs.events = append(fs.events, ev)
+	fs.mu.Unlock()
 }
 
 // FaultEvents returns every fault fired so far, sorted by (rank, op,
@@ -298,6 +354,9 @@ func (fs *faultState) decide(id int, isSend bool) (faultDecision, error) {
 	rf.op++
 	var d faultDecision
 	for i, rule := range fs.plan.Rules {
+		if rule.Kind.wire() {
+			continue // injected by the transport's links, not here
+		}
 		if !rule.appliesTo(id) {
 			continue
 		}
@@ -422,15 +481,22 @@ func (c *faultClock) jump(d float64) {
 //	        | "mode=" ("auto" | "stop" | "abort")
 //	        | kind [':' param (',' param)*]
 //	kind   := "delay" | "stall" | "crash" | "jump" | "rendezvous"
-//	param  := "rank=" (int | '*')   target rank        (default *)
-//	        | "op=" int             fire at Nth op     (default: probabilistic)
+//	        | "wiredelay" | "wirecorrupt" | "wiredup"
+//	        | "wiredrop" | "wirereset" | "wirestall"
+//	param  := "rank=" (int | '*')   target rank (wire kinds: link)  (default *)
+//	        | "op=" int             fire at Nth op (wire kinds: at link
+//	                                frame seq N)   (default: probabilistic)
 //	        | "prob=" float         per-op probability
 //	        | "dur=" duration       delay/stall length (Go syntax: 2ms, 1s)
 //	        | "sec=" float          clock jump seconds
 //
-// Example:
+// The wire* kinds target the socket transport's links (see wirefault.go)
+// and are inert on the in-process transport.
+//
+// Examples:
 //
 //	seed=42;delay:prob=0.25,dur=2ms;crash:rank=2,op=40;jump:rank=1,op=10,sec=0.5
+//	seed=7;wirecorrupt:rank=1,prob=0.01;wiredrop:rank=*,op=20
 func ParseFaultPlan(spec string) (*FaultPlan, error) {
 	plan := &FaultPlan{}
 	for _, clause := range strings.Split(spec, ";") {
@@ -485,6 +551,18 @@ func parseFaultRule(clause string) (FaultRule, error) {
 		rule.Kind = FaultClockJump
 	case "rendezvous":
 		rule.Kind = FaultRendezvous
+	case "wiredelay":
+		rule.Kind = FaultWireDelay
+	case "wirecorrupt":
+		rule.Kind = FaultWireCorrupt
+	case "wiredup":
+		rule.Kind = FaultWireDup
+	case "wiredrop":
+		rule.Kind = FaultWireDrop
+	case "wirereset":
+		rule.Kind = FaultWireReset
+	case "wirestall":
+		rule.Kind = FaultWireStall
 	default:
 		return rule, fmt.Errorf("mpi: fault spec: unknown fault kind %q", name)
 	}
@@ -532,7 +610,7 @@ func validateFaultRule(r FaultRule) error {
 		return fmt.Errorf("mpi: fault spec: %s rule needs op= or prob=", r.Kind)
 	}
 	switch r.Kind {
-	case FaultDelay, FaultStall:
+	case FaultDelay, FaultStall, FaultWireDelay, FaultWireStall:
 		if r.Delay <= 0 {
 			return fmt.Errorf("mpi: fault spec: %s rule needs dur= > 0", r.Kind)
 		}
@@ -540,6 +618,9 @@ func validateFaultRule(r FaultRule) error {
 		if r.JumpSec == 0 {
 			return fmt.Errorf("mpi: fault spec: jump rule needs sec= != 0")
 		}
+	}
+	if r.Kind.wire() && r.JumpSec != 0 {
+		return fmt.Errorf("mpi: fault spec: %s rule takes no sec=", r.Kind)
 	}
 	return nil
 }

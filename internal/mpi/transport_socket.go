@@ -20,14 +20,22 @@
 // (closing Envelope.Done closes the loop), so blocking semantics are
 // preserved end-to-end without a second round trip for eager traffic.
 //
-// Failure. A connection that drops without a BYE frame is a lost rank:
-// the transport aborts the world with FaultAbortCode, exactly as an
-// injected crash would, and the layers above fall back to spill-v2
-// salvage for the dead rank's log segments.
+// Failure. Connections are wireLinks (wirelink.go): CRC-checked,
+// sequence-numbered, heartbeat-monitored and resumable. A broken
+// connection gets one reconnect window — the rank dials back with a
+// resume HELLO, both sides retransmit their unacked windows, and the
+// program never notices. A rank that stays gone past the window (a
+// crashed process, an exhausted reconnect budget) is a lost rank: the
+// transport aborts the world with FaultAbortCode, exactly as an injected
+// crash would, and the layers above fall back to spill-v2 salvage for
+// the dead rank's log segments. Every failure mode lands in one of those
+// two buckets — transparent recovery or diagnosed abort — never a hang.
 package mpi
 
 import (
+	"bufio"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"os/exec"
@@ -37,6 +45,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/stats"
 )
 
 const (
@@ -49,7 +59,53 @@ const (
 	// shutdownGrace is how long Shutdown waits for rank processes to exit
 	// on their own before killing them.
 	shutdownGrace = 10 * time.Second
+	// heartbeatInterval is how often each link end sends a PING.
+	heartbeatInterval = 500 * time.Millisecond
+	// livenessTimeout declares a link dead when nothing — payload or
+	// heartbeat — has arrived for this long.
+	livenessTimeout = 10 * time.Second
+	// wireWriteTimeout bounds every steady-state frame write, so a
+	// stalled peer becomes a link failure instead of a wedged writer.
+	wireWriteTimeout = 10 * time.Second
+	// reconnectWindow is how long each side gives a broken link to
+	// resume before treating the peer as lost.
+	reconnectWindow = 2 * time.Second
+	// resumeHelloTimeout bounds the resume handshake on one accepted
+	// connection, so a hostile dial cannot wedge the accept loop.
+	resumeHelloTimeout = 5 * time.Second
+	// byeDrainTimeout is how long a rank's Shutdown waits for its
+	// goodbye (and anything queued before it) to be acked.
+	byeDrainTimeout = 2 * time.Second
 )
+
+// sockTuning carries the transport timeouts, each overridable through a
+// PILOT_MPI_* environment variable (Go duration syntax) so slow CI
+// machines can stretch them without code changes. The environment is
+// inherited by spawned rank processes, so one setting covers the world.
+type sockTuning struct {
+	join, dialRetry, heartbeat, liveness, write, reconnect time.Duration
+}
+
+func loadSockTuning() sockTuning {
+	tn := sockTuning{
+		join: joinTimeout, dialRetry: dialRetry, heartbeat: heartbeatInterval,
+		liveness: livenessTimeout, write: wireWriteTimeout, reconnect: reconnectWindow,
+	}
+	envDur := func(name string, d *time.Duration) {
+		if v := os.Getenv(name); v != "" {
+			if p, err := time.ParseDuration(v); err == nil && p > 0 {
+				*d = p
+			}
+		}
+	}
+	envDur("PILOT_MPI_JOIN_TIMEOUT", &tn.join)
+	envDur("PILOT_MPI_DIAL_RETRY", &tn.dialRetry)
+	envDur("PILOT_MPI_HEARTBEAT", &tn.heartbeat)
+	envDur("PILOT_MPI_LIVENESS", &tn.liveness)
+	envDur("PILOT_MPI_WRITE_TIMEOUT", &tn.write)
+	envDur("PILOT_MPI_RECONNECT_WINDOW", &tn.reconnect)
+	return tn
+}
 
 type socketTransport struct {
 	w       *World
@@ -58,6 +114,8 @@ type socketTransport struct {
 	network string // "unix" or "tcp"
 	addr    string // join form: "unix:<path>" or "tcp:<host:port>"
 	box     *mailbox
+	tune    sockTuning
+	wf      *wireFaults
 
 	// Rendezvous bookkeeping: outbound seq → the sender's Done channel,
 	// closed when the matching ACK comes back.
@@ -67,6 +125,8 @@ type socketTransport struct {
 
 	teardown sync.Once
 	closing  atomic.Bool
+	hbStop   chan struct{}
+	hbOnce   sync.Once
 
 	// barCh delivers this process's barrier release; buffered one deep —
 	// a rank has at most one barrier outstanding.
@@ -74,16 +134,18 @@ type socketTransport struct {
 
 	// Orchestrator state (rank 0 only).
 	ln         net.Listener
-	conns      []*wireConn // by rank; nil for rank 0
+	links      []*wireLink // by rank; nil for rank 0
+	resumed    []chan struct{}
 	cmds       []*exec.Cmd // by rank; nil when not spawned by us
 	readerDone []chan struct{}
+	acceptDone chan struct{}
 	byed       []atomic.Bool
 	barMu      sync.Mutex
 	barCount   int
 	sockDir    string // temp dir holding the unix socket, removed on Shutdown
 
 	// Rank state (non-zero ranks).
-	hub *wireConn
+	hub *wireLink
 }
 
 func newSocketTransport(w *World, n int, opts Options) (*socketTransport, error) {
@@ -96,6 +158,7 @@ func newSocketTransport(w *World, n int, opts Options) (*socketTransport, error)
 		size:    n,
 		network: network,
 		box:     newMailbox(),
+		tune:    loadSockTuning(),
 		acks:    map[uint64]chan struct{}{},
 		barCh:   make(chan struct{}, 1),
 	}
@@ -104,9 +167,11 @@ func newSocketTransport(w *World, n int, opts Options) (*socketTransport, error)
 			return nil, fmt.Errorf("mpi: joining rank %d out of range [1,%d)", rank, n)
 		}
 		t.local = rank
+		t.wf = newWireFaults(w.faults, w.metrics, rank)
 		return t, t.join(addr, rank)
 	}
 	t.local = 0
+	t.wf = newWireFaults(w.faults, w.metrics, 0)
 	return t, t.orchestrate(opts)
 }
 
@@ -145,7 +210,21 @@ func splitAddr(addr string) (network, target string, err error) {
 	}
 }
 
-// join connects this process to the hub as the given rank.
+// backoffSleep sleeps a jittered backoff and doubles it up to cap. The
+// jitter decorrelates many ranks retrying the same hub; it carries no
+// determinism obligation (fault decisions never draw from it).
+func backoffSleep(backoff *time.Duration, cap time.Duration) {
+	d := *backoff/2 + time.Duration(rand.Int63n(int64(*backoff/2)+1))
+	time.Sleep(d)
+	if *backoff < cap {
+		*backoff *= 2
+	}
+}
+
+// join connects this process to the hub as the given rank: a dial loop
+// with exponential backoff (a tight retry loop would hammer a slow CI
+// machine exactly when it is least able to cope), then the
+// HELLO/WELCOME handshake.
 func (t *socketTransport) join(addr string, rank int) error {
 	network, target, err := splitAddr(addr)
 	if err != nil {
@@ -154,7 +233,8 @@ func (t *socketTransport) join(addr string, rank int) error {
 	t.network = network
 	t.addr = addr
 	var conn net.Conn
-	deadline := time.Now().Add(dialRetry)
+	deadline := time.Now().Add(t.tune.dialRetry)
+	backoff := 10 * time.Millisecond
 	for {
 		conn, err = net.DialTimeout(network, target, time.Second)
 		if err == nil {
@@ -163,13 +243,22 @@ func (t *socketTransport) join(addr string, rank int) error {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("mpi: rank %d cannot reach hub at %s: %w", rank, addr, err)
 		}
-		time.Sleep(20 * time.Millisecond)
+		backoffSleep(&backoff, 500*time.Millisecond)
 	}
-	t.hub = newWireConn(conn, t.w.metrics, rank)
-	if err := t.hub.write(&frame{typ: frHello, rank: rank, world: t.size}); err != nil {
+	r := bufio.NewReader(conn)
+	err = writeRawFrame(conn, &frame{typ: frHello, rank: rank, world: t.size}, t.tune.write)
+	if err == nil {
+		var welcome *frame
+		welcome, err = readRawFrame(conn, r, t.tune.join)
+		if err == nil && welcome.typ != frWelcome {
+			err = fmt.Errorf("frame type %d", welcome.typ)
+		}
+	}
+	if err != nil {
 		conn.Close()
 		return fmt.Errorf("mpi: rank %d handshake: %w", rank, err)
 	}
+	t.hub = newWireLink(conn, r, t.w.metrics, rank, rank, wireSideRank, t.wf, t.tune.write)
 	return nil
 }
 
@@ -198,10 +287,14 @@ func (t *socketTransport) orchestrate(opts Options) error {
 		target = ln.Addr().String()
 	}
 	t.addr = t.network + ":" + target
-	t.conns = make([]*wireConn, t.size)
+	t.links = make([]*wireLink, t.size)
+	t.resumed = make([]chan struct{}, t.size)
 	t.cmds = make([]*exec.Cmd, t.size)
 	t.readerDone = make([]chan struct{}, t.size)
 	t.byed = make([]atomic.Bool, t.size)
+	for rank := 1; rank < t.size; rank++ {
+		t.resumed[rank] = make(chan struct{}, 1)
+	}
 
 	fail := func(err error) error {
 		for _, cmd := range t.cmds {
@@ -210,9 +303,9 @@ func (t *socketTransport) orchestrate(opts Options) error {
 				cmd.Wait()
 			}
 		}
-		for _, c := range t.conns {
-			if c != nil {
-				c.c.Close()
+		for _, l := range t.links {
+			if l != nil {
+				l.close()
 			}
 		}
 		ln.Close()
@@ -232,16 +325,15 @@ func (t *socketTransport) orchestrate(opts Options) error {
 
 	type deadliner interface{ SetDeadline(time.Time) error }
 	if d, ok := ln.(deadliner); ok {
-		d.SetDeadline(time.Now().Add(joinTimeout))
+		d.SetDeadline(time.Now().Add(t.tune.join))
 	}
 	for joined := 1; joined < t.size; joined++ {
 		conn, err := ln.Accept()
 		if err != nil {
 			return fail(fmt.Errorf("mpi: waiting for %d more ranks: %w", t.size-joined, err))
 		}
-		conn.SetReadDeadline(time.Now().Add(joinTimeout))
-		wc := newWireConn(conn, t.w.metrics, 0)
-		hello, err := wc.read()
+		r := bufio.NewReader(conn)
+		hello, err := readRawFrame(conn, r, t.tune.join)
 		if err == nil && hello.typ != frHello {
 			err = fmt.Errorf("frame type %d", hello.typ)
 		}
@@ -254,12 +346,15 @@ func (t *socketTransport) orchestrate(opts Options) error {
 			return fail(fmt.Errorf("mpi: rank %d built for world size %d, want %d",
 				hello.rank, hello.world, t.size))
 		}
-		if hello.rank < 1 || hello.rank >= t.size || t.conns[hello.rank] != nil {
+		if hello.rank < 1 || hello.rank >= t.size || hello.epoch != 0 || t.links[hello.rank] != nil {
 			conn.Close()
 			return fail(fmt.Errorf("mpi: bad or duplicate hello for rank %d", hello.rank))
 		}
-		conn.SetReadDeadline(time.Time{})
-		t.conns[hello.rank] = wc
+		if err := writeRawFrame(conn, &frame{typ: frWelcome}, t.tune.write); err != nil {
+			conn.Close()
+			return fail(fmt.Errorf("mpi: rank %d welcome: %v", hello.rank, err))
+		}
+		t.links[hello.rank] = newWireLink(conn, r, t.w.metrics, 0, hello.rank, wireSideHub, t.wf, t.tune.write)
 	}
 	if d, ok := ln.(deadliner); ok {
 		d.SetDeadline(time.Time{})
@@ -299,20 +394,54 @@ func (t *socketTransport) spawn(rank int, opts Options) (*exec.Cmd, error) {
 	return cmd, nil
 }
 
-// startReaders launches the per-connection reader goroutines. Split from
-// construction so the World is fully wired before any frame can call
-// back into it.
+// startReaders launches the per-connection reader, heartbeat and (at the
+// hub) resume-accept goroutines. Split from construction so the World is
+// fully wired before any frame can call back into it.
 func (t *socketTransport) startReaders() {
+	t.hbStop = make(chan struct{})
 	if t.local != 0 {
 		go t.rankReader()
+		go t.heartbeat(t.hub)
 		return
 	}
-	for rank, c := range t.conns {
-		if c == nil {
+	t.acceptDone = make(chan struct{})
+	go t.acceptLoop()
+	for rank, l := range t.links {
+		if l == nil {
 			continue
 		}
 		t.readerDone[rank] = make(chan struct{})
-		go t.hubReader(rank, c)
+		go t.hubReader(rank, l)
+		go t.heartbeat(l)
+	}
+}
+
+// heartbeat keeps one link's liveness clock honest: a PING every
+// interval (the peer answers PONG, which also carries its cumulative
+// ack) and a liveness check that declares the link dead when nothing —
+// heartbeat or payload — has arrived within the timeout. "EOF is the
+// only death signal" becomes "silence is a death signal too".
+func (t *socketTransport) heartbeat(l *wireLink) {
+	tick := time.NewTicker(t.tune.heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+		case <-t.hbStop:
+			return
+		case <-t.w.abortCh:
+			return
+		}
+		if t.closing.Load() || l.isDown() {
+			continue // a down link is the recovery path's problem
+		}
+		if l.sinceRead() > t.tune.liveness {
+			l.fail() // wakes the blocked reader into recovery
+			continue
+		}
+		if l.send(&frame{typ: frPing}) == nil {
+			t.w.metrics.WireCounted(t.local, stats.CtrHeartbeats, 1)
+		}
 	}
 }
 
@@ -322,19 +451,73 @@ func (t *socketTransport) expectedEOF() bool {
 	return t.closing.Load() || t.w.Aborted()
 }
 
-// hubReader drains one rank's connection at the orchestrator: local
-// deliveries go to the mailbox, everything else is routed.
-func (t *socketTransport) hubReader(rank int, c *wireConn) {
+// acceptLoop accepts post-join connections: resume dials from ranks
+// whose link broke. It exits when the listener closes at Shutdown.
+func (t *socketTransport) acceptLoop() {
+	defer close(t.acceptDone)
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		go t.handleResume(conn)
+	}
+}
+
+// handleResume vets one resume dial: a CRC-framed HELLO with a known
+// rank, the right world size and a fresh epoch, all within a deadline —
+// anything else is closed without touching the live links, so a hostile
+// or stale connection can never wedge the world.
+func (t *socketTransport) handleResume(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	hello, err := readRawFrame(conn, r, resumeHelloTimeout)
+	if err != nil || hello.typ != frHello || hello.world != t.size ||
+		hello.rank < 1 || hello.rank >= t.size || hello.epoch == 0 ||
+		t.links[hello.rank] == nil || t.byed[hello.rank].Load() || t.expectedEOF() {
+		conn.Close()
+		return
+	}
+	l := t.links[hello.rank]
+	welcome := &frame{typ: frWelcome, epoch: hello.epoch, ack: l.recvSeq.Load()}
+	if writeRawFrame(conn, welcome, t.tune.write) != nil {
+		conn.Close()
+		return
+	}
+	if l.resume(conn, r, hello.ack, uint32(hello.epoch), true) != nil {
+		conn.Close()
+		return
+	}
+	select {
+	case t.resumed[hello.rank] <- struct{}{}:
+	default:
+	}
+}
+
+// hubReader drains one rank's link at the orchestrator: local deliveries
+// go to the mailbox, everything else is routed. A broken link gets one
+// reconnect window to resume before the rank is declared lost.
+func (t *socketTransport) hubReader(rank int, l *wireLink) {
 	defer close(t.readerDone[rank])
 	for {
-		fr, err := c.read()
+		fr, err := l.recv()
 		if err != nil {
-			if !t.byed[rank].Load() && !t.expectedEOF() {
-				// Lost rank: the process died without a goodbye. Tear the
-				// job down like an injected crash so salvage can run.
-				t.w.abort(FaultAbortCode)
+			if t.byed[rank].Load() || t.expectedEOF() {
+				return
 			}
-			return
+			select {
+			case <-t.resumed[rank]:
+				continue
+			case <-time.After(t.tune.reconnect):
+				if !t.byed[rank].Load() && !t.expectedEOF() {
+					// Lost rank: the process died, or its link could not
+					// resume in time. Tear the job down like an injected
+					// crash so salvage can run.
+					t.w.abort(FaultAbortCode)
+				}
+				return
+			case <-t.w.abortCh:
+				return
+			}
 		}
 		switch fr.typ {
 		case frMsg, frAck:
@@ -342,14 +525,14 @@ func (t *socketTransport) hubReader(rank int, c *wireConn) {
 				t.deliver(fr)
 				break
 			}
-			if fr.dst < 0 || fr.dst >= t.size || t.conns[fr.dst] == nil {
+			if fr.dst < 0 || fr.dst >= t.size || t.links[fr.dst] == nil {
 				t.w.abort(FaultAbortCode)
 				return
 			}
 			if t.byed[fr.dst].Load() {
 				break // rank exited cleanly; drop like mail to a finished rank
 			}
-			if err := t.conns[fr.dst].write(fr); err != nil && !t.byed[fr.dst].Load() && !t.expectedEOF() {
+			if err := t.links[fr.dst].send(fr); err != nil && !t.byed[fr.dst].Load() && !t.expectedEOF() {
 				t.w.abort(FaultAbortCode)
 				return
 			}
@@ -367,11 +550,18 @@ func (t *socketTransport) hubReader(rank int, c *wireConn) {
 	}
 }
 
-// rankReader drains the hub connection at a non-zero rank.
+// rankReader drains the hub link at a non-zero rank, dialing the hub
+// back whenever the link breaks.
 func (t *socketTransport) rankReader() {
 	for {
-		fr, err := t.hub.read()
+		fr, err := t.hub.recv()
 		if err != nil {
+			if t.expectedEOF() {
+				return
+			}
+			if t.rankRecover() {
+				continue
+			}
 			if !t.expectedEOF() {
 				t.w.abort(FaultAbortCode)
 			}
@@ -389,6 +579,57 @@ func (t *socketTransport) rankReader() {
 			t.w.abort(fr.code)
 		}
 	}
+}
+
+// rankRecover dials the hub back and resumes the link within the
+// reconnect window: exponential backoff between attempts, a fresh epoch
+// per attempt so the hub can tell a retry from a replay. False means the
+// window closed (or the world is going down) — the caller's move is then
+// a diagnosed abort, never a hang.
+func (t *socketTransport) rankRecover() bool {
+	_, target, err := splitAddr(t.addr)
+	if err != nil {
+		return false
+	}
+	deadline := time.Now().Add(t.tune.reconnect)
+	backoff := 10 * time.Millisecond
+	// Gate on Aborted, not expectedEOF: Shutdown also recovers through
+	// here to flush a goodbye lost to a link failure (the reader itself
+	// checks expectedEOF before calling).
+	for !t.w.Aborted() {
+		conn, err := net.DialTimeout(t.network, target, time.Second)
+		if err == nil && t.resumeHub(conn) {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		backoffSleep(&backoff, 200*time.Millisecond)
+	}
+	return false
+}
+
+// resumeHub runs the resume handshake on a fresh connection: HELLO with
+// the next epoch and our cumulative ack, the hub's WELCOME with its ack,
+// then window prune + retransmit inside resume.
+func (t *socketTransport) resumeHub(conn net.Conn) bool {
+	epoch := t.hub.nextEpoch()
+	hello := &frame{typ: frHello, rank: t.local, world: t.size, epoch: int(epoch), ack: t.hub.recvSeq.Load()}
+	if writeRawFrame(conn, hello, t.tune.write) != nil {
+		conn.Close()
+		return false
+	}
+	r := bufio.NewReader(conn)
+	welcome, err := readRawFrame(conn, r, resumeHelloTimeout)
+	if err != nil || welcome.typ != frWelcome {
+		conn.Close()
+		return false
+	}
+	if t.hub.resume(conn, r, welcome.ack, epoch, false) != nil {
+		conn.Close()
+		return false
+	}
+	return true
 }
 
 // deliver lands a MSG in the local mailbox (reconstructing the
@@ -427,18 +668,20 @@ func (t *socketTransport) deliver(fr *frame) {
 var errRankGone = fmt.Errorf("mpi: rank exited")
 
 // writeTo sends one frame toward rank dst: directly at the hub, via the
-// hub elsewhere.
+// hub elsewhere. Link-level failures are absorbed by the window (the
+// frame retransmits after resume); the errors that surface mean the
+// frame can never arrive.
 func (t *socketTransport) writeTo(dst int, fr *frame) error {
 	if t.local != 0 {
-		return t.hub.write(fr)
+		return t.hub.send(fr)
 	}
-	if dst < 1 || dst >= t.size || t.conns[dst] == nil {
+	if dst < 1 || dst >= t.size || t.links[dst] == nil {
 		return fmt.Errorf("mpi: no connection for rank %d", dst)
 	}
 	if t.byed[dst].Load() {
 		return errRankGone
 	}
-	if err := t.conns[dst].write(fr); err != nil {
+	if err := t.links[dst].send(fr); err != nil {
 		if t.byed[dst].Load() || t.expectedEOF() {
 			return errRankGone
 		}
@@ -513,9 +756,16 @@ func (t *socketTransport) barrierEnter() {
 	if !fire {
 		return
 	}
-	for _, c := range t.conns {
-		if c != nil {
-			c.write(&frame{typ: frRelease}) // best-effort; a lost rank aborts elsewhere
+	for rank, l := range t.links {
+		if l == nil {
+			continue
+		}
+		if err := l.send(&frame{typ: frRelease}); err != nil && !t.byed[rank].Load() && !t.expectedEOF() {
+			// A RELEASE that cannot even be buffered for retransmission
+			// will never reach the rank, and a rank waiting on a barrier
+			// that can never release is a hang. Fold it into the
+			// lost-rank path instead of silently dropping it.
+			t.w.abort(FaultAbortCode)
 		}
 	}
 	select {
@@ -531,7 +781,10 @@ func (t *socketTransport) Barrier(me int) error {
 	}
 	if t.local == 0 {
 		t.barrierEnter()
-	} else if err := t.hub.write(&frame{typ: frBarrier, rank: me}); err != nil {
+	} else if err := t.hub.send(&frame{typ: frBarrier, rank: me}); err != nil {
+		if !t.expectedEOF() {
+			t.w.abort(FaultAbortCode)
+		}
 		return ErrAborted
 	}
 	select {
@@ -547,11 +800,11 @@ func (t *socketTransport) Abort(code int) {
 		t.box.close()
 		fr := &frame{typ: frAbort, code: code}
 		if t.hub != nil {
-			t.hub.write(fr)
+			t.hub.send(fr)
 		}
-		for _, c := range t.conns {
-			if c != nil {
-				c.write(fr)
+		for _, l := range t.links {
+			if l != nil {
+				l.send(fr)
 			}
 		}
 	})
@@ -568,11 +821,33 @@ func (t *socketTransport) childPID(rank int) int {
 
 func (t *socketTransport) Shutdown() error {
 	t.closing.Store(true)
+	if t.hbStop != nil {
+		t.hbOnce.Do(func() { close(t.hbStop) })
+	}
 	if t.local != 0 {
 		// Goodbye carries this rank's traffic counters so the
-		// orchestrator's totals stay complete after the process is gone.
-		t.hub.write(&frame{typ: frBye, rank: t.local, traffic: t.w.Traffic(t.local)})
-		return t.hub.c.Close()
+		// orchestrator's totals stay complete after the process is gone;
+		// the drain waits for the hub's ack so the goodbye (and anything
+		// queued before it) survives the close.
+		t.hub.send(&frame{typ: frBye, rank: t.local, traffic: t.w.Traffic(t.local)})
+		if !t.hub.drain(byeDrainTimeout) && t.hub.isDown() && !t.w.Aborted() {
+			// The goodbye was lost to a link failure, and the reader that
+			// would normally drive recovery has already exited (closing is
+			// set). One bounded recovery attempt flushes it, with a
+			// throwaway reader pumping the hub's acks; otherwise the hub
+			// diagnoses this rank as lost.
+			if t.rankRecover() {
+				go func() {
+					for {
+						if _, err := t.hub.recv(); err != nil {
+							return
+						}
+					}
+				}()
+				t.hub.drain(byeDrainTimeout)
+			}
+		}
+		return t.hub.close()
 	}
 	deadline := time.Now().Add(shutdownGrace)
 	remaining := func() time.Duration {
@@ -612,9 +887,12 @@ func (t *socketTransport) Shutdown() error {
 		}
 	}
 	t.ln.Close()
-	for _, c := range t.conns {
-		if c != nil {
-			c.c.Close()
+	if t.acceptDone != nil {
+		<-t.acceptDone
+	}
+	for _, l := range t.links {
+		if l != nil {
+			l.close()
 		}
 	}
 	t.cleanupDir()

@@ -10,11 +10,15 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"net"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/stats"
 )
 
 // socketWorlds starts an n-rank socket world in-process, one World per
@@ -279,8 +283,11 @@ func TestSocketWorldLostRankAborts(t *testing.T) {
 		done <- err
 	}()
 	// Sever rank 1's connection without a goodbye: a crash, as the hub
-	// sees it.
-	worlds[1].t.(*socketTransport).hub.c.Close()
+	// sees it. Marking the rank closing first keeps its recovery path from
+	// dialing back, so the hub's reconnect window must expire.
+	st := worlds[1].t.(*socketTransport)
+	st.closing.Store(true)
+	st.hub.close()
 	select {
 	case err := <-done:
 		if !errors.Is(err, ErrAborted) {
@@ -291,5 +298,191 @@ func TestSocketWorldLostRankAborts(t *testing.T) {
 	}
 	if code := worlds[0].AbortCode(); code != FaultAbortCode {
 		t.Fatalf("abort code %d, want FaultAbortCode %d", code, FaultAbortCode)
+	}
+}
+
+// A link failure between a rank and the hub must heal transparently: the
+// rank dials back, both sides retransmit their unacked windows, and the
+// program's sends, receives and barriers complete as if nothing happened.
+func TestSocketWorldReconnectHeals(t *testing.T) {
+	mx := stats.New(2)
+	worlds := socketWorlds(t, 2, Options{Metrics: mx})
+	// Kill the rank's end of the link out from under it.
+	worlds[1].t.(*socketTransport).hub.fail()
+	errs := runSocketRanks(t, worlds, func(r *Rank) error {
+		if r.ID() == 0 {
+			if err := r.Send(1, 1, []byte("after-failure")); err != nil {
+				return err
+			}
+		} else {
+			m, err := r.Recv(0, 1)
+			if err != nil {
+				return err
+			}
+			if string(m.Data) != "after-failure" {
+				return fmt.Errorf("delivered %q", m.Data)
+			}
+		}
+		return r.Barrier()
+	})
+	for rank, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", rank, err)
+		}
+	}
+	if worlds[0].Aborted() {
+		t.Fatalf("world aborted (code %d) instead of healing", worlds[0].AbortCode())
+	}
+	if tot := mx.Snapshot().Totals; tot["reconnects"] == 0 {
+		t.Errorf("counters %v: link failure did not register a reconnect", tot)
+	}
+}
+
+// Regression: a barrier RELEASE hitting a down link used to be dropped
+// best-effort, leaving the released rank parked forever. It must now be
+// buffered in the window and arrive via resume.
+func TestSocketWorldBarrierReleaseSurvivesLinkFailure(t *testing.T) {
+	worlds := socketWorlds(t, 2, Options{})
+	res := make(chan error, 1)
+	go func() { res <- worlds[1].Rank(1).Barrier() }()
+	// Wait until rank 1's BARRIER has landed at the hub, then sever the
+	// hub's side of the link so the RELEASE has nowhere to go.
+	hub := worlds[0].t.(*socketTransport)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		hub.barMu.Lock()
+		n := hub.barCount
+		hub.barMu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("rank 1 never entered the barrier")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	hub.links[1].fail()
+	if err := worlds[0].Rank(0).Barrier(); err != nil {
+		t.Fatalf("rank 0 barrier: %v", err)
+	}
+	select {
+	case err := <-res:
+		if err != nil {
+			t.Fatalf("rank 1 barrier: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("rank 1 never released: RELEASE lost on the down link")
+	}
+	if worlds[0].Aborted() {
+		t.Fatalf("world aborted (code %d) instead of healing", worlds[0].AbortCode())
+	}
+}
+
+// Hostile connections to a live world's listener must be rejected
+// without disturbing the ranks: wrong world size, out-of-range rank,
+// first-connect epoch on the resume path, and raw garbage bytes.
+func TestSocketWorldHostileResumeRejected(t *testing.T) {
+	worlds := socketWorlds(t, 2, Options{})
+	_, target, err := splitAddr(worlds[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dial := func() net.Conn {
+		c, err := net.Dial("unix", target)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		return c
+	}
+	for name, hello := range map[string]*frame{
+		"world mismatch":    {typ: frHello, rank: 1, world: 99, epoch: 1},
+		"rank out of range": {typ: frHello, rank: 7, world: 2, epoch: 1},
+		"zero epoch":        {typ: frHello, rank: 1, world: 2, epoch: 0},
+		"wrong frame type":  {typ: frBarrier, rank: 1},
+	} {
+		c := dial()
+		if err := writeRawFrame(c, hello, time.Second); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		// The hub must close the connection without a WELCOME.
+		c.SetReadDeadline(time.Now().Add(3 * time.Second))
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Errorf("%s: hub answered instead of closing", name)
+		}
+		c.Close()
+	}
+	// Raw garbage: an unparseable length prefix.
+	c := dial()
+	c.Write([]byte("not a frame at all"))
+	c.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Error("garbage: hub answered instead of closing")
+	}
+	c.Close()
+
+	// The world is unharmed.
+	errs := runSocketRanks(t, worlds, func(r *Rank) error { return r.Barrier() })
+	for rank, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d after hostile dials: %v", rank, err)
+		}
+	}
+}
+
+// A joining rank built for a different world size must fail the
+// orchestrator's Start with a diagnosis, not wedge it.
+func TestSocketWorldHelloWorldMismatch(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "world.sock")
+	startErr := make(chan error, 1)
+	go func() {
+		w, err := Start(2, Options{Transport: TransportSocket, ListenAddr: sock, NoSpawn: true})
+		if err == nil {
+			w.Shutdown()
+		}
+		startErr <- err
+	}()
+	var conn net.Conn
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var err error
+		conn, err = net.Dial("unix", sock)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("orchestrator never listened: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	defer conn.Close()
+	if err := writeRawFrame(conn, &frame{typ: frHello, rank: 1, world: 5}, time.Second); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	select {
+	case err := <-startErr:
+		if err == nil || !strings.Contains(err.Error(), "world size") {
+			t.Fatalf("Start err = %v, want world-size diagnosis", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("orchestrator hung on the mismatched hello")
+	}
+}
+
+// The transport timeouts are tunable through PILOT_MPI_* durations;
+// malformed or non-positive values fall back to the defaults.
+func TestLoadSockTuningEnv(t *testing.T) {
+	t.Setenv("PILOT_MPI_JOIN_TIMEOUT", "3s")
+	t.Setenv("PILOT_MPI_DIAL_RETRY", "250ms")
+	t.Setenv("PILOT_MPI_HEARTBEAT", "123ms")
+	t.Setenv("PILOT_MPI_LIVENESS", "nonsense")
+	t.Setenv("PILOT_MPI_WRITE_TIMEOUT", "-5s")
+	t.Setenv("PILOT_MPI_RECONNECT_WINDOW", "7s")
+	tn := loadSockTuning()
+	if tn.join != 3*time.Second || tn.dialRetry != 250*time.Millisecond ||
+		tn.heartbeat != 123*time.Millisecond || tn.reconnect != 7*time.Second {
+		t.Errorf("tuning = %+v: env overrides not applied", tn)
+	}
+	if tn.liveness != livenessTimeout || tn.write != wireWriteTimeout {
+		t.Errorf("tuning = %+v: bad values must keep defaults", tn)
 	}
 }

@@ -1,14 +1,23 @@
 // Wire framing for the multi-process socket transport.
 //
-// Every connection carries a stream of length-prefixed frames:
+// This file is the *inner* frame codec: the type byte and its
+// little-endian fields. The link layer around it — the length prefix,
+// CRC, link sequence/ack numbers, retransmission and heartbeats — lives
+// in wirelink.go. On the wire each frame travels as:
 //
-//	u32  body length (little-endian, excludes itself)
+//	u32  length (little-endian; everything after this field)
+//	u32  crc32c over seq|ack|body
+//	u64  link seq (0 for unsequenced control frames)
+//	u64  cumulative ack (highest contiguous seq received)
 //	u8   frame type
 //	...  type-specific fields, little-endian, then the raw payload
 //
 // Frame types:
 //
-//	HELLO    rank u32, world u32            — joining rank's handshake
+//	HELLO    rank u32, world u32,           — joining rank's handshake;
+//	         epoch u32, ack u64               epoch > 0 resumes a broken
+//	                                          link, ack tells the hub what
+//	                                          to retransmit
 //	MSG      dst u32, ctx u8, src u32,      — one envelope; the hub routes
 //	         tag i64, flags u8, seq u64,      on dst, the payload is the
 //	         payload                          message body
@@ -21,20 +30,17 @@
 //	                                          rank's user-traffic counters
 //	                                          so the orchestrator's totals
 //	                                          stay complete
+//	PING     (empty)                        — heartbeat probe
+//	PONG     (empty)                        — heartbeat reply / ack carrier
+//	WELCOME  epoch u32, ack u64             — hub's handshake reply
 //
 // Integers that are rank numbers fit u32 by construction; tags and abort
 // codes travel as i64 so the wire never narrows an application value.
 package mpi
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
-	"io"
-	"net"
-	"sync"
-
-	"repro/internal/stats"
 )
 
 // Frame types.
@@ -46,14 +52,25 @@ const (
 	frRelease
 	frAbort
 	frBye
+	frPing
+	frPong
+	frWelcome
 )
+
+// sequencedType reports whether frames of this type carry a link seq:
+// they are exactly the frames whose loss would change program-visible
+// behaviour, so they are windowed, deduped and retransmitted. Control
+// frames (handshakes, heartbeats, aborts) are regenerated instead.
+func sequencedType(typ byte) bool {
+	switch typ {
+	case frMsg, frAck, frBarrier, frRelease, frBye:
+		return true
+	}
+	return false
+}
 
 // MSG flags.
 const flagNeedAck byte = 1 << 0
-
-// maxWireFrame bounds a frame body so a corrupt length prefix cannot ask
-// for gigabytes; it must exceed any message the examples or tests send.
-const maxWireFrame = 1 << 30
 
 // frame is the decoded form of one wire frame; only the fields of its
 // type are meaningful.
@@ -61,6 +78,8 @@ type frame struct {
 	typ     byte
 	rank    int // hello, barrier, bye: the sending rank
 	world   int // hello: expected world size
+	epoch   int    // hello, welcome: link resume epoch (0 = first connect)
+	ack     uint64 // hello, welcome: sender's cumulative link ack
 	dst     int // msg, ack: routing destination
 	ctx     int // msg
 	src     int // msg: originating rank
@@ -72,8 +91,21 @@ type frame struct {
 	payload []byte
 }
 
+// wireSizeHint bounds the encoded size of fr: one type byte, at most 37
+// bytes of fixed fields (BYE), and the payload. Used to pre-size encode
+// buffers so a frame encodes with a single allocation.
+func wireSizeHint(fr *frame) int {
+	return 40 + len(fr.payload)
+}
+
 func encodeFrame(fr *frame) []byte {
-	var b []byte
+	return appendFrame(make([]byte, 0, wireSizeHint(fr)), fr)
+}
+
+// appendFrame appends the encoded form of fr to b and returns the
+// extended slice — the allocation-free core of encodeFrame, used by the
+// link layer to encode directly into the outer wire buffer.
+func appendFrame(b []byte, fr *frame) []byte {
 	u32 := func(v int) { b = binary.LittleEndian.AppendUint32(b, uint32(v)) }
 	i64 := func(v int64) { b = binary.LittleEndian.AppendUint64(b, uint64(v)) }
 	b = append(b, fr.typ)
@@ -81,6 +113,12 @@ func encodeFrame(fr *frame) []byte {
 	case frHello:
 		u32(fr.rank)
 		u32(fr.world)
+		u32(fr.epoch)
+		b = binary.LittleEndian.AppendUint64(b, fr.ack)
+	case frWelcome:
+		u32(fr.epoch)
+		b = binary.LittleEndian.AppendUint64(b, fr.ack)
+	case frPing, frPong:
 	case frMsg:
 		u32(fr.dst)
 		b = append(b, byte(fr.ctx))
@@ -113,7 +151,9 @@ func decodeFrame(b []byte) (*frame, error) {
 	}
 	fr := &frame{typ: b[0]}
 	b = b[1:]
-	short := fmt.Errorf("mpi: truncated wire frame type %d", fr.typ)
+	// Built lazily: allocating the error eagerly would cost a fmt call on
+	// every healthy frame of the hot path.
+	short := func() error { return fmt.Errorf("mpi: truncated wire frame type %d", fr.typ) }
 	u32 := func(dst *int) bool {
 		if len(b) < 4 {
 			return false
@@ -130,52 +170,65 @@ func decodeFrame(b []byte) (*frame, error) {
 		b = b[8:]
 		return true
 	}
+	u64 := func(dst *uint64) bool {
+		if len(b) < 8 {
+			return false
+		}
+		*dst = binary.LittleEndian.Uint64(b)
+		b = b[8:]
+		return true
+	}
 	switch fr.typ {
 	case frHello:
-		if !u32(&fr.rank) || !u32(&fr.world) {
-			return nil, short
+		if !u32(&fr.rank) || !u32(&fr.world) || !u32(&fr.epoch) || !u64(&fr.ack) {
+			return nil, short()
 		}
+	case frWelcome:
+		if !u32(&fr.epoch) || !u64(&fr.ack) {
+			return nil, short()
+		}
+	case frPing, frPong:
 	case frMsg:
 		if !u32(&fr.dst) || len(b) < 1 {
-			return nil, short
+			return nil, short()
 		}
 		fr.ctx = int(b[0])
 		b = b[1:]
 		var tag int64
 		if !u32(&fr.src) || !i64(&tag) {
-			return nil, short
+			return nil, short()
 		}
 		fr.tag = int(tag)
 		if len(b) < 9 {
-			return nil, short
+			return nil, short()
 		}
 		fr.flags = b[0]
 		fr.seq = binary.LittleEndian.Uint64(b[1:9])
 		fr.payload = b[9:]
 	case frAck:
 		if !u32(&fr.dst) {
-			return nil, short
+			return nil, short()
 		}
 		if len(b) < 8 {
-			return nil, short
+			return nil, short()
 		}
 		fr.seq = binary.LittleEndian.Uint64(b)
 	case frBarrier:
 		if !u32(&fr.rank) {
-			return nil, short
+			return nil, short()
 		}
 	case frRelease:
 	case frAbort:
 		var code int64
 		if !i64(&code) {
-			return nil, short
+			return nil, short()
 		}
 		fr.code = int(code)
 	case frBye:
 		if !u32(&fr.rank) ||
 			!i64(&fr.traffic.Sent) || !i64(&fr.traffic.SentBytes) ||
 			!i64(&fr.traffic.Received) || !i64(&fr.traffic.RecvBytes) {
-			return nil, short
+			return nil, short()
 		}
 	default:
 		return nil, fmt.Errorf("mpi: unknown wire frame type %d", fr.typ)
@@ -183,55 +236,3 @@ func decodeFrame(b []byte) (*frame, error) {
 	return fr, nil
 }
 
-// wireConn is one framed connection. Writes are serialised by a mutex so
-// concurrent senders interleave whole frames, never bytes; reads happen
-// from a single reader goroutine per connection.
-type wireConn struct {
-	c  net.Conn
-	r  *bufio.Reader
-	mu sync.Mutex
-
-	// Wire accounting: every frame written or read is attributed to the
-	// local rank of the observing process (nil collector disables it for
-	// free, as everywhere).
-	mx   *stats.Collector
-	attr int
-}
-
-func newWireConn(c net.Conn, mx *stats.Collector, attr int) *wireConn {
-	return &wireConn{c: c, r: bufio.NewReader(c), mx: mx, attr: attr}
-}
-
-func (wc *wireConn) write(fr *frame) error {
-	body := encodeFrame(fr)
-	buf := make([]byte, 4+len(body))
-	binary.LittleEndian.PutUint32(buf, uint32(len(body)))
-	copy(buf[4:], body)
-	wc.mu.Lock()
-	_, err := wc.c.Write(buf)
-	wc.mu.Unlock()
-	if err == nil {
-		wc.mx.WireObserved(wc.attr, 1, len(buf))
-	}
-	return err
-}
-
-func (wc *wireConn) read() (*frame, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(wc.r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.LittleEndian.Uint32(hdr[:])
-	if n == 0 || n > maxWireFrame {
-		return nil, fmt.Errorf("mpi: wire frame length %d out of range", n)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(wc.r, body); err != nil {
-		return nil, err
-	}
-	fr, err := decodeFrame(body)
-	if err == nil {
-		wc.mx.WireObserved(wc.attr, 1, 4+len(body))
-	}
-	return fr, err
-}

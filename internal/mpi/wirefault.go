@@ -1,0 +1,176 @@
+// Deterministic wire-level fault injection for the socket transport.
+//
+// Unlike the per-rank operation faults in fault.go, which advance a
+// stateful splitmix64 stream once per counted operation, wire fault
+// decisions are *stateless*: each decision is drawn from a fresh
+// splitmix64 state derived from (seed, link, writer side, rule index,
+// frame sequence number). A link's frame seq is assigned exactly once —
+// at first transmission — and retransmitted frames reuse their original
+// bytes and are never re-faulted, so the decisions are a pure function
+// of the link's frame sequence no matter how many times recovery
+// replays a frame or how goroutines are scheduled around it.
+//
+// Write-side kinds (delay, corrupt, dup, drop, reset) are evaluated by
+// whichever process writes the frame; the read-side kind (stall) by
+// whichever reads it, but keyed on the writer's side so the two
+// directions of a link always draw from disjoint streams.
+package mpi
+
+import (
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Writer-side identities for wire fault streams: the hub end of a link
+// and the rank end never share a decision stream.
+const (
+	wireSideHub  = 0
+	wireSideRank = 1
+)
+
+// wireFaults is one process's wire-injection state, shared by all of its
+// links. nil disables injection for free.
+type wireFaults struct {
+	fs    *faultState
+	mx    *stats.Collector
+	attr  int // local rank, for stats attribution
+	seed  int64
+	rules []wireRule
+}
+
+// wireRule pairs a wire-kind rule with its index in the full plan, so
+// every process of the world keys the same rule to the same streams.
+type wireRule struct {
+	idx  int
+	rule FaultRule
+}
+
+// newWireFaults extracts the wire-kind rules from a world's fault state;
+// nil when there is no plan or it has no wire rules.
+func newWireFaults(fs *faultState, mx *stats.Collector, attr int) *wireFaults {
+	if fs == nil {
+		return nil
+	}
+	var rules []wireRule
+	for i, r := range fs.plan.Rules {
+		if r.Kind.wire() {
+			rules = append(rules, wireRule{idx: i, rule: r})
+		}
+	}
+	if len(rules) == 0 {
+		return nil
+	}
+	return &wireFaults{fs: fs, mx: mx, attr: attr, seed: fs.plan.Seed, rules: rules}
+}
+
+// mix64 is the splitmix64 finalizer: a strong stateless 64-bit mix.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// wireStream derives the decision state for one (link, writer side,
+// rule, frame seq) tuple. Each component is folded through the full
+// mixer so nearby tuples yield uncorrelated streams.
+func wireStream(seed int64, link, side, rule int, seq uint64) uint64 {
+	st := uint64(seed)
+	for _, v := range [...]uint64{uint64(link) + 1, uint64(side) + 1, uint64(rule) + 1, seq} {
+		st = mix64(st + v*0x9e3779b97f4a7c15)
+	}
+	return st
+}
+
+// fired evaluates one rule's trigger for frame seq, drawing from st.
+// Op-indexed rules fire at exactly that frame seq; probabilistic rules
+// draw once per first-transmitted frame.
+func wireFired(r FaultRule, seq uint64, st *uint64) bool {
+	if r.Op > 0 {
+		return uint64(r.Op) == seq
+	}
+	return r.Prob > 0 && unitFrom(st) < r.Prob
+}
+
+// wireWriteFault is what the writer must do to one first-transmission
+// frame. Zero value (resetAt -1) = transmit normally.
+type wireWriteFault struct {
+	delay   time.Duration
+	corrupt []int // byte offsets into the full frame buffer to flip
+	dup     bool
+	drop    bool
+	resetAt int // torn write: transmit buf[:resetAt] then kill the conn; -1 = off
+}
+
+func wireWriteKind(k FaultKind) bool {
+	return k == FaultWireDelay || k == FaultWireCorrupt || k == FaultWireDup ||
+		k == FaultWireDrop || k == FaultWireReset
+}
+
+// writeDecide evaluates the write-side rules for the first transmission
+// of frame seq on the given link, recording every fired event.
+func (wf *wireFaults) writeDecide(link, side int, seq uint64, frameLen int) (d wireWriteFault, any bool) {
+	d.resetAt = -1
+	for _, wr := range wf.rules {
+		r := wr.rule
+		if !wireWriteKind(r.Kind) || !r.appliesTo(link) {
+			continue
+		}
+		st := wireStream(wf.seed, link, side, wr.idx, seq)
+		if !wireFired(r, seq, &st) {
+			continue
+		}
+		ev := FaultEvent{Kind: r.Kind, Rank: link, Rule: wr.idx, Op: int64(seq)}
+		switch r.Kind {
+		case FaultWireDelay:
+			// Uniform in [Delay/2, Delay], like FaultDelay.
+			ev.Delay = r.Delay/2 + time.Duration(unitFrom(&st)*float64(r.Delay)/2)
+			d.delay += ev.Delay
+		case FaultWireCorrupt:
+			// Flip 1–3 bytes past the length prefix: framing stays
+			// aligned, the CRC must catch the damage.
+			if span := frameLen - 4; span > 0 {
+				n := 1 + int(splitmix(&st)%3)
+				for i := 0; i < n; i++ {
+					d.corrupt = append(d.corrupt, 4+int(splitmix(&st)%uint64(span)))
+				}
+			}
+		case FaultWireDup:
+			d.dup = true
+		case FaultWireDrop:
+			d.drop = true
+		case FaultWireReset:
+			d.resetAt = 0
+			if frameLen > 1 {
+				d.resetAt = 1 + int(splitmix(&st)%uint64(frameLen-1))
+			}
+		}
+		wf.record(ev)
+		any = true
+	}
+	return d, any
+}
+
+// stallDecide evaluates the read-side stall rules for frame seq. side is
+// the *writer's* side of the link (the opposite end from the caller).
+func (wf *wireFaults) stallDecide(link, side int, seq uint64) (time.Duration, bool) {
+	var total time.Duration
+	for _, wr := range wf.rules {
+		r := wr.rule
+		if r.Kind != FaultWireStall || !r.appliesTo(link) {
+			continue
+		}
+		st := wireStream(wf.seed, link, side, wr.idx, seq)
+		if !wireFired(r, seq, &st) {
+			continue
+		}
+		wf.record(FaultEvent{Kind: r.Kind, Rank: link, Rule: wr.idx, Op: int64(seq), Delay: r.Delay})
+		total += r.Delay
+	}
+	return total, total > 0
+}
+
+func (wf *wireFaults) record(ev FaultEvent) {
+	wf.fs.recordWire(ev)
+	wf.mx.WireCounted(wf.attr, stats.CtrWireFaults, 1)
+}

@@ -1,0 +1,312 @@
+package mpi
+
+// Wire-fault tests: the stateless decision streams in isolation, the
+// -pifaults grammar extensions, and end-to-end recovery over in-process
+// socket worlds — every injected wire fault must end in transparent
+// recovery (here) or a diagnosed abort (the lost-rank test), never a
+// hang or silent corruption.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// The decision stream is a pure function of its tuple, and distinct
+// tuples give distinct draws — no component is ignored.
+func TestWireStreamProperties(t *testing.T) {
+	a := wireStream(7, 1, wireSideHub, 0, 5)
+	if b := wireStream(7, 1, wireSideHub, 0, 5); a != b {
+		t.Fatalf("same tuple drew %#x then %#x", a, b)
+	}
+	seen := map[uint64][4]int{}
+	for link := 1; link <= 3; link++ {
+		for side := 0; side <= 1; side++ {
+			for rule := 0; rule < 3; rule++ {
+				for seq := uint64(1); seq <= 8; seq++ {
+					v := wireStream(7, link, side, rule, seq)
+					if prev, dup := seen[v]; dup {
+						t.Fatalf("collision: %v and %v draw %#x",
+							prev, [4]int{link, side, rule, int(seq)}, v)
+					}
+					seen[v] = [4]int{link, side, rule, int(seq)}
+				}
+			}
+		}
+	}
+}
+
+func TestParseFaultPlanWireGrammar(t *testing.T) {
+	plan, err := ParseFaultPlan(
+		"seed=7;wirecorrupt:rank=1,prob=0.01;wiredrop:rank=*,op=20;" +
+			"wiredelay:rank=1,prob=1,dur=5ms;wirestall:op=3,dur=10ms;" +
+			"wiredup:prob=0.5;wirereset:op=2")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if plan.Seed != 7 || len(plan.Rules) != 6 {
+		t.Fatalf("seed=%d rules=%d, want 7/6", plan.Seed, len(plan.Rules))
+	}
+	wantKinds := []FaultKind{FaultWireCorrupt, FaultWireDrop, FaultWireDelay,
+		FaultWireStall, FaultWireDup, FaultWireReset}
+	for i, k := range wantKinds {
+		if plan.Rules[i].Kind != k {
+			t.Errorf("rule %d kind = %s, want %s", i, plan.Rules[i].Kind, k)
+		}
+		if !plan.Rules[i].Kind.wire() {
+			t.Errorf("rule %d (%s) not classified as wire", i, k)
+		}
+	}
+	if plan.Rules[1].Op != 20 || plan.Rules[1].Rank != AnyRank {
+		t.Errorf("wiredrop rule = %+v, want op=20 rank=*", plan.Rules[1])
+	}
+	for _, bad := range []string{
+		"wiredelay:rank=1,prob=1",  // delay without dur
+		"wirestall:op=3",           // stall without dur
+		"wiredrop:op=1,sec=2",      // wire kinds take no clock jump
+		"wirecorrupt:prob=1,sec=1", // ditto
+	} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("ParseFaultPlan(%q) accepted", bad)
+		}
+	}
+}
+
+// Op faults must not see wire rules (the transport injects those), and
+// a wire-rule-bearing plan must leave the op-fault decision stream
+// exactly where a wire-free plan does.
+func TestWireRulesInvisibleToOpFaults(t *testing.T) {
+	with, err := ParseFaultPlan("seed=3;delay:rank=0,prob=1,dur=1ms;wiredrop:rank=1,op=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := ParseFaultPlan("seed=3;delay:rank=0,prob=1,dur=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evA := opFaultDelays(t, *with)
+	evB := opFaultDelays(t, *without)
+	if !reflect.DeepEqual(evA, evB) {
+		t.Errorf("wire rule shifted the op-fault stream:\nwith:    %v\nwithout: %v", evA, evB)
+	}
+}
+
+func opFaultDelays(t *testing.T, plan FaultPlan) []time.Duration {
+	t.Helper()
+	fs := newFaultState(plan, 2)
+	var out []time.Duration
+	for i := 0; i < 5; i++ {
+		d, _ := fs.decide(0, true)
+		out = append(out, d.delay)
+	}
+	return out
+}
+
+// writeDecide is deterministic and honours op-indexed targeting.
+func TestWriteDecideDeterministic(t *testing.T) {
+	plan := FaultPlan{Seed: 7, Rules: []FaultRule{
+		{Kind: FaultWireDrop, Rank: AnyRank, Op: 20},
+		{Kind: FaultWireCorrupt, Rank: 1, Prob: 1},
+	}}
+	fs := newFaultState(plan, 2)
+	wf := newWireFaults(fs, nil, 0)
+	if wf == nil {
+		t.Fatal("newWireFaults returned nil for a wire-rule plan")
+	}
+	d1, any1 := wf.writeDecide(1, wireSideHub, 20, 64)
+	d2, any2 := wf.writeDecide(1, wireSideHub, 20, 64)
+	if !any1 || !any2 || !reflect.DeepEqual(d1, d2) {
+		t.Fatalf("decisions differ across calls: %+v vs %+v", d1, d2)
+	}
+	if !d1.drop {
+		t.Error("op=20 drop rule did not fire at seq 20")
+	}
+	if len(d1.corrupt) == 0 {
+		t.Error("prob=1 corrupt rule did not fire")
+	}
+	for _, off := range d1.corrupt {
+		if off < 4 || off >= 64 {
+			t.Errorf("corrupt offset %d outside (4, 64]", off)
+		}
+	}
+	if d, any := wf.writeDecide(1, wireSideHub, 19, 64); any && d.drop {
+		t.Error("op=20 drop rule fired at seq 19")
+	}
+	// Rank 2 is outside the corrupt rule's target and before the drop op.
+	if _, any := wf.writeDecide(2, wireSideHub, 3, 64); any {
+		t.Error("rules fired for an untargeted link")
+	}
+}
+
+func TestStallDecideOpIndexed(t *testing.T) {
+	plan := FaultPlan{Seed: 1, Rules: []FaultRule{
+		{Kind: FaultWireStall, Rank: AnyRank, Op: 3, Delay: 10 * time.Millisecond},
+	}}
+	wf := newWireFaults(newFaultState(plan, 2), nil, 0)
+	if d, ok := wf.stallDecide(1, wireSideHub, 3); !ok || d != 10*time.Millisecond {
+		t.Errorf("stall at op 3 = (%v, %v), want 10ms", d, ok)
+	}
+	if _, ok := wf.stallDecide(1, wireSideHub, 4); ok {
+		t.Error("stall fired at seq 4")
+	}
+}
+
+// No plan, or a plan with only op-kind rules, disables wire injection.
+func TestNewWireFaultsNil(t *testing.T) {
+	if wf := newWireFaults(nil, nil, 0); wf != nil {
+		t.Error("nil fault state produced a wireFaults")
+	}
+	plan := FaultPlan{Seed: 1, Rules: []FaultRule{{Kind: FaultDelay, Rank: AnyRank, Prob: 1, Delay: time.Millisecond}}}
+	if wf := newWireFaults(newFaultState(plan, 2), nil, 0); wf != nil {
+		t.Error("op-only plan produced a wireFaults")
+	}
+}
+
+// runWireFaultExchange runs a small deterministic exchange (three eager
+// messages hub→rank 1, then a barrier) over an in-process socket world
+// with the given plan, asserting completion, and returns each world's
+// recorded fault events.
+func runWireFaultExchange(t *testing.T, plan *FaultPlan, mx *stats.Collector) [][]FaultEvent {
+	t.Helper()
+	worlds := socketWorlds(t, 2, Options{Faults: plan, Metrics: mx})
+	errs := runSocketRanks(t, worlds, func(r *Rank) error {
+		if r.ID() == 0 {
+			for i := 0; i < 3; i++ {
+				if err := r.Send(1, i+1, []byte(fmt.Sprintf("msg-%d", i))); err != nil {
+					return err
+				}
+			}
+		} else {
+			for i := 0; i < 3; i++ {
+				m, err := r.Recv(0, i+1)
+				if err != nil {
+					return err
+				}
+				if want := fmt.Sprintf("msg-%d", i); string(m.Data) != want {
+					return fmt.Errorf("tag %d delivered %q, want %q", i+1, m.Data, want)
+				}
+			}
+		}
+		return r.Barrier()
+	})
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	if worlds[0].Aborted() || worlds[1].Aborted() {
+		t.Fatalf("world aborted: codes %d/%d", worlds[0].AbortCode(), worlds[1].AbortCode())
+	}
+	return [][]FaultEvent{worlds[0].FaultEvents(), worlds[1].FaultEvents()}
+}
+
+// A dropped frame (connection killed at first transmission) recovers by
+// resume + retransmit; the program sees nothing.
+func TestSocketWireDropRecovers(t *testing.T) {
+	plan, err := ParseFaultPlan("seed=11;wiredrop:rank=1,op=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx := stats.New(2)
+	events := runWireFaultExchange(t, plan, mx)
+	hub := events[0]
+	if len(hub) == 0 || hub[0].Kind != FaultWireDrop || hub[0].Op != 3 {
+		t.Fatalf("hub events = %v, want one wiredrop at seq 3", hub)
+	}
+	tot := mx.Snapshot().Totals
+	if tot["wire_faults_injected"] == 0 || tot["reconnects"] == 0 || tot["frames_retransmitted"] == 0 {
+		t.Errorf("counters %v: want wire fault, reconnect and retransmit all nonzero", tot)
+	}
+}
+
+// A corrupted frame is caught by CRC, the link fails, and resume
+// retransmits the pristine bytes — delivery is intact, never garbage.
+func TestSocketWireCorruptRecovers(t *testing.T) {
+	plan, err := ParseFaultPlan("seed=11;wirecorrupt:rank=1,op=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx := stats.New(2)
+	runWireFaultExchange(t, plan, mx)
+	tot := mx.Snapshot().Totals
+	if tot["crc_failures"] == 0 {
+		t.Errorf("counters %v: corrupt frame never tripped the CRC", tot)
+	}
+	if tot["reconnects"] == 0 {
+		t.Errorf("counters %v: corrupt frame did not force a resume", tot)
+	}
+}
+
+// A duplicated frame is delivered exactly once (link-seq dedup).
+func TestSocketWireDupDeliversOnce(t *testing.T) {
+	plan, err := ParseFaultPlan("seed=11;wiredup:rank=1,op=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := runWireFaultExchange(t, plan, nil)
+	// The exchange itself asserts exactly-once delivery (tags 1..3 each
+	// received once); here just confirm the fault actually fired.
+	fired := false
+	for _, evs := range events {
+		for _, ev := range evs {
+			fired = fired || ev.Kind == FaultWireDup
+		}
+	}
+	if !fired {
+		t.Error("wiredup rule never fired")
+	}
+}
+
+// A torn write (connection reset mid-frame) recovers like a drop.
+func TestSocketWireResetRecovers(t *testing.T) {
+	plan, err := ParseFaultPlan("seed=5;wirereset:rank=1,op=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx := stats.New(2)
+	runWireFaultExchange(t, plan, mx)
+	if tot := mx.Snapshot().Totals; tot["reconnects"] == 0 {
+		t.Errorf("counters %v: torn write did not force a resume", tot)
+	}
+}
+
+// Delay and stall slow the link without breaking it.
+func TestSocketWireDelayAndStall(t *testing.T) {
+	plan, err := ParseFaultPlan("seed=5;wiredelay:rank=1,op=2,dur=20ms;wirestall:rank=1,op=3,dur=20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := runWireFaultExchange(t, plan, nil)
+	kinds := map[FaultKind]bool{}
+	for _, evs := range events {
+		for _, ev := range evs {
+			kinds[ev.Kind] = true
+		}
+	}
+	if !kinds[FaultWireDelay] || !kinds[FaultWireStall] {
+		t.Errorf("fired kinds %v, want wiredelay and wirestall", kinds)
+	}
+}
+
+// Replaying the same seeded plan over the same program reproduces the
+// identical fault trace on every world — the determinism the chaos
+// harness relies on to make failing seeds debuggable.
+func TestSocketWireFaultReplayIdentity(t *testing.T) {
+	run := func() [][]FaultEvent {
+		plan, err := ParseFaultPlan("seed=11;wiredrop:rank=1,op=3;wiredup:rank=1,op=2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runWireFaultExchange(t, plan, nil)
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("fault traces differ across replays:\nrun 1: %v\nrun 2: %v", a, b)
+	}
+	if len(a[0])+len(a[1]) == 0 {
+		t.Error("no fault events recorded")
+	}
+}

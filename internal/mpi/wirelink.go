@@ -1,0 +1,497 @@
+// The socket transport's link layer: one wireLink per connection, making
+// the stream survive what the wire does to it.
+//
+// Every frame travels with a CRC32-C over its seq/ack/body, so a
+// corrupted frame is detected and rejected, never deserialized into
+// garbage. Program-visible frames (MSG, ACK, BARRIER, RELEASE, BYE)
+// carry a per-link sequence number and stay in an unacked window until
+// the peer's cumulative ack — piggybacked on every frame it sends —
+// covers them. A broken connection is then recoverable: the rank end
+// dials back, the HELLO/WELCOME exchange tells each side what the other
+// has seen, and the unacked window is retransmitted in order. Sequence
+// dedup at the receiver makes delivery exactly-once per link no matter
+// how many times recovery (or an injected WireDup) replays a frame.
+//
+// Writes carry deadlines so a stalled peer turns into a diagnosable
+// link failure instead of a wedged writer; reads are watched by the
+// transport's heartbeat goroutines (see transport_socket.go), which
+// declare a silent link dead. Failure of any invariant the layer cannot
+// repair — a window overflow, a sequence hole — surfaces as an error to
+// the transport, whose only moves are resume or diagnosed abort.
+package mpi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+const (
+	// linkHdrLen is the link header past the length prefix:
+	// crc32 (u32) + seq (u64) + ack (u64).
+	linkHdrLen = 4 + 8 + 8
+	// linkWindowMax bounds the unacked window. A peer that stops acking
+	// for this many frames is not slow, it is gone — overflowing the
+	// window is a link failure, not a reason to buffer gigabytes.
+	linkWindowMax = 1 << 15
+	// linkAckEvery makes the receiver volunteer an ack-carrying PONG
+	// every so many sequenced frames, so one-directional traffic still
+	// drains the sender's window. Each volunteered PONG is an extra
+	// syscall on the reverse path, so the cadence sits well below the
+	// window bound but far above "every frame".
+	linkAckEvery = 256
+)
+
+// maxWireFrame bounds a frame so a corrupt length prefix cannot ask for
+// gigabytes; it must exceed any message the examples or tests send.
+const maxWireFrame = 1 << 30
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+var (
+	errLinkDown    = errors.New("mpi: wire link down")
+	errWindowFull  = errors.New("mpi: wire link retransmit window overflowed")
+	errCRCMismatch = errors.New("mpi: wire frame CRC mismatch")
+)
+
+// packLink builds the full on-wire bytes of one frame.
+func packLink(body []byte, seq, ack uint64) []byte {
+	buf := make([]byte, 4+linkHdrLen+len(body))
+	copy(buf[4+linkHdrLen:], body)
+	sealLink(buf, seq, ack)
+	return buf
+}
+
+// sealLink fills the outer header — length, seq, ack, then the CRC over
+// everything the CRC protects — of a buffer whose body is already in
+// place after the first 4+linkHdrLen bytes.
+func sealLink(buf []byte, seq, ack uint64) {
+	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-4))
+	binary.LittleEndian.PutUint64(buf[8:], seq)
+	binary.LittleEndian.PutUint64(buf[16:], ack)
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(buf[8:], crcTable))
+}
+
+// readLinkFrame reads and verifies one frame from r: length bounds, CRC,
+// then the inner codec. Returns the link seq/ack and the wire size.
+func readLinkFrame(r *bufio.Reader) (fr *frame, seq, ack uint64, size int, err error) {
+	var hdr [4]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, 0, 0, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < linkHdrLen+1 || n > maxWireFrame {
+		return nil, 0, 0, 0, fmt.Errorf("mpi: wire frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err = io.ReadFull(r, body); err != nil {
+		return nil, 0, 0, 0, err
+	}
+	if crc32.Checksum(body[4:], crcTable) != binary.LittleEndian.Uint32(body) {
+		return nil, 0, 0, 0, errCRCMismatch
+	}
+	seq = binary.LittleEndian.Uint64(body[4:])
+	ack = binary.LittleEndian.Uint64(body[12:])
+	fr, err = decodeFrame(body[linkHdrLen:])
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	return fr, seq, ack, 4 + int(n), nil
+}
+
+// writeRawFrame writes one unsequenced frame directly to a connection
+// not (yet) installed in a link — the HELLO/WELCOME handshake.
+func writeRawFrame(c net.Conn, fr *frame, timeout time.Duration) error {
+	if timeout > 0 {
+		c.SetWriteDeadline(time.Now().Add(timeout))
+		defer c.SetWriteDeadline(time.Time{})
+	}
+	_, err := c.Write(packLink(encodeFrame(fr), 0, 0))
+	return err
+}
+
+// readRawFrame reads one frame during a handshake, bounded by timeout.
+func readRawFrame(c net.Conn, r *bufio.Reader, timeout time.Duration) (*frame, error) {
+	if timeout > 0 {
+		c.SetReadDeadline(time.Now().Add(timeout))
+		defer c.SetReadDeadline(time.Time{})
+	}
+	fr, _, _, _, err := readLinkFrame(r)
+	return fr, err
+}
+
+// linkFrame is one windowed frame: the seq and its pristine wire bytes
+// (fault injection corrupts copies, never the window).
+type linkFrame struct {
+	seq uint64
+	buf []byte
+}
+
+// wireLink is one hardened connection. Writes are serialised by mu so
+// concurrent senders interleave whole frames; reads happen from a single
+// reader goroutine per link, which also drives recovery.
+type wireLink struct {
+	// Wire accounting: every frame written or read is attributed to the
+	// local rank of the observing process (nil collector disables it for
+	// free, as everywhere).
+	mx   *stats.Collector
+	attr int
+	// peer is the non-hub rank of this link; side the writer-side
+	// identity of this process (wireSideHub or wireSideRank). Together
+	// they key the deterministic fault streams.
+	peer   int
+	side   int
+	faults *wireFaults
+
+	writeTimeout time.Duration
+
+	mu      sync.Mutex
+	conn    net.Conn
+	r       *bufio.Reader
+	down    bool
+	sendSeq uint64
+	peerAck uint64
+	window  []linkFrame
+	epoch   uint32
+	// armedUntil is the absolute write deadline currently armed on conn
+	// (UnixNano). Re-arming a runtime timer per frame costs more than the
+	// write itself on fast paths, so the deadline is pushed out only when
+	// less than half the timeout remains — every write still has at least
+	// writeTimeout/2 of budget.
+	armedUntil int64
+
+	recvSeq  atomic.Uint64 // highest contiguous seq received; piggybacked as ack
+	lastRead atomic.Int64  // UnixNano of the last successful read (liveness)
+}
+
+func newWireLink(conn net.Conn, r *bufio.Reader, mx *stats.Collector, attr, peer, side int, wf *wireFaults, writeTimeout time.Duration) *wireLink {
+	if r == nil {
+		r = bufio.NewReader(conn)
+	}
+	l := &wireLink{
+		mx: mx, attr: attr, peer: peer, side: side, faults: wf,
+		writeTimeout: writeTimeout, conn: conn, r: r,
+	}
+	l.lastRead.Store(time.Now().UnixNano())
+	return l
+}
+
+// send transmits one frame. Sequenced frames are windowed first, so a
+// connection failure mid-send is not an error for them — the frame is
+// safe in the window and the next resume retransmits it. The errors
+// that do surface (window overflow; an unsequenced write on a down
+// link) are beyond the link's power to repair.
+func (l *wireLink) send(fr *frame) error {
+	// Encode straight into the outer wire buffer (off-lock); the header is
+	// sealed under the lock once the seq is known. One allocation per frame.
+	buf := appendFrame(make([]byte, 4+linkHdrLen, 4+linkHdrLen+wireSizeHint(fr)), fr)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var seq uint64
+	if sequencedType(fr.typ) {
+		if len(l.window) >= linkWindowMax {
+			return errWindowFull
+		}
+		l.sendSeq++
+		seq = l.sendSeq
+	}
+	sealLink(buf, seq, l.recvSeq.Load())
+	if seq != 0 {
+		l.window = append(l.window, linkFrame{seq: seq, buf: buf})
+	}
+	if l.down {
+		if seq != 0 {
+			return nil
+		}
+		return errLinkDown
+	}
+	err := l.transmitLocked(buf, seq)
+	if seq != 0 {
+		return nil
+	}
+	return err
+}
+
+// transmitLocked writes one first-transmission frame, applying any wire
+// faults the plan selects for (peer, side, seq). Retransmissions bypass
+// it (see resume), so recovery traffic is never re-faulted and every
+// decision stays a pure function of the frame sequence.
+func (l *wireLink) transmitLocked(buf []byte, seq uint64) error {
+	out := buf
+	if l.faults != nil && seq != 0 {
+		if d, any := l.faults.writeDecide(l.peer, l.side, seq, len(buf)); any {
+			if d.delay > 0 {
+				// Sleep with the link locked: a slow wire serialises
+				// everything behind it, heartbeats included.
+				time.Sleep(d.delay)
+			}
+			if d.drop {
+				l.failLocked()
+				return errLinkDown
+			}
+			if d.resetAt >= 0 {
+				cut := d.resetAt
+				if cut > len(buf) {
+					cut = len(buf)
+				}
+				if l.writeTimeout > 0 {
+					l.conn.SetWriteDeadline(time.Now().Add(l.writeTimeout))
+				}
+				l.conn.Write(buf[:cut]) // torn write: deliberately partial
+				l.failLocked()
+				return errLinkDown
+			}
+			if len(d.corrupt) > 0 {
+				out = append([]byte(nil), buf...)
+				for _, off := range d.corrupt {
+					if off >= 0 && off < len(out) {
+						out[off] ^= 0x55
+					}
+				}
+			}
+			if d.dup {
+				if err := l.rawWriteLocked(out); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return l.rawWriteLocked(out)
+}
+
+// rawWriteLocked writes bytes under a deadline; failure marks the link
+// down and closes the conn so the blocked reader wakes into recovery.
+func (l *wireLink) rawWriteLocked(b []byte) error {
+	if l.writeTimeout > 0 {
+		if now := time.Now(); l.armedUntil-now.UnixNano() < int64(l.writeTimeout)/2 {
+			l.conn.SetWriteDeadline(now.Add(l.writeTimeout))
+			l.armedUntil = now.UnixNano() + int64(l.writeTimeout)
+		}
+	}
+	if _, err := l.conn.Write(b); err != nil {
+		l.failLocked()
+		return err
+	}
+	l.mx.WireObserved(l.attr, 1, len(b))
+	return nil
+}
+
+func (l *wireLink) failLocked() {
+	if l.down {
+		return
+	}
+	l.down = true
+	if l.conn != nil {
+		l.conn.Close()
+	}
+}
+
+// fail marks the link down, waking its reader with an error.
+func (l *wireLink) fail() {
+	l.mu.Lock()
+	l.failLocked()
+	l.mu.Unlock()
+}
+
+func (l *wireLink) isDown() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.down
+}
+
+// sinceRead is the time since the last successful read on this link.
+func (l *wireLink) sinceRead() time.Duration {
+	return time.Duration(time.Now().UnixNano() - l.lastRead.Load())
+}
+
+// ackTo prunes the window up to the peer's cumulative ack.
+func (l *wireLink) ackTo(ack uint64) {
+	l.mu.Lock()
+	if ack > l.peerAck {
+		l.peerAck = ack
+		i := 0
+		for i < len(l.window) && l.window[i].seq <= ack {
+			i++
+		}
+		if i > 0 {
+			l.window = append(l.window[:0], l.window[i:]...)
+		}
+	}
+	l.mu.Unlock()
+}
+
+// recv returns the next program-visible frame: heartbeats are answered,
+// acks folded, duplicates dropped, and a read raced by a concurrent
+// resume retries on the fresh connection. A returned error means the
+// link is down and already marked failed.
+func (l *wireLink) recv() (*frame, error) {
+	for {
+		l.mu.Lock()
+		r, down := l.r, l.down
+		l.mu.Unlock()
+		if down {
+			return nil, errLinkDown
+		}
+		fr, seq, size, err := l.readFrame(r)
+		if err != nil {
+			l.mu.Lock()
+			if l.r == r { // still the current conn: a real failure
+				l.failLocked()
+				l.mu.Unlock()
+				return nil, err
+			}
+			l.mu.Unlock()
+			continue // lost a race with resume; read the fresh conn
+		}
+		if fr == nil {
+			continue // duplicate, dropped by seq dedup
+		}
+		l.mx.WireObserved(l.attr, 1, size)
+		switch fr.typ {
+		case frPing:
+			l.send(&frame{typ: frPong}) // the reply carries a fresh ack
+			continue
+		case frPong:
+			continue // pure ack carrier; already folded
+		case frBye:
+			// Flush our ack immediately so the goodbye leaves the
+			// peer's window and its shutdown drain completes.
+			l.send(&frame{typ: frPong})
+		}
+		if seq != 0 && seq%linkAckEvery == 0 {
+			l.send(&frame{typ: frPong})
+		}
+		return fr, nil
+	}
+}
+
+// readFrame reads one frame and runs the link-level protocol on it: CRC
+// accounting, ack folding, liveness refresh, sequence dedup (nil frame
+// = duplicate, dropped), hole detection and read-side stall injection.
+func (l *wireLink) readFrame(r *bufio.Reader) (*frame, uint64, int, error) {
+	fr, seq, ack, size, err := readLinkFrame(r)
+	if err != nil {
+		if errors.Is(err, errCRCMismatch) {
+			l.mx.WireCounted(l.attr, stats.CtrCrcFailures, 1)
+		}
+		return nil, 0, 0, err
+	}
+	l.ackTo(ack)
+	l.lastRead.Store(time.Now().UnixNano())
+	if seq != 0 {
+		cur := l.recvSeq.Load()
+		if seq <= cur {
+			return nil, seq, size, nil // dup: WireDup or a resume replay
+		}
+		if seq != cur+1 {
+			// A hole means the stream lost a sequenced frame without
+			// losing the connection. The link cannot repair that in
+			// place; failing it makes resume refill the gap from the
+			// peer's window.
+			return nil, 0, 0, fmt.Errorf("mpi: wire link sequence hole: got %d, want %d", seq, cur+1)
+		}
+		l.recvSeq.Store(seq)
+	}
+	if l.faults != nil && seq != 0 {
+		if d, ok := l.faults.stallDecide(l.peer, 1-l.side, seq); ok {
+			time.Sleep(d) // stop reading: backpressure builds to the writer
+		}
+	}
+	return fr, seq, size, nil
+}
+
+// nextEpoch issues a fresh resume epoch (rank side; each dial attempt
+// uses a strictly larger one so the hub can tell a retry from a replay).
+func (l *wireLink) nextEpoch() uint32 {
+	l.mu.Lock()
+	l.epoch++
+	e := l.epoch
+	l.mu.Unlock()
+	return e
+}
+
+// resume installs a fresh connection: prune the window to the peer's
+// ack, swap the conn, and retransmit what the peer has not seen — the
+// original bytes with their original seqs, never re-faulted. strict
+// rejects non-monotonic epochs (the hub side, where a stale or hostile
+// resume must not clobber a live link).
+func (l *wireLink) resume(conn net.Conn, r *bufio.Reader, peerAck uint64, epoch uint32, strict bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if strict && epoch <= l.epoch {
+		return fmt.Errorf("mpi: stale resume epoch %d (link at %d)", epoch, l.epoch)
+	}
+	if peerAck > l.peerAck {
+		l.peerAck = peerAck
+	}
+	i := 0
+	for i < len(l.window) && l.window[i].seq <= l.peerAck {
+		i++
+	}
+	if i > 0 {
+		l.window = append(l.window[:0], l.window[i:]...)
+	}
+	if l.conn != nil && !l.down {
+		l.conn.Close() // a live conn loses to a newer epoch
+	}
+	l.conn = conn
+	l.armedUntil = 0 // fresh conn, no deadline armed yet
+	if r == nil {
+		r = bufio.NewReader(conn)
+	}
+	l.r = r
+	l.down = false
+	if epoch > l.epoch {
+		l.epoch = epoch
+	}
+	l.lastRead.Store(time.Now().UnixNano())
+	for _, f := range l.window {
+		if err := l.rawWriteLocked(f.buf); err != nil {
+			return err
+		}
+	}
+	if n := len(l.window); n > 0 {
+		l.mx.WireCounted(l.attr, stats.CtrRetransmits, int64(n))
+	}
+	l.mx.WireCounted(l.attr, stats.CtrReconnects, 1)
+	return nil
+}
+
+// drain waits until every sequenced frame this side sent has been acked
+// (the window is empty), the link dies, or the deadline passes — the
+// flush before a clean goodbye closes the connection.
+func (l *wireLink) drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		l.mu.Lock()
+		empty := len(l.window) == 0
+		down := l.down
+		l.mu.Unlock()
+		if empty {
+			return true
+		}
+		if down || time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func (l *wireLink) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.down = true
+	if l.conn == nil {
+		return nil
+	}
+	return l.conn.Close()
+}

@@ -1,0 +1,344 @@
+package mpi
+
+// Link-layer tests: the CRC/seq/ack framing in isolation, hostile input
+// through the frame reader, and the window/dedup/resume machinery over
+// in-memory pipes — no real transport, no goroutine-per-rank worlds.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func readFromBytes(t *testing.T, b []byte) (*frame, uint64, uint64, error) {
+	t.Helper()
+	fr, seq, ack, _, err := readLinkFrame(bufio.NewReader(bytes.NewReader(b)))
+	return fr, seq, ack, err
+}
+
+func TestPackLinkRoundTrip(t *testing.T) {
+	in := &frame{typ: frMsg, dst: 2, ctx: 1, src: 1, tag: 42, payload: []byte("payload")}
+	buf := packLink(encodeFrame(in), 5, 9)
+	fr, seq, ack, err := readFromBytes(t, buf)
+	if err != nil {
+		t.Fatalf("readLinkFrame: %v", err)
+	}
+	if seq != 5 || ack != 9 {
+		t.Errorf("seq/ack = %d/%d, want 5/9", seq, ack)
+	}
+	if fr.typ != frMsg || fr.dst != 2 || fr.src != 1 || fr.tag != 42 || string(fr.payload) != "payload" {
+		t.Errorf("decoded %+v", fr)
+	}
+}
+
+func TestHelloWelcomeCodec(t *testing.T) {
+	hello := &frame{typ: frHello, rank: 3, world: 4, epoch: 7, ack: 99}
+	fr, err := decodeFrame(encodeFrame(hello))
+	if err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	if fr.rank != 3 || fr.world != 4 || fr.epoch != 7 || fr.ack != 99 {
+		t.Errorf("hello decoded %+v", fr)
+	}
+	welcome := &frame{typ: frWelcome, epoch: 7, ack: 12}
+	fr, err = decodeFrame(encodeFrame(welcome))
+	if err != nil {
+		t.Fatalf("welcome: %v", err)
+	}
+	if fr.epoch != 7 || fr.ack != 12 {
+		t.Errorf("welcome decoded %+v", fr)
+	}
+	for _, typ := range []byte{frPing, frPong} {
+		if fr, err := decodeFrame(encodeFrame(&frame{typ: typ})); err != nil || fr.typ != typ {
+			t.Errorf("type %d: %+v, %v", typ, fr, err)
+		}
+	}
+}
+
+// Hostile bytes through the frame reader: every malformation must come
+// back as a diagnosed error — never a panic, never a silent misparse.
+func TestReadLinkFrameHostile(t *testing.T) {
+	good := packLink(encodeFrame(&frame{typ: frMsg, dst: 1, payload: []byte("x")}), 1, 0)
+
+	t.Run("truncated body", func(t *testing.T) {
+		_, _, _, err := readFromBytes(t, good[:len(good)-1])
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("err = %v, want unexpected EOF", err)
+		}
+	})
+	t.Run("length below minimum", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint32(b, linkHdrLen) // one short of the minimum
+		_, _, _, err := readFromBytes(t, b)
+		if err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("err = %v, want length out of range", err)
+		}
+	})
+	t.Run("length above maxWireFrame", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint32(b, maxWireFrame+1)
+		_, _, _, err := readFromBytes(t, b)
+		if err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("err = %v, want length out of range", err)
+		}
+	})
+	t.Run("flipped byte fails CRC", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[len(b)-1] ^= 0x01
+		_, _, _, err := readFromBytes(t, b)
+		if !errors.Is(err, errCRCMismatch) {
+			t.Fatalf("err = %v, want errCRCMismatch", err)
+		}
+	})
+	t.Run("unknown frame type", func(t *testing.T) {
+		b := packLink([]byte{0xEE}, 0, 0) // valid envelope, nonsense inside
+		_, _, _, err := readFromBytes(t, b)
+		if err == nil || !strings.Contains(err.Error(), "unknown wire frame type") {
+			t.Fatalf("err = %v, want unknown frame type", err)
+		}
+	})
+	t.Run("truncated inner fields", func(t *testing.T) {
+		b := packLink([]byte{frHello, 1, 2}, 0, 0) // HELLO needs 20 field bytes
+		_, _, _, err := readFromBytes(t, b)
+		if err == nil || !strings.Contains(err.Error(), "truncated wire frame") {
+			t.Fatalf("err = %v, want truncated frame", err)
+		}
+	})
+}
+
+// linkPair builds a wireLink over one end of an in-memory pipe and hands
+// back the raw other end for the test to script.
+func linkPair(t *testing.T, mx *stats.Collector) (*wireLink, net.Conn) {
+	t.Helper()
+	raw, end := net.Pipe()
+	l := newWireLink(end, nil, mx, 0, 1, wireSideHub, nil, time.Second)
+	t.Cleanup(func() { l.close(); raw.Close() })
+	return l, raw
+}
+
+// Sequence dedup: a replayed seq is dropped without reaching the caller,
+// and a sequence hole is a diagnosed link error, not silent loss.
+func TestWireLinkDedupAndHole(t *testing.T) {
+	l, raw := linkPair(t, nil)
+	msg := func(seq uint64, s string) []byte {
+		return packLink(encodeFrame(&frame{typ: frMsg, payload: []byte(s)}), seq, 0)
+	}
+	go func() {
+		raw.Write(msg(1, "one"))
+		raw.Write(msg(2, "two"))
+		raw.Write(msg(2, "two-again")) // replay: must be dropped
+		raw.Write(msg(4, "hole"))      // 3 never sent: must fail the link
+	}()
+	for i, want := range []string{"one", "two"} {
+		fr, err := l.recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if string(fr.payload) != want {
+			t.Fatalf("recv %d = %q, want %q", i, fr.payload, want)
+		}
+	}
+	_, err := l.recv()
+	if err == nil || !strings.Contains(err.Error(), "sequence hole") {
+		t.Fatalf("after hole: err = %v, want sequence hole", err)
+	}
+	if !l.isDown() {
+		t.Error("link still up after sequence hole")
+	}
+	if got := l.recvSeq.Load(); got != 2 {
+		t.Errorf("recvSeq = %d, want 2", got)
+	}
+}
+
+// A CRC-corrupt frame fails the link and bumps the crc_failures counter.
+func TestWireLinkCRCFailureCounted(t *testing.T) {
+	mx := stats.New(2)
+	l, raw := linkPair(t, mx)
+	go func() {
+		b := packLink(encodeFrame(&frame{typ: frMsg, payload: []byte("x")}), 1, 0)
+		b[len(b)-1] ^= 0x40
+		raw.Write(b)
+	}()
+	if _, err := l.recv(); !errors.Is(err, errCRCMismatch) {
+		t.Fatalf("recv: %v, want errCRCMismatch", err)
+	}
+	if got := mx.Snapshot().Ranks[0].Counters["crc_failures"]; got != 1 {
+		t.Errorf("crc_failures = %d, want 1", got)
+	}
+}
+
+// The unacked window holds every sequenced frame until the peer's
+// cumulative ack covers it; drain reports whether it emptied in time.
+func TestWireLinkWindowAckDrain(t *testing.T) {
+	l, raw := linkPair(t, nil)
+	go io.Copy(io.Discard, raw) // net.Pipe is synchronous: somebody must read
+	for i := 0; i < 3; i++ {
+		if err := l.send(&frame{typ: frMsg, payload: []byte{byte(i)}}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	winLen := func() int {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return len(l.window)
+	}
+	if got := winLen(); got != 3 {
+		t.Fatalf("window = %d frames, want 3", got)
+	}
+	if l.drain(20 * time.Millisecond) {
+		t.Error("drain reported empty with 3 unacked frames")
+	}
+	l.ackTo(2)
+	if got := winLen(); got != 1 {
+		t.Fatalf("window after ackTo(2) = %d frames, want 1", got)
+	}
+	l.ackTo(1) // acks never regress
+	if got := winLen(); got != 1 {
+		t.Fatalf("window after stale ack = %d frames, want 1", got)
+	}
+	l.ackTo(3)
+	if !l.drain(time.Second) {
+		t.Error("drain did not report empty after full ack")
+	}
+}
+
+// Resume on a fresh connection retransmits exactly the unacked suffix of
+// the window, in order, with the original sequence numbers.
+func TestWireLinkResumeRetransmits(t *testing.T) {
+	mx := stats.New(2)
+	l, raw := linkPair(t, mx)
+	go io.Copy(io.Discard, raw)
+	for i := 0; i < 3; i++ {
+		if err := l.send(&frame{typ: frMsg, payload: []byte{'a' + byte(i)}}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	l.fail()
+	if err := l.send(&frame{typ: frMsg, payload: []byte{'d'}}); err != nil {
+		t.Fatalf("send while down must buffer, got %v", err)
+	}
+
+	raw2, end2 := net.Pipe()
+	defer raw2.Close()
+	type got struct {
+		seq     uint64
+		payload string
+	}
+	seen := make(chan got, 8)
+	go func() {
+		r := bufio.NewReader(raw2)
+		for {
+			fr, seq, _, _, err := readLinkFrame(r)
+			if err != nil {
+				return
+			}
+			seen <- got{seq, string(fr.payload)}
+		}
+	}()
+	// Peer acked seq 1 before the break: 2, 3 and the buffered 4 remain.
+	if err := l.resume(end2, nil, 1, 1, false); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	for _, want := range []got{{2, "b"}, {3, "c"}, {4, "d"}} {
+		select {
+		case g := <-seen:
+			if g != want {
+				t.Fatalf("retransmit = %+v, want %+v", g, want)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("timed out waiting for retransmit of seq %d", want.seq)
+		}
+	}
+	ctr := mx.Snapshot().Ranks[0].Counters
+	if ctr["reconnects"] != 1 || ctr["frames_retransmitted"] != 3 {
+		t.Errorf("reconnects=%d retransmitted=%d, want 1/3",
+			ctr["reconnects"], ctr["frames_retransmitted"])
+	}
+}
+
+// The hub side rejects non-monotonic resume epochs, so a stale or
+// replayed dial can never clobber a live link.
+func TestWireLinkResumeStaleEpoch(t *testing.T) {
+	l, raw := linkPair(t, nil)
+	go io.Copy(io.Discard, raw)
+	raw2, end2 := net.Pipe()
+	defer raw2.Close()
+	go io.Copy(io.Discard, raw2)
+	if err := l.resume(end2, nil, 0, 2, true); err != nil {
+		t.Fatalf("first resume: %v", err)
+	}
+	raw3, end3 := net.Pipe()
+	defer raw3.Close()
+	defer end3.Close()
+	if err := l.resume(end3, nil, 0, 2, true); err == nil ||
+		!strings.Contains(err.Error(), "stale resume epoch") {
+		t.Fatalf("stale epoch resume: err = %v, want stale epoch", err)
+	}
+}
+
+// A full window is a link failure the caller can diagnose, not an
+// unbounded buffer.
+func TestWireLinkWindowOverflow(t *testing.T) {
+	l, raw := linkPair(t, nil)
+	raw.Close() // writes fail instantly; frames pile into the window
+	l.fail()
+	var err error
+	for i := 0; i <= linkWindowMax; i++ {
+		if err = l.send(&frame{typ: frBarrier}); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, errWindowFull) {
+		t.Fatalf("err = %v, want errWindowFull", err)
+	}
+}
+
+// PINGs are answered with PONGs carrying the receiver's cumulative ack,
+// which the sender folds into its window — the heartbeat doubles as the
+// ack path for one-directional traffic.
+func TestWireLinkPingPongAck(t *testing.T) {
+	a, b := net.Pipe()
+	la := newWireLink(a, nil, nil, 0, 1, wireSideHub, nil, time.Second)
+	lb := newWireLink(b, nil, nil, 1, 1, wireSideRank, nil, time.Second)
+	t.Cleanup(func() { la.close(); lb.close() })
+	frames := make(chan *frame, 4)
+	errs := make(chan error, 2)
+	for _, l := range []*wireLink{la, lb} {
+		go func(l *wireLink) {
+			for {
+				fr, err := l.recv()
+				if err != nil {
+					errs <- err
+					return
+				}
+				frames <- fr
+			}
+		}(l)
+	}
+	if err := la.send(&frame{typ: frMsg, payload: []byte("hi")}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case fr := <-frames:
+		if string(fr.payload) != "hi" {
+			t.Fatalf("delivered %q", fr.payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("message never delivered")
+	}
+	// b's answer to a PING acks seq 1, emptying a's window.
+	if err := la.send(&frame{typ: frPing}); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if !la.drain(2 * time.Second) {
+		t.Error("window not drained by the PONG ack")
+	}
+}

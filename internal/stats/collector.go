@@ -52,6 +52,20 @@ const (
 	// rank (always zero under the in-process transport).
 	CtrWireFrames
 	CtrWireBytes
+	// CtrWireFaults counts wire-level fault-plan injections (delays,
+	// corruptions, drops...) this process applied to its links.
+	CtrWireFaults
+	// CtrCrcFailures counts frames rejected by the link-layer CRC check.
+	CtrCrcFailures
+	// CtrHeartbeats counts PING frames this process sent to keep its
+	// links' liveness clocks fresh.
+	CtrHeartbeats
+	// CtrReconnects counts successful link resumes after a connection
+	// failure.
+	CtrReconnects
+	// CtrRetransmits counts sequenced frames re-sent from the unacked
+	// window during a link resume.
+	CtrRetransmits
 	numCounters
 )
 
@@ -61,6 +75,8 @@ var counterNames = [numCounters]string{
 	"barriers", "selects", "probes",
 	"spill_segments", "spill_bytes", "faults_injected",
 	"wire_frames", "wire_bytes",
+	"wire_faults_injected", "crc_failures", "heartbeats",
+	"reconnects", "frames_retransmitted",
 }
 
 // Histogram indices into a shard's histogram array.
@@ -291,6 +307,19 @@ func (c *Collector) WireObserved(rank, frames, nbytes int) {
 	if s := c.shard(rank); s != nil {
 		s.counters[CtrWireFrames].Add(int64(frames))
 		s.counters[CtrWireBytes].Add(int64(nbytes))
+	}
+}
+
+// WireCounted adds n to one of the wire-hardening counters (CtrWireFaults,
+// CtrCrcFailures, CtrHeartbeats, CtrReconnects, CtrRetransmits) for the
+// process hosting rank. One entry point keeps the transport's accounting
+// calls as cheap as the frames they count.
+func (c *Collector) WireCounted(rank, ctr int, n int64) {
+	if c == nil || ctr < CtrWireFaults || ctr > CtrRetransmits {
+		return
+	}
+	if s := c.shard(rank); s != nil {
+		s.counters[ctr].Add(n)
 	}
 }
 
