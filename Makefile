@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci cover bench bench-compare fuzz fuzz-smoke smoke-multiproc smoke-serve smoke-index chaos chaos-wire clean
+.PHONY: all build vet test race ci cover bench bench-compare fuzz fuzz-smoke smoke-multiproc smoke-serve smoke-index smoke-analyze chaos chaos-wire clean
 
 all: ci
 
@@ -20,7 +20,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: build vet race fuzz-smoke cover smoke-multiproc smoke-serve smoke-index chaos-wire
+ci: build vet race fuzz-smoke cover smoke-multiproc smoke-serve smoke-index smoke-analyze chaos-wire
 
 # Multi-process smoke: the lab2 exercise with every rank as its own OS
 # process over the socket transport (-pitransport=socket re-executes the
@@ -57,6 +57,17 @@ smoke-index:
 	./out/pilot-index verify out/idx-smoke/collisions.clog2
 	./out/pilot-index verify out/idx-smoke/thumbnail.clog2
 
+# Analyzer corpus smoke: the labelled chaos corpus. Each cell runs a
+# real example program under a seeded fault plan and asserts its
+# planted pathologies are all flagged (recall = 1.0), clean runs of all
+# three programs produce zero findings (no false positives), and
+# `pilot-analyze -diff` localizes a seeded stall, crash, and wire fault
+# to the faulted rank. The diff-alignment properties (self-diff empty,
+# identically-seeded replays diff clean) sweep the chaos matrix seeds.
+# Race-clean.
+smoke-analyze:
+	$(GO) test -race -run '^TestAnalyzeCorpus|^TestAnalyzeDiffProp' -v .
+
 # Statement-coverage floors: run the whole suite with cross-package
 # instrumentation, then hold the observability-critical packages above
 # their checked-in minimums (coverfloor exits 1 below a floor).
@@ -68,6 +79,7 @@ cover:
 		-floor repro/internal/mpi=88 \
 		-floor repro/internal/clog2=87 \
 		-floor repro/internal/idx=85 \
+		-floor repro/internal/analyze=85 \
 		out/cover.out
 
 # The logging-overhead harness (ns/op, B/op, allocs/op per Pilot call,
@@ -95,6 +107,7 @@ fuzz:
 	$(GO) test ./internal/clog2/ -fuzz FuzzReadFile -fuzztime 30s
 	$(GO) test ./internal/slog2/ -fuzz FuzzReadSLOG2 -fuzztime 30s
 	$(GO) test ./internal/idx/ -fuzz FuzzReadIndex -fuzztime 30s
+	$(GO) test ./internal/analyze/ -fuzz FuzzAnalyze -fuzztime 30s
 
 # CI fuzz smoke: 5 seconds of coverage-guided fuzzing per target. Go only
 # accepts one -fuzz target per invocation, hence one line per target.
@@ -104,6 +117,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSalvageFragment$$' -fuzztime 5s ./internal/mpe/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSLOG2$$' -fuzztime 5s ./internal/slog2/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadIndex$$' -fuzztime 5s ./internal/idx/
+	$(GO) test -run '^$$' -fuzz '^FuzzAnalyze$$' -fuzztime 5s ./internal/analyze/
 
 # The kill/corrupt chaos harness: a real example under RobustLog is
 # SIGKILLed at seeded points, its spill files further damaged, and every

@@ -1,0 +1,389 @@
+// The streaming collection pass: one BlockReader scan gathering what
+// the post-run profile does not keep — per-(rank,state) outlier
+// attribution, per-channel message timing, per-rank category
+// self-times, and injected-fault events — plus the entry points that
+// pair it with a reused or recomputed stats.Profile and run the
+// detector catalogue over both.
+package analyze
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/clog2"
+	"repro/internal/colors"
+	"repro/internal/stats"
+)
+
+var (
+	negInf = math.Inf(-1)
+	posInf = math.Inf(1)
+)
+
+// soloBase mirrors the mpe etype split: solo (non-state) event etypes
+// live at 1<<20 and above, state start/end etypes below it.
+const soloBase = 1 << 20
+
+// faultEventName / deadlockEventName are the runtime's solo-event
+// definitions for injected faults and deadlock diagnoses.
+const (
+	faultEventName    = "FaultInjected"
+	deadlockEventName = "Deadlock"
+)
+
+// openState is one entry of a rank's in-flight state stack.
+type openState struct {
+	etype    int32
+	start    float64
+	childSec float64
+}
+
+// rankPass accumulates one rank's analyzer-side numbers.
+type rankPass struct {
+	rank  int32
+	stack []openState
+	// Self-time split one level finer than the profile's busy/blocked:
+	// output-blocked is its own bucket because clean Pilot writes are
+	// eager (≈0s), making it the dominator detector's zero-FP signal.
+	outBlockedSec float64
+	inBlockedSec  float64
+	busySec       float64
+	wall0, wall1  float64
+	haveWall      bool
+	states        map[int32]*rankState
+}
+
+// rankState tracks one state's occurrences on one rank: enough to
+// attribute a global outlier to its rank and start time.
+type rankState struct {
+	name     string
+	count    int64
+	max      float64
+	maxStart float64
+	second   float64
+}
+
+// chanPass records one channel's message timing.
+type chanPass struct {
+	ch        int32
+	sends     []float64
+	recvs     []float64
+	sendCount int64
+	recvCount int64
+	sendRanks map[int32]bool
+	recvRanks map[int32]bool
+}
+
+// faultEvent is one FaultInjected/Deadlock solo event from the trace.
+type faultEvent struct {
+	time  float64
+	rank  int32
+	name  string // event def name
+	cargo string
+}
+
+// collector is the analyzer's one-pass state.
+type collector struct {
+	opts     Options
+	numRanks int
+	records  int64
+	wall0    float64
+	wall1    float64
+	haveWall bool
+
+	startOf   map[int32]int32
+	endOf     map[int32]int32
+	stateName map[int32]string
+	eventName map[int32]string
+
+	ranks     map[int32]*rankPass
+	chans     map[int32]*chanPass
+	msgEvents int
+	truncated bool
+	faults    []faultEvent
+}
+
+func newCollector(opts Options) *collector {
+	return &collector{
+		opts:      opts,
+		startOf:   map[int32]int32{},
+		endOf:     map[int32]int32{},
+		stateName: map[int32]string{},
+		eventName: map[int32]string{},
+		ranks:     map[int32]*rankPass{},
+		chans:     map[int32]*chanPass{},
+	}
+}
+
+func (c *collector) rank(id int32) *rankPass {
+	rp := c.ranks[id]
+	if rp == nil {
+		rp = &rankPass{rank: id, states: map[int32]*rankState{}}
+		c.ranks[id] = rp
+	}
+	return rp
+}
+
+func (c *collector) channel(id int32) *chanPass {
+	cp := c.chans[id]
+	if cp == nil {
+		cp = &chanPass{ch: id, sendRanks: map[int32]bool{}, recvRanks: map[int32]bool{}}
+		c.chans[id] = cp
+	}
+	return cp
+}
+
+// classify maps a state-space etype to (state ID, isStart, name) with
+// the same parity fallback the profiler and salvage use, so defs-less
+// logs still pair.
+func (c *collector) classify(etype int32) (int32, bool, string) {
+	if id, ok := c.startOf[etype]; ok {
+		return id, true, c.stateName[id]
+	}
+	if id, ok := c.endOf[etype]; ok {
+		return id, false, c.stateName[id]
+	}
+	id := etype / 2
+	name := fmt.Sprintf("state %d", id)
+	return id, etype%2 == 0, name
+}
+
+func (c *collector) addRecord(rec *clog2.Record) {
+	switch rec.Type {
+	case clog2.RecStateDef:
+		c.startOf[rec.Aux1] = rec.ID
+		c.endOf[rec.Aux2] = rec.ID
+		c.stateName[rec.ID] = rec.Name
+		return
+	case clog2.RecEventDef:
+		c.eventName[rec.ID] = rec.Name
+		return
+	case clog2.RecConstDef, clog2.RecSrcLoc, clog2.RecEndBlock, clog2.RecEndLog:
+		return
+	}
+	// Hostile traces can carry NaN/Inf timestamps; every timing
+	// computation below assumes finite time, so drop such records the
+	// way a window drops out-of-range ones.
+	if math.IsNaN(rec.Time) || math.IsInf(rec.Time, 0) {
+		return
+	}
+	if rec.Time < c.opts.T0 || rec.Time > c.opts.T1 {
+		return
+	}
+	c.records++
+	if !c.haveWall || rec.Time < c.wall0 {
+		c.wall0 = rec.Time
+	}
+	if !c.haveWall || rec.Time > c.wall1 {
+		c.wall1 = rec.Time
+	}
+	c.haveWall = true
+
+	rp := c.rank(rec.Rank)
+	if !rp.haveWall || rec.Time < rp.wall0 {
+		rp.wall0 = rec.Time
+	}
+	if !rp.haveWall || rec.Time > rp.wall1 {
+		rp.wall1 = rec.Time
+	}
+	rp.haveWall = true
+
+	switch rec.Type {
+	case clog2.RecMsgEvt:
+		cp := c.channel(rec.Aux2)
+		if rec.Dir == clog2.DirSend {
+			cp.sendCount++
+			cp.sendRanks[rec.Rank] = true
+		} else {
+			cp.recvCount++
+			cp.recvRanks[rec.Rank] = true
+		}
+		if c.msgEvents >= c.opts.MaxMsgEvents {
+			c.truncated = true
+			return
+		}
+		c.msgEvents++
+		if rec.Dir == clog2.DirSend {
+			cp.sends = append(cp.sends, rec.Time)
+		} else {
+			cp.recvs = append(cp.recvs, rec.Time)
+		}
+	case clog2.RecBareEvt, clog2.RecCargoEvt:
+		etype := rec.ID
+		if etype >= soloBase {
+			switch c.eventName[etype] {
+			case faultEventName, deadlockEventName:
+				c.faults = append(c.faults, faultEvent{
+					time:  rec.Time,
+					rank:  rec.Rank,
+					name:  c.eventName[etype],
+					cargo: rec.CargoText(),
+				})
+			}
+			return
+		}
+		id, isStart, name := c.classify(etype)
+		if isStart {
+			rp.stack = append(rp.stack, openState{etype: etype, start: rec.Time})
+			return
+		}
+		n := len(rp.stack)
+		if n == 0 {
+			return // unpaired end; the profile already accounts for it
+		}
+		top := rp.stack[n-1]
+		rp.stack = rp.stack[:n-1]
+		dur := rec.Time - top.start
+		if dur < 0 {
+			dur = 0
+		}
+		self := dur - top.childSec
+		if self < 0 {
+			self = 0
+		}
+		if len(rp.stack) > 0 {
+			rp.stack[len(rp.stack)-1].childSec += dur
+		}
+		st := rp.states[id]
+		if st == nil {
+			st = &rankState{name: name}
+			rp.states[id] = st
+		}
+		st.count++
+		if dur > st.max {
+			st.second = st.max
+			st.max = dur
+			st.maxStart = top.start
+		} else if dur > st.second {
+			st.second = dur
+		}
+		switch colors.CategoryOf(name) {
+		case colors.Output:
+			rp.outBlockedSec += self
+		case colors.Input:
+			rp.inBlockedSec += self
+		default:
+			rp.busySec += self
+		}
+	}
+}
+
+// scan feeds every record of the CLOG-2 stream through the collector.
+func (c *collector) scan(r io.Reader) error {
+	br, err := clog2.NewBlockReader(r)
+	if err != nil {
+		return err
+	}
+	c.numRanks = br.NumRanks()
+	var buf []clog2.Record
+	for {
+		b, err := br.NextReuse(buf)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		buf = b.Records
+		for i := range b.Records {
+			c.addRecord(&b.Records[i])
+		}
+	}
+}
+
+// wallSec is the whole-trace record time span.
+func (c *collector) wallSec() float64 {
+	if !c.haveWall {
+		return 0
+	}
+	return c.wall1 - c.wall0
+}
+
+// Analyze runs the detector catalogue over a CLOG-2 stream. The
+// profile is computed from the same stream (the reader must deliver
+// the whole file); use AnalyzeFile to reuse sidecars and the index.
+func Analyze(r io.Reader, opts Options) (*Report, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeBytes(data, opts)
+}
+
+// AnalyzeBytes analyzes an in-memory CLOG-2 image: the collection pass
+// plus a profile recomputation over the same bytes.
+func AnalyzeBytes(data []byte, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	c := newCollector(opts)
+	if err := c.scan(bytes.NewReader(data)); err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
+	prof, err := stats.ComputeProfileWindowed(bytes.NewReader(data), opts.T0, opts.T1)
+	if err != nil {
+		return nil, fmt.Errorf("analyze: profile: %w", err)
+	}
+	return buildReport(c, prof, opts, "computed", false), nil
+}
+
+// AnalyzeFile analyzes a CLOG-2 file. For whole-run analyses a
+// matching "<base>.profile.json" sidecar is reused instead of
+// recomputing the profile (validated against the trace's own record
+// count); windowed analyses go through stats' index-accelerated
+// windowed profile, falling back to the full scan like every other
+// ".idx" consumer.
+func AnalyzeFile(path string, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	c := newCollector(opts)
+	scanErr := c.scan(fh)
+	fh.Close()
+	if scanErr != nil {
+		return nil, fmt.Errorf("analyze: %s: %w", path, scanErr)
+	}
+
+	wholeRun := math.IsInf(opts.T0, -1) && math.IsInf(opts.T1, 1)
+	if wholeRun {
+		if prof := sidecarProfile(path, c.records); prof != nil {
+			return buildReport(c, prof, opts, "sidecar", false), nil
+		}
+	}
+	prof, usedIndex, err := stats.ComputeProfileFileWindowed(path, opts.T0, opts.T1)
+	if err != nil {
+		return nil, fmt.Errorf("analyze: %s: profile: %w", path, err)
+	}
+	return buildReport(c, prof, opts, "computed", usedIndex), nil
+}
+
+// sidecarProfile loads "<base>.profile.json" next to a ".clog2" when
+// it exists, parses, and agrees with the trace's record count;
+// anything else returns nil and the profile is recomputed.
+func sidecarProfile(clogPath string, wantRecords int64) *stats.Profile {
+	base, ok := strings.CutSuffix(clogPath, ".clog2")
+	if !ok {
+		return nil
+	}
+	data, err := os.ReadFile(base + ".profile.json")
+	if err != nil {
+		return nil
+	}
+	var p stats.Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil
+	}
+	if p.Schema != stats.ProfileSchema || p.Totals.Records != wantRecords {
+		return nil
+	}
+	return &p
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,448 @@
+// The detector catalogue: each detector is a pure function of the
+// collection pass plus the reused profile, tuned by Options and
+// emitting Findings. Calibration contract (enforced by the labelled
+// corpus in the repo root): every seeded pathology fires its detector,
+// and clean runs of the example programs produce zero findings.
+package analyze
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/colors"
+	"repro/internal/stats"
+)
+
+// buildReport runs every detector and assembles the Report.
+func buildReport(c *collector, prof *stats.Profile, opts Options, profileSource string, usedIndex bool) *Report {
+	rep := &Report{
+		Schema:        Schema,
+		NumRanks:      c.numRanks,
+		Records:       c.records,
+		WallSec:       c.wallSec(),
+		ProfileSource: profileSource,
+		UsedIndex:     usedIndex,
+		Thresholds: Thresholds{
+			HotspotMinSec:   opts.HotspotMinSec,
+			HotspotShare:    opts.HotspotShare,
+			StragglerMinSec: opts.StragglerMinSec,
+			StragglerFactor: opts.StragglerFactor,
+			BacklogMin:      opts.BacklogMin,
+			BacklogDwellSec: opts.BacklogDwellSec,
+			DominatorShare:  opts.DominatorShare,
+			DominatorMinSec: opts.DominatorMinSec,
+		},
+		MsgEventsTruncated: c.truncated,
+		Findings:           []Finding{},
+	}
+	if !math.IsInf(opts.T0, -1) || !math.IsInf(opts.T1, 1) {
+		w := &Window{}
+		if !math.IsInf(opts.T0, -1) {
+			t0 := opts.T0
+			w.T0 = &t0
+		}
+		if !math.IsInf(opts.T1, 1) {
+			t1 := opts.T1
+			w.T1 = &t1
+		}
+		rep.Window = w
+	}
+
+	pairs := matchChannels(c)
+	rep.ClockSuspect = pairs.nonCausal > 0
+
+	var fs []Finding
+	fs = append(fs, detectImbalance(prof)...)
+	fs = append(fs, detectStraggler(c, prof, opts)...)
+	fs = append(fs, detectDominator(c, opts)...)
+	fs = append(fs, detectFaults(c)...)
+	if !rep.ClockSuspect {
+		fs = append(fs, detectHotspot(pairs, opts)...)
+		fs = append(fs, detectBacklog(c, opts)...)
+	}
+	for _, f := range fs {
+		if math.IsNaN(f.Value) || math.IsInf(f.Value, 0) {
+			continue
+		}
+		rep.Findings = append(rep.Findings, f)
+	}
+	sortFindings(rep.Findings)
+	rep.Clean = len(rep.Findings) == 0
+	return rep
+}
+
+// channelPairs is the FIFO send/recv matching over every channel's
+// recorded timestamps.
+type channelPairs struct {
+	// inflight is each channel's summed matched recv-send latency.
+	inflight map[int32]float64
+	total    float64
+	matched  map[int32]int
+	// nonCausal counts matched pairs whose recv precedes its send by
+	// more than clock-sync tolerance — the signature of synthetic or
+	// unsynchronized clocks, which invalidates timing analysis.
+	nonCausal int
+}
+
+// causalSlack absorbs the small cross-process clock skew the socket
+// transport's sync leaves behind.
+const causalSlack = 1e-3
+
+// matchChannels pairs each channel's k-th send with its k-th recv in
+// time order — exact for Pilot's point-to-point FIFO channels.
+func matchChannels(c *collector) *channelPairs {
+	ps := &channelPairs{inflight: map[int32]float64{}, matched: map[int32]int{}}
+	for ch, cp := range c.chans {
+		sends := append([]float64(nil), cp.sends...)
+		recvs := append([]float64(nil), cp.recvs...)
+		sort.Float64s(sends)
+		sort.Float64s(recvs)
+		n := len(sends)
+		if len(recvs) < n {
+			n = len(recvs)
+		}
+		ps.matched[ch] = n
+		for i := 0; i < n; i++ {
+			d := recvs[i] - sends[i]
+			if d < -causalSlack {
+				ps.nonCausal++
+			}
+			if d > 0 {
+				ps.inflight[ch] += d
+			}
+		}
+		ps.total += ps.inflight[ch]
+	}
+	return ps
+}
+
+// detectImbalance flags channels whose send and recv counts disagree —
+// on a completed run, a crashed reader or truncated log. Reuses the
+// profile's channel table.
+func detectImbalance(prof *stats.Profile) []Finding {
+	var fs []Finding
+	for _, ch := range prof.Channels {
+		if ch.Sends == ch.Recvs {
+			continue
+		}
+		diff := ch.Sends - ch.Recvs
+		kind := "unread send(s)"
+		if diff < 0 {
+			diff, kind = -diff, "recv(s) without a send"
+		}
+		fs = append(fs, Finding{
+			Detector: DetImbalance,
+			Severity: "warning",
+			Rank:     -1,
+			Channel:  ch.Chan,
+			Value:    float64(diff),
+			Detail: fmt.Sprintf("channel %d: %d sends vs %d recvs (%d %s)",
+				ch.Chan, ch.Sends, ch.Recvs, diff, kind),
+		})
+	}
+	return fs
+}
+
+// detectStraggler flags a blocking state whose longest occurrence ran
+// both past an absolute floor and far beyond its cohort baseline (the
+// larger of the second-longest occurrence and the state's p50 from
+// the profile histogram).
+func detectStraggler(c *collector, prof *stats.Profile, opts Options) []Finding {
+	p50 := map[string]float64{}
+	count := map[string]int64{}
+	for _, sp := range prof.States {
+		p50[sp.Name] = sp.P50Sec
+		count[sp.Name] = sp.Count
+	}
+	// Global top-2 occurrences per state across ranks, from the
+	// per-rank (max, second) pairs.
+	type top struct {
+		max, second float64
+		rank        int32
+		start       float64
+		name        string
+	}
+	tops := map[int32]*top{}
+	rankIDs := sortedRanks(c)
+	for _, r := range rankIDs {
+		rp := c.ranks[r]
+		for id, st := range rp.states {
+			t := tops[id]
+			if t == nil {
+				t = &top{name: st.name}
+				tops[id] = t
+			}
+			for _, d := range []float64{st.max, st.second} {
+				if d > t.max {
+					t.second = t.max
+					t.max = d
+					if d == st.max {
+						t.rank, t.start = rp.rank, st.maxStart
+					}
+				} else if d > t.second {
+					t.second = d
+				}
+			}
+		}
+	}
+	var fs []Finding
+	for _, t := range tops {
+		switch colors.CategoryOf(t.name) {
+		case colors.Input, colors.Output:
+		default:
+			continue // stragglers are a blocking-operation pathology
+		}
+		if count[t.name] < 2 {
+			continue // no cohort to straggle from
+		}
+		baseline := t.second
+		if p := p50[t.name]; p > baseline {
+			baseline = p
+		}
+		if t.max < opts.StragglerMinSec || t.max < opts.StragglerFactor*baseline {
+			continue
+		}
+		fs = append(fs, Finding{
+			Detector:  DetStraggler,
+			Severity:  "warning",
+			Rank:      int(t.rank),
+			Channel:   -1,
+			State:     t.name,
+			Time:      t.start,
+			Value:     t.max,
+			Threshold: opts.StragglerMinSec,
+			Detail: fmt.Sprintf("rank %d: one %s took %.3fs vs %.6fs for the rest of the cohort (%.0fx floor %gs)",
+				t.rank, t.name, t.max, baseline, opts.StragglerFactor, opts.StragglerMinSec),
+		})
+	}
+	return fs
+}
+
+// detectDominator flags ranks whose output-blocked self-time dominates
+// their wall time. Clean Pilot writes are eager and near-instant, so
+// any substantial output-blocked share means senders were held up —
+// the critical-path signature of a slow or faulted link.
+func detectDominator(c *collector, opts Options) []Finding {
+	var fs []Finding
+	for _, r := range sortedRanks(c) {
+		rp := c.ranks[r]
+		if !rp.haveWall {
+			continue
+		}
+		wall := rp.wall1 - rp.wall0
+		if rp.outBlockedSec < opts.DominatorMinSec || rp.outBlockedSec < opts.DominatorShare*wall {
+			continue
+		}
+		fs = append(fs, Finding{
+			Detector:  DetDominator,
+			Severity:  "warning",
+			Rank:      int(rp.rank),
+			Channel:   -1,
+			Value:     rp.outBlockedSec,
+			Threshold: opts.DominatorMinSec,
+			Detail: fmt.Sprintf("rank %d spent %.3fs of %.3fs wall (%.0f%%) blocked in output operations",
+				rp.rank, rp.outBlockedSec, wall, 100*rp.outBlockedSec/math.Max(wall, 1e-12)),
+		})
+	}
+	return fs
+}
+
+// detectHotspot flags the channel carrying a dominating share of the
+// run's total in-flight message latency.
+func detectHotspot(pairs *channelPairs, opts Options) []Finding {
+	var fs []Finding
+	chans := make([]int32, 0, len(pairs.inflight))
+	for ch := range pairs.inflight {
+		chans = append(chans, ch)
+	}
+	sort.Slice(chans, func(i, j int) bool { return chans[i] < chans[j] })
+	for _, ch := range chans {
+		lat := pairs.inflight[ch]
+		if lat < opts.HotspotMinSec || pairs.matched[ch] == 0 {
+			continue
+		}
+		share := lat / pairs.total
+		if share < opts.HotspotShare {
+			continue
+		}
+		fs = append(fs, Finding{
+			Detector:  DetHotspot,
+			Severity:  "warning",
+			Rank:      -1,
+			Channel:   int(ch),
+			Value:     lat,
+			Threshold: opts.HotspotMinSec,
+			Detail: fmt.Sprintf("channel %d carried %.3fs of in-flight latency over %d messages (%.0f%% of the run's total)",
+				ch, lat, pairs.matched[ch], 100*share),
+		})
+	}
+	return fs
+}
+
+// detectBacklog flags channels whose outstanding (sent-but-unread)
+// count rose past the floor and sat there with the reader silent.
+func detectBacklog(c *collector, opts Options) []Finding {
+	var fs []Finding
+	chans := make([]int32, 0, len(c.chans))
+	for ch := range c.chans {
+		chans = append(chans, ch)
+	}
+	sort.Slice(chans, func(i, j int) bool { return chans[i] < chans[j] })
+	for _, ch := range chans {
+		cp := c.chans[ch]
+		peak, peakT, dwell := backlogWalk(cp.sends, cp.recvs, opts.BacklogMin, c.wall1)
+		if peak < opts.BacklogMin || dwell < opts.BacklogDwellSec {
+			continue
+		}
+		fs = append(fs, Finding{
+			Detector:  DetBacklog,
+			Severity:  "warning",
+			Rank:      -1,
+			Channel:   int(ch),
+			Time:      peakT,
+			Value:     float64(peak),
+			Threshold: float64(opts.BacklogMin),
+			Detail: fmt.Sprintf("channel %d backlog peaked at %d unread messages and held >=%d for %.3fs with the reader silent",
+				ch, peak, opts.BacklogMin, dwell),
+		})
+	}
+	return fs
+}
+
+// backlogWalk merges a channel's send (+1) and recv (-1) timestamps in
+// time order (recvs first on ties) and returns the peak outstanding
+// count, its timestamp, and the longest contiguous span the
+// outstanding count stayed at or above min. A trace that ends with the
+// backlog still standing (crashed reader) extends the span to the last
+// record timestamp in the trace.
+func backlogWalk(sends, recvs []float64, min int, endOfTrace float64) (peak int, peakT, maxDwell float64) {
+	s := append([]float64(nil), sends...)
+	r := append([]float64(nil), recvs...)
+	sort.Float64s(s)
+	sort.Float64s(r)
+	outstanding := 0
+	spanStart := 0.0
+	inSpan := false
+	closeSpan := func(t float64) {
+		if inSpan {
+			if d := t - spanStart; d > maxDwell {
+				maxDwell = d
+			}
+			inSpan = false
+		}
+	}
+	i, j := 0, 0
+	for i < len(s) || j < len(r) {
+		var t float64
+		isRecv := false
+		switch {
+		case i >= len(s):
+			isRecv = true
+		case j >= len(r):
+		default:
+			isRecv = r[j] <= s[i]
+		}
+		if isRecv {
+			t = r[j]
+			j++
+			if outstanding > 0 {
+				outstanding--
+			}
+		} else {
+			t = s[i]
+			i++
+			outstanding++
+		}
+		if outstanding > peak {
+			peak = outstanding
+			peakT = t
+		}
+		if outstanding >= min && !inSpan {
+			spanStart, inSpan = t, true
+		} else if outstanding < min {
+			closeSpan(t)
+		}
+	}
+	if endOfTrace > spanStart {
+		closeSpan(endOfTrace)
+	} else {
+		closeSpan(spanStart)
+	}
+	return peak, peakT, maxDwell
+}
+
+// detectFaults correlates the trace's FaultInjected/Deadlock solo
+// events into per-(rank, fault-kind) findings, so a verdict names the
+// injected cause alongside the detected symptoms.
+func detectFaults(c *collector) []Finding {
+	type key struct {
+		rank int32
+		kind string
+	}
+	type agg struct {
+		count int
+		first faultEvent
+	}
+	byKey := map[key]*agg{}
+	var keys []key
+	for _, ev := range c.faults {
+		kind := ev.name
+		if ev.name == faultEventName {
+			// Cargo is FaultEvent.String(), e.g. "stall rank=1 op=2";
+			// the first token is the fault kind.
+			if f := strings.Fields(ev.cargo); len(f) > 0 {
+				kind = f[0]
+			}
+		}
+		k := key{ev.rank, kind}
+		a := byKey[k]
+		if a == nil {
+			a = &agg{first: ev}
+			byKey[k] = a
+			keys = append(keys, k)
+		}
+		a.count++
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].rank != keys[j].rank {
+			return keys[i].rank < keys[j].rank
+		}
+		return keys[i].kind < keys[j].kind
+	})
+	var fs []Finding
+	for _, k := range keys {
+		a := byKey[k]
+		noun := "fault event(s)"
+		if k.kind == deadlockEventName {
+			noun = "deadlock diagnosis event(s)"
+		}
+		detail := fmt.Sprintf("rank %d: %d %q %s", k.rank, a.count, k.kind, noun)
+		if a.first.cargo != "" {
+			detail += fmt.Sprintf(" (first: %q)", a.first.cargo)
+		}
+		fs = append(fs, Finding{
+			Detector: DetFault,
+			Severity: "info",
+			Rank:     int(k.rank),
+			Channel:  -1,
+			State:    k.kind,
+			Time:     a.first.time,
+			Value:    float64(a.count),
+			Detail:   detail,
+		})
+	}
+	return fs
+}
+
+// sortedRanks returns the collector's rank ids ascending, for
+// deterministic detector iteration.
+func sortedRanks(c *collector) []int32 {
+	ids := make([]int32, 0, len(c.ranks))
+	for r := range c.ranks {
+		ids = append(ids, r)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

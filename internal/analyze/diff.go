@@ -1,0 +1,295 @@
+// Trace diffing: align two runs of the same program by per-rank
+// operation sequence and localize the first divergence — Okita et
+// al.'s debugging approach, made exact here by the runtime's
+// deterministic replay. Sequences are normalized the way the chaos
+// suite's replay determinism is stated: wall-clock timestamps,
+// clock-sync TimeShift records, and definition metadata are dropped,
+// leaving the per-rank order of events, state transitions and message
+// halves — the part of a trace that is a pure function of (program,
+// seed) for deterministic workloads.
+package analyze
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/clog2"
+)
+
+// DiffSchema versions the DiffReport JSON.
+const DiffSchema = "pilot-analyze-diff/1"
+
+// DiffOptions tunes the diff.
+type DiffOptions struct {
+	// Context is how many ops of surrounding context each divergence
+	// carries (default 3).
+	Context int
+}
+
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.Context == 0 {
+		o.Context = 3
+	}
+	return o
+}
+
+// Divergence is one rank's first point of disagreement.
+type Divergence struct {
+	Rank int `json:"rank"`
+	// Op is the index into the rank's normalized op sequence where the
+	// two runs first disagree.
+	Op int `json:"op"`
+	// Kind is "mismatch" (both have an op there, different), "a-short"
+	// / "b-short" (one run's sequence ends early — truncation), or
+	// "a-missing-rank" / "b-missing-rank" (the rank logged nothing at
+	// all in one run).
+	Kind string `json:"kind"`
+	// A and B are the normalized ops at the divergence ("" past the
+	// end of a truncated sequence).
+	A string `json:"a,omitempty"`
+	B string `json:"b,omitempty"`
+	// ContextA/ContextB are the ops surrounding the divergence
+	// (including it), one line per op, prefixed with its index.
+	ContextA []string `json:"context_a,omitempty"`
+	ContextB []string `json:"context_b,omitempty"`
+	// LenA/LenB are the full sequence lengths.
+	LenA int `json:"len_a"`
+	LenB int `json:"len_b"`
+}
+
+// DiffReport is the schema-versioned diff document.
+type DiffReport struct {
+	Schema string `json:"schema"`
+	// FileA/FileB are base names only, so reports are path-independent.
+	FileA     string `json:"file_a"`
+	FileB     string `json:"file_b"`
+	Identical bool   `json:"identical"`
+	// Divergences holds each diverging rank's first divergence,
+	// ordered by rank.
+	Divergences []Divergence `json:"divergences"`
+	// First is the divergence with the smallest op index (ties to the
+	// smallest rank) — the localized first faulty rank/op.
+	First *Divergence `json:"first,omitempty"`
+}
+
+// opSignature renders one record as a timestamp-free op string, the
+// same field set the chaos suite's replay-determinism assertions use.
+func opSignature(r *clog2.Record) string {
+	return fmt.Sprintf("%s|%d|%d|%d|%d|%d|%s|%s|%s|%s",
+		r.Type, r.ID, r.Aux1, r.Aux2, r.Aux3, r.Dir, r.Name, r.Color, r.Text, r.CargoText())
+}
+
+// opSequences reduces a CLOG-2 stream to per-rank normalized op
+// sequences: events, state transitions and message halves in rank
+// order; definitions, timeshifts and block markers are metadata and
+// excluded.
+func opSequences(r io.Reader) (map[int32][]string, error) {
+	br, err := clog2.NewBlockReader(r)
+	if err != nil {
+		return nil, err
+	}
+	seqs := map[int32][]string{}
+	for {
+		b, err := br.Next()
+		if err == io.EOF {
+			return seqs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i := range b.Records {
+			rec := &b.Records[i]
+			switch rec.Type {
+			case clog2.RecBareEvt, clog2.RecCargoEvt, clog2.RecMsgEvt:
+				seqs[rec.Rank] = append(seqs[rec.Rank], opSignature(rec))
+			}
+		}
+	}
+}
+
+// Diff aligns two per-rank op-sequence maps and reports each rank's
+// first divergence.
+func Diff(a, b map[int32][]string, nameA, nameB string, opts DiffOptions) *DiffReport {
+	opts = opts.withDefaults()
+	rep := &DiffReport{
+		Schema:      DiffSchema,
+		FileA:       nameA,
+		FileB:       nameB,
+		Divergences: []Divergence{},
+	}
+	ranks := map[int32]bool{}
+	for r := range a {
+		ranks[r] = true
+	}
+	for r := range b {
+		ranks[r] = true
+	}
+	ids := make([]int32, 0, len(ranks))
+	for r := range ranks {
+		ids = append(ids, r)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	for _, rank := range ids {
+		sa, sb := a[rank], b[rank]
+		if d := diffRank(int(rank), sa, sb, opts.Context); d != nil {
+			rep.Divergences = append(rep.Divergences, *d)
+		}
+	}
+	rep.Identical = len(rep.Divergences) == 0
+	if !rep.Identical {
+		first := rep.Divergences[0]
+		for _, d := range rep.Divergences[1:] {
+			if d.Op < first.Op || (d.Op == first.Op && d.Rank < first.Rank) {
+				first = d
+			}
+		}
+		rep.First = &first
+	}
+	return rep
+}
+
+// diffRank finds one rank's first divergence, or nil when the
+// sequences agree completely.
+func diffRank(rank int, sa, sb []string, context int) *Divergence {
+	switch {
+	case len(sa) == 0 && len(sb) == 0:
+		return nil
+	case len(sa) == 0:
+		return &Divergence{Rank: rank, Op: 0, Kind: "a-missing-rank",
+			B: sb[0], ContextB: contextLines(sb, 0, context), LenA: 0, LenB: len(sb)}
+	case len(sb) == 0:
+		return &Divergence{Rank: rank, Op: 0, Kind: "b-missing-rank",
+			A: sa[0], ContextA: contextLines(sa, 0, context), LenA: len(sa), LenB: 0}
+	}
+	n := len(sa)
+	if len(sb) < n {
+		n = len(sb)
+	}
+	for i := 0; i < n; i++ {
+		if sa[i] != sb[i] {
+			return &Divergence{Rank: rank, Op: i, Kind: "mismatch",
+				A: sa[i], B: sb[i],
+				ContextA: contextLines(sa, i, context),
+				ContextB: contextLines(sb, i, context),
+				LenA:     len(sa), LenB: len(sb)}
+		}
+	}
+	switch {
+	case len(sa) < len(sb):
+		return &Divergence{Rank: rank, Op: n, Kind: "a-short",
+			B: sb[n], ContextB: contextLines(sb, n, context),
+			ContextA: contextLines(sa, n, context),
+			LenA:     len(sa), LenB: len(sb)}
+	case len(sb) < len(sa):
+		return &Divergence{Rank: rank, Op: n, Kind: "b-short",
+			A: sa[n], ContextA: contextLines(sa, n, context),
+			ContextB: contextLines(sb, n, context),
+			LenA:     len(sa), LenB: len(sb)}
+	}
+	return nil
+}
+
+// contextLines renders ops [i-context, i+context] with indices; i may
+// sit one past the end for truncation divergences.
+func contextLines(seq []string, i, context int) []string {
+	lo := i - context
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + context
+	if hi >= len(seq) {
+		hi = len(seq) - 1
+	}
+	var out []string
+	for k := lo; k <= hi; k++ {
+		marker := " "
+		if k == i {
+			marker = ">"
+		}
+		out = append(out, fmt.Sprintf("%s op %d: %s", marker, k, seq[k]))
+	}
+	return out
+}
+
+// DiffBytes diffs two in-memory CLOG-2 images.
+func DiffBytes(a, b []byte, nameA, nameB string, opts DiffOptions) (*DiffReport, error) {
+	sa, err := opSequences(bytes.NewReader(a))
+	if err != nil {
+		return nil, fmt.Errorf("analyze: diff %s: %w", nameA, err)
+	}
+	sb, err := opSequences(bytes.NewReader(b))
+	if err != nil {
+		return nil, fmt.Errorf("analyze: diff %s: %w", nameB, err)
+	}
+	return Diff(sa, sb, nameA, nameB, opts), nil
+}
+
+// DiffFiles diffs two CLOG-2 files.
+func DiffFiles(pathA, pathB string, opts DiffOptions) (*DiffReport, error) {
+	seqOf := func(path string) (map[int32][]string, error) {
+		fh, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer fh.Close()
+		s, err := opSequences(fh)
+		if err != nil {
+			return nil, fmt.Errorf("analyze: diff %s: %w", path, err)
+		}
+		return s, nil
+	}
+	sa, err := seqOf(pathA)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := seqOf(pathB)
+	if err != nil {
+		return nil, err
+	}
+	return Diff(sa, sb, filepath.Base(pathA), filepath.Base(pathB), opts), nil
+}
+
+// JSON renders the diff report indented with a trailing newline.
+func (d *DiffReport) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Format renders the diff report as human-readable text.
+func (d *DiffReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pilot-analyze diff (%s)\n%s vs %s\n", d.Schema, d.FileA, d.FileB)
+	if d.Identical {
+		b.WriteString("identical: per-rank op sequences agree\n")
+		return b.String()
+	}
+	f := d.First
+	fmt.Fprintf(&b, "first divergence: rank %d op %d (%s)\n", f.Rank, f.Op, f.Kind)
+	for _, dv := range d.Divergences {
+		fmt.Fprintf(&b, "rank %d diverges at op %d (%s; %d vs %d ops)\n",
+			dv.Rank, dv.Op, dv.Kind, dv.LenA, dv.LenB)
+		if len(dv.ContextA) > 0 {
+			fmt.Fprintf(&b, "  %s:\n", d.FileA)
+			for _, l := range dv.ContextA {
+				fmt.Fprintf(&b, "    %s\n", l)
+			}
+		}
+		if len(dv.ContextB) > 0 {
+			fmt.Fprintf(&b, "  %s:\n", d.FileB)
+			for _, l := range dv.ContextB {
+				fmt.Fprintf(&b, "    %s\n", l)
+			}
+		}
+	}
+	return b.String()
+}

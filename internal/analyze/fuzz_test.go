@@ -1,0 +1,53 @@
+package analyze
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzAnalyze hammers the full analysis pass (collection scan, profile
+// recomputation, detector catalogue, diff normalization, JSON render)
+// with mutated inputs, seeded from the three golden CLOG-2 traces.
+// Contract: hostile bytes produce a diagnosed error, never a panic, a
+// hang, or a report that fails to marshal.
+func FuzzAnalyze(f *testing.F) {
+	for _, name := range []string{"lab2", "thumbnail", "collisions"} {
+		data, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden", name+".clog2"))
+		if err != nil {
+			f.Fatalf("golden seed: %v", err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add(newTB(f, 2).withReadWrite().bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Keep the pass bounded: mutated inputs can declare absurd
+		// message counts, and the default cap is sized for real traces.
+		rep, err := AnalyzeBytes(data, Options{MaxMsgEvents: 1 << 12})
+		if err != nil {
+			return // diagnosed rejection is the expected outcome
+		}
+		out, jerr := rep.JSON()
+		if jerr != nil {
+			t.Fatalf("accepted input produced unmarshalable report: %v", jerr)
+		}
+		var round Report
+		if err := json.Unmarshal(out, &round); err != nil {
+			t.Fatalf("report JSON does not round-trip: %v", err)
+		}
+		if round.Schema != Schema {
+			t.Fatalf("schema %q, want %q", round.Schema, Schema)
+		}
+		// Anything analyzable must also self-diff clean.
+		d, derr := DiffBytes(data, data, "a", "a", DiffOptions{})
+		if derr != nil {
+			t.Fatalf("analyzable input failed to diff: %v", derr)
+		}
+		if !d.Identical {
+			t.Fatalf("self-diff diverged: %+v", d.Divergences)
+		}
+	})
+}

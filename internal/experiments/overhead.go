@@ -107,6 +107,10 @@ type OverheadReport struct {
 	// the full scan on a synthesized large log (pilot-bench's -index-mb
 	// flag sizes it); informational, never gated by CompareOverhead.
 	IndexQuery []IndexQueryRow `json:"index_query,omitempty"`
+	// Analyze rows measure pilot-analyze verdict and diff passes over a
+	// synthesized large log (`pilot-bench -analyze`, sized by
+	// -analyze-mb); informational, never gated by CompareOverhead.
+	Analyze []AnalyzeRow `json:"analyze,omitempty"`
 }
 
 // WriteJSON writes the report, indented, to path.

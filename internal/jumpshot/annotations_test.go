@@ -1,0 +1,50 @@
+package jumpshot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderSVGAnnotations(t *testing.T) {
+	f := makeLog(t)
+	svg := RenderSVG(f, View{Annotations: []Annotation{
+		{Rank: 1, Time: 2.5, Label: "barrier-straggler", Detail: "rank 1 took 2.5s <&>"},
+		{Rank: -1, Label: "send-recv-imbalance ch5", Detail: "channel 5: 2 sends vs 1 recvs"},
+	}})
+	for _, want := range []string{
+		"barrier-straggler",              // rank flag label
+		"send-recv-imbalance ch5",        // banner chip label
+		`stroke-dasharray="3,2"`,         // drop line
+		"rank 1 took 2.5s &lt;&amp;&gt;", // detail escaped into the popup
+		"channel 5: 2 sends vs 1 recvs",  // banner popup
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Annotations on hidden ranks are dropped, not misdrawn.
+	cut := RenderSVG(f, View{
+		RankOrder: []int{0},
+		Annotations: []Annotation{
+			{Rank: 1, Time: 2.5, Label: "ghost-marker", Detail: "should not render"},
+		},
+	})
+	if strings.Contains(cut, "ghost-marker") {
+		t.Error("annotation rendered for a rank cut from the view")
+	}
+	// No annotations: no marker markup at all.
+	plain := RenderSVG(f, View{})
+	if strings.Contains(plain, "stroke-dasharray") {
+		t.Error("plain view contains annotation markup")
+	}
+}
+
+func TestRenderHTMLCarriesAnnotations(t *testing.T) {
+	f := makeLog(t)
+	html := RenderHTML(f, View{Annotations: []Annotation{
+		{Rank: 0, Time: 1, Label: "blocked-dominator", Detail: "rank 0 blocked"},
+	}})
+	if !strings.Contains(html, "blocked-dominator") {
+		t.Error("HTML page lost the annotation")
+	}
+}

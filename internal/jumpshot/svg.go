@@ -40,6 +40,22 @@ type View struct {
 	// Expand multiplies individual timeline heights — Jumpshot's
 	// "vertical expansion of timelines". Missing entries default to 1.
 	Expand map[int]int
+	// Annotations overlays analyzer verdicts on the canvas: rank-scoped
+	// markers pinned to their timeline at a timestamp, and banner chips
+	// along the top margin for unscoped findings.
+	Annotations []Annotation
+}
+
+// Annotation is one verdict marker (typically from internal/analyze).
+type Annotation struct {
+	// Rank anchors the marker to a timeline; negative means a banner
+	// chip across the top margin instead.
+	Rank int
+	// Time positions rank-scoped markers on the axis.
+	Time float64
+	// Label is the short marker text; Detail goes into the hover popup.
+	Label  string
+	Detail string
 }
 
 const (
@@ -212,8 +228,50 @@ func RenderSVG(f *slog2.File, v View) string {
 		}
 	}
 
+	// Verdict annotations over everything else, so findings land where
+	// the viewer is already looking.
+	if len(v.Annotations) > 0 {
+		b.WriteString(renderAnnotations(v, xOf, rowTop, rowHeights, shown, width))
+	}
+
 	b.WriteString(renderInlineLegend(f, width, height))
 	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// renderAnnotations draws verdict markers: an orange flag plus a dashed
+// drop line on the annotated rank's timeline, or a banner chip in the
+// top margin when the finding is not scoped to a rank.
+func renderAnnotations(v View, xOf func(float64) float64, rowTop func(int) float64,
+	rowHeights map[int]int, shown map[int]bool, width int) string {
+	var b strings.Builder
+	hex := colors.FaultEventColor.Hex()
+	bannerX := marginLeft
+	for _, a := range v.Annotations {
+		if a.Rank < 0 {
+			if bannerX > width-160 {
+				continue // out of banner room; remaining chips are in the report anyway
+			}
+			fmt.Fprintf(&b, `<g><rect x="%d" y="19" width="9" height="9" fill="%s"/>`, bannerX, hex)
+			fmt.Fprintf(&b, `<text x="%d" y="27" fill="%s">%s</text>`, bannerX+12, hex, esc(a.Label))
+			fmt.Fprintf(&b, `<title>%s</title></g>`+"\n", esc(a.Detail))
+			bannerX += 13 + 7*len(a.Label) + 12
+			continue
+		}
+		if !shown[a.Rank] {
+			continue
+		}
+		x := xOf(clampF(a.Time, v.From, v.To))
+		top := rowTop(a.Rank)
+		bot := top + float64(rowHeights[a.Rank])
+		fmt.Fprintf(&b, `<g><line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-dasharray="3,2"/>`,
+			x, top, x, bot, hex)
+		fmt.Fprintf(&b, `<path d="M %.1f %.1f L %.1f %.1f L %.1f %.1f Z" fill="%s"/>`,
+			x, top, x+8, top+3, x, top+7, hex)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" fill="%s">%s</text>`,
+			x+10, top+10, hex, esc(a.Label))
+		fmt.Fprintf(&b, `<title>%s</title></g>`+"\n", esc(a.Detail))
+	}
 	return b.String()
 }
 

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/analyze"
 	"repro/internal/idx"
 	"repro/internal/slog2"
 	"repro/internal/stats"
@@ -186,6 +187,46 @@ func (r *Repo) WindowedProfile(id string, t0, t1 float64) (*stats.Profile, bool,
 		return nil, false, fmt.Errorf("%w: %s: %v", ErrCorrupt, id, err)
 	}
 	return p, usedIndex, nil
+}
+
+// ClogGen fingerprints id's registered raw CLOG-2 (mtime+size), the
+// cache-key generation for analysis results. ErrNotFound when the
+// trace was registered without a raw log.
+func (r *Repo) ClogGen(id string) (string, error) {
+	if !validID(id) {
+		return "", ErrBadID
+	}
+	info, err := os.Stat(r.clogPath(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", fmt.Errorf("%w: %s has no raw log registered", ErrNotFound, id)
+		}
+		return "", err
+	}
+	return fmt.Sprintf("%d-%d", info.ModTime().UnixNano(), info.Size()), nil
+}
+
+// AnalyzeJSON runs the pathology analyzer over id's registered raw
+// CLOG-2 restricted to [t0, t1] (math.Inf bounds for the whole run)
+// and returns the verdict report as JSON. The analyzer reuses the
+// trace's .profile.json sidecar for whole-run queries and the ".idx"
+// sidecar for windowed ones, like every other raw-log consumer.
+func (r *Repo) AnalyzeJSON(id string, t0, t1 float64) ([]byte, error) {
+	if !validID(id) {
+		return nil, ErrBadID
+	}
+	path := r.clogPath(id)
+	if _, err := os.Stat(path); err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s has no raw log registered", ErrNotFound, id)
+		}
+		return nil, err
+	}
+	rep, err := analyze.AnalyzeFile(path, analyze.Options{T0: t0, T1: t1})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, id, err)
+	}
+	return rep.JSON()
 }
 
 // Open returns the decoded trace for id, via the LRU, collapsing

@@ -55,6 +55,10 @@ type Server struct {
 	// back to the full streaming scan).
 	profilesWindowed atomic.Int64
 	profilesIndexed  atomic.Int64
+	// analysis accounting: verdict reports actually computed (cache
+	// misses that did real work) and computes collapsed by singleflight.
+	analyzesComputed atomic.Int64
+	analyzesShared   atomic.Int64
 }
 
 // New builds a Server over cfg.RepoDir.
@@ -81,6 +85,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /trace/{id}/tile", s.handleTile)
 	s.mux.HandleFunc("GET /trace/{id}/legend", s.handleLegend)
 	s.mux.HandleFunc("GET /trace/{id}/profile", s.handleProfile)
+	s.mux.HandleFunc("GET /trace/{id}/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("GET /search", s.handleSearch)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -496,6 +501,63 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	s.writeBody(w, r, "application/json; charset=utf-8", etagOf(body), body)
 }
 
+// handleAnalyze serves the pathology-analysis verdict for a trace's
+// registered raw CLOG-2, with the same cache posture as tiles: results
+// live in the rendered-body LRU keyed by the raw log's generation (a
+// re-registered trace invalidates naturally), cold misses collapse via
+// singleflight, and the body goes out with ETag revalidation and gzip.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	q := r.URL.Query()
+	t0, t1 := math.Inf(-1), math.Inf(1)
+	var err error
+	if v := q.Get("t0"); v != "" {
+		if t0, err = strconv.ParseFloat(v, 64); err != nil || math.IsNaN(t0) {
+			s.failBadRequest(w, r, fmt.Errorf("serve: bad t0=%q", v))
+			return
+		}
+	}
+	if v := q.Get("t1"); v != "" {
+		if t1, err = strconv.ParseFloat(v, 64); err != nil || math.IsNaN(t1) {
+			s.failBadRequest(w, r, fmt.Errorf("serve: bad t1=%q", v))
+			return
+		}
+	}
+	gen, err := s.repo.ClogGen(id)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	key := fmt.Sprintf("analyze\x00%s\x00%s\x00%g\x00%g", id, gen, t0, t1)
+	if v, ok := s.tiles.get(key); ok {
+		cb := v.(*cachedBody)
+		s.writeBodyGz(w, r, cb.ctype, cb.etag, cb.body, cb.gz)
+		return
+	}
+	v, err, shared := s.sf.Do(key, func() (any, error) {
+		if v, ok := s.tiles.get(key); ok {
+			return v, nil
+		}
+		body, err := s.repo.AnalyzeJSON(id, t0, t1)
+		if err != nil {
+			return nil, err
+		}
+		s.analyzesComputed.Add(1)
+		cb := newCachedBody(body, "application/json; charset=utf-8")
+		s.tiles.add(key, cb)
+		return cb, nil
+	})
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	if shared {
+		s.analyzesShared.Add(1)
+	}
+	cb := v.(*cachedBody)
+	s.writeBodyGz(w, r, cb.ctype, cb.etag, cb.body, cb.gz)
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	id := q.Get("trace")
@@ -598,6 +660,8 @@ func (s *Server) MetricsSnapshot() map[string]int64 {
 		"bytes_sent":                s.bytesSent.Load(),
 		"profiles_windowed":         s.profilesWindowed.Load(),
 		"profiles_windowed_indexed": s.profilesIndexed.Load(),
+		"analyzes_computed":         s.analyzesComputed.Load(),
+		"analyzes_singleflight":     s.analyzesShared.Load(),
 	}
 }
 

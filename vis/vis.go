@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/analyze"
 	"repro/internal/idx"
 	"repro/internal/jumpshot"
 	"repro/internal/slog2"
@@ -32,6 +33,8 @@ type (
 	Report = slog2.Report
 	// View controls timeline rendering (viewport, size, previews).
 	View = jumpshot.View
+	// Annotation is one verdict marker overlaid on a rendered timeline.
+	Annotation = jumpshot.Annotation
 	// LegendEntry is one row of the legend table.
 	LegendEntry = jumpshot.LegendEntry
 	// RankStats is one timeline's duration statistics.
@@ -187,6 +190,28 @@ func Pipeline(clogPath, slogPath, svgPath string, opts ConvertOptions, v View) (
 		}
 	}
 	return f, rep, nil
+}
+
+// Annotations turns an analyzer verdict report into timeline markers:
+// rank-scoped findings become flags on their rank's timeline at the
+// finding's timestamp, unscoped ones become banner chips. Feed the
+// result to View.Annotations to draw findings where the paper's users
+// look.
+func Annotations(rep *analyze.Report) []Annotation {
+	var out []Annotation
+	for _, f := range rep.Findings {
+		label := f.Detector
+		if f.Channel >= 0 {
+			label = fmt.Sprintf("%s ch%d", f.Detector, f.Channel)
+		}
+		out = append(out, Annotation{
+			Rank:   f.Rank,
+			Time:   f.Time,
+			Label:  label,
+			Detail: f.Detail,
+		})
+	}
+	return out
 }
 
 // Profile is the post-run statistics report computed from a CLOG-2
